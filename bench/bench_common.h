@@ -1,0 +1,177 @@
+// Shared setup for the benchmark harness: lazily loads each paper dataset
+// into a RecDB instance, creates recommenders per algorithm, and wires the
+// OnTopDB baseline engine. Every bench binary regenerates one table/figure
+// of the paper (see DESIGN.md's experiment index).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/recdb.h"
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "ontop/ontop_engine.h"
+
+namespace recdb::bench {
+
+/// Which paper dataset an environment holds.
+enum class Which { kMovieLens, kLdos, kYelp };
+
+inline const char* WhichName(Which w) {
+  switch (w) {
+    case Which::kMovieLens:
+      return "MovieLens";
+    case Which::kLdos:
+      return "LDOS-CoMoDa";
+    case Which::kYelp:
+      return "Yelp";
+  }
+  return "?";
+}
+
+class BenchEnv {
+ public:
+  explicit BenchEnv(Which which, double scale = 1.0) : which_(which) {
+    db_ = std::make_unique<RecDB>();
+    datagen::DatasetSpec spec;
+    switch (which) {
+      case Which::kMovieLens:
+        spec = datagen::DatasetSpec::MovieLens100K();
+        break;
+      case Which::kLdos:
+        spec = datagen::DatasetSpec::LdosComoda();
+        break;
+      case Which::kYelp:
+        spec = datagen::DatasetSpec::Yelp();
+        break;
+    }
+    if (scale < 1.0) spec = spec.Scaled(scale);
+    auto ds = datagen::LoadDataset(db_.get(), spec);
+    RECDB_DCHECK(ds.ok());
+    ds_ = ds.value();
+  }
+
+  RecDB* db() { return db_.get(); }
+  const datagen::GeneratedDataset& dataset() const { return ds_; }
+  Which which() const { return which_; }
+
+  /// Create (once) and return the recommender for an algorithm. Records the
+  /// model build time of the initial creation.
+  Recommender* GetRecommender(RecAlgorithm algo) {
+    auto it = recs_.find(algo);
+    if (it != recs_.end()) return it->second;
+    std::string name = std::string("rec_") + RecAlgorithmToString(algo);
+    auto r = db_->Execute(
+        "CREATE RECOMMENDER " + name + " ON " + ds_.ratings_table +
+        " USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING " +
+        RecAlgorithmToString(algo));
+    RECDB_DCHECK(r.ok());
+    build_seconds_[algo] = r.value().elapsed_seconds;
+    auto rec = db_->GetRecommender(name);
+    RECDB_DCHECK(rec.ok());
+    recs_[algo] = rec.value();
+    return rec.value();
+  }
+
+  double BuildSeconds(RecAlgorithm algo) {
+    GetRecommender(algo);
+    return build_seconds_[algo];
+  }
+
+  /// OnTopDB engine for an algorithm (extract + external model built once;
+  /// each Execute() still pays compute-all + load-back + residual SQL).
+  ontop::OnTopEngine* GetOnTop(RecAlgorithm algo) {
+    auto it = ontops_.find(algo);
+    if (it != ontops_.end()) return it->second.get();
+    ontop::OnTopOptions opts;
+    opts.rec.algorithm = algo;
+    auto engine = std::make_unique<ontop::OnTopEngine>(
+        db_.get(), ds_.ratings_table, "uid", "iid", "ratingval", opts);
+    RECDB_DCHECK(engine->BuildModel().ok());
+    auto* raw = engine.get();
+    ontops_[algo] = std::move(engine);
+    return raw;
+  }
+
+  /// Deterministic sample of user ids present in the dataset.
+  std::vector<int64_t> SampleUsers(size_t count, uint64_t seed = 1) {
+    Rng rng(seed);
+    Recommender* rec = GetRecommender(RecAlgorithm::kItemCosCF);
+    const auto& ids = rec->model()->ratings().user_ids();
+    std::vector<int64_t> out;
+    for (size_t k = 0; k < count; ++k) {
+      out.push_back(ids[rng.UniformInt(0, ids.size() - 1)]);
+    }
+    return out;
+  }
+
+  /// Deterministic sample of distinct item ids.
+  std::vector<int64_t> SampleItems(size_t count, uint64_t seed = 2) {
+    Rng rng(seed);
+    Recommender* rec = GetRecommender(RecAlgorithm::kItemCosCF);
+    const auto& ids = rec->model()->ratings().item_ids();
+    count = std::min(count, ids.size());
+    std::vector<int64_t> out;
+    auto picks = rng.SampleWithoutReplacement(ids.size(), count);
+    out.reserve(count);
+    for (int64_t p : picks) out.push_back(ids[p]);
+    return out;
+  }
+
+  /// Total distinct items (for selectivity factors).
+  size_t NumItems() {
+    return GetRecommender(RecAlgorithm::kItemCosCF)
+        ->model()
+        ->ratings()
+        .NumItems();
+  }
+
+ private:
+  Which which_;
+  std::unique_ptr<RecDB> db_;
+  datagen::GeneratedDataset ds_;
+  std::map<RecAlgorithm, Recommender*> recs_;
+  std::map<RecAlgorithm, double> build_seconds_;
+  std::map<RecAlgorithm, std::unique_ptr<ontop::OnTopEngine>> ontops_;
+};
+
+/// Per-binary singleton environment (each bench binary is one process).
+inline BenchEnv& Env(Which which) {
+  static std::map<Which, std::unique_ptr<BenchEnv>> envs;
+  auto it = envs.find(which);
+  if (it == envs.end()) {
+    it = envs.emplace(which, std::make_unique<BenchEnv>(which)).first;
+  }
+  return *it->second;
+}
+
+/// "(1,2,3)" literal list for IN predicates.
+inline std::string InList(const std::vector<int64_t>& ids) {
+  std::string out = "(";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  out += ")";
+  return out;
+}
+
+/// Execute through RecDB, aborting the bench on error.
+inline ResultSet MustExecute(RecDB* db, const std::string& sql) {
+  auto r = db->Execute(sql);
+  if (!r.ok()) {
+    fprintf(stderr, "bench query failed: %s\nsql: %s\n",
+            r.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+inline const RecAlgorithm kFigAlgos[] = {
+    RecAlgorithm::kItemCosCF, RecAlgorithm::kItemPearCF, RecAlgorithm::kSVD};
+
+}  // namespace recdb::bench

@@ -1,0 +1,12 @@
+// Figure 10 — Top-K recommendation query time (MovieLens), K = 10 / 100,
+// ItemCosCF / ItemPearCF / SVD, RecDB (IndexRecommend over pre-computed
+// scores) vs OnTopDB.
+#include "bench_topk_common.h"
+
+namespace recdb::bench {
+namespace {
+int dummy = (RegisterTopKBenches("Fig10", Which::kMovieLens), 0);
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

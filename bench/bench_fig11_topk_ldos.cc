@@ -1,0 +1,10 @@
+// Figure 11 — Top-K recommendation query time (LDOS-CoMoDa), K = 10 / 100.
+#include "bench_topk_common.h"
+
+namespace recdb::bench {
+namespace {
+int dummy = (RegisterTopKBenches("Fig11", Which::kLdos), 0);
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Figure 12 — Top-K recommendation query time (Yelp), K = 10 / 100.
+#include "bench_topk_common.h"
+
+namespace recdb::bench {
+namespace {
+int dummy = (RegisterTopKBenches("Fig12", Which::kYelp), 0);
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Figure 6 — Query time vs selectivity factor (MovieLens),
+// (a) ItemCosCF and (b) SVD, RecDB vs OnTopDB.
+//
+// Selectivity factor = |selected items| / |all items| (0.1%, 1%, 10%).
+// RecDB runs a single recommendation-aware plan (FilterRecommend prunes the
+// score computation to the selected user/items). OnTopDB predicts every
+// (user, item) pair in the external library, loads all predictions back
+// into the database, and only then filters.
+#include "bench_common.h"
+
+namespace recdb::bench {
+namespace {
+
+constexpr Which kWhich = Which::kMovieLens;
+
+std::string RecDBSql(BenchEnv& env, RecAlgorithm algo, int64_t user,
+                     const std::vector<int64_t>& items) {
+  return "SELECT R.uid, R.iid, R.ratingval FROM " +
+         env.dataset().ratings_table +
+         " AS R RECOMMEND R.iid TO R.uid ON R.ratingval USING " +
+         RecAlgorithmToString(algo) + " WHERE R.uid = " +
+         std::to_string(user) + " AND R.iid IN " + InList(items);
+}
+
+std::string OnTopSql(ontop::OnTopEngine* engine, int64_t user,
+                     const std::vector<int64_t>& items) {
+  return "SELECT uid, iid, ratingval FROM " + engine->predictions_table() +
+         " WHERE uid = " + std::to_string(user) + " AND iid IN " +
+         InList(items);
+}
+
+size_t SelCount(BenchEnv& env, int64_t permille) {
+  return std::max<size_t>(1, env.NumItems() * permille / 1000);
+}
+
+void BM_Fig6_RecDB(benchmark::State& state) {
+  RecAlgorithm algo = static_cast<RecAlgorithm>(state.range(0));
+  int64_t permille = state.range(1);
+  BenchEnv& env = Env(kWhich);
+  env.GetRecommender(algo);
+  int64_t user = env.SampleUsers(1, 42)[0];
+  auto items = env.SampleItems(SelCount(env, permille), 7);
+  std::string sql = RecDBSql(env, algo, user, items);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rs = MustExecute(env.db(), sql);
+    rows = rs.NumRows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetLabel(std::string(RecAlgorithmToString(algo)) + "/sel=" +
+                 std::to_string(permille / 10.0) + "%");
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Fig6_OnTopDB(benchmark::State& state) {
+  RecAlgorithm algo = static_cast<RecAlgorithm>(state.range(0));
+  int64_t permille = state.range(1);
+  BenchEnv& env = Env(kWhich);
+  auto* engine = env.GetOnTop(algo);
+  int64_t user = env.SampleUsers(1, 42)[0];
+  auto items = env.SampleItems(SelCount(env, permille), 7);
+  std::string sql = OnTopSql(engine, user, items);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rs = engine->Execute(sql);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows = rs.value().NumRows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetLabel(std::string(RecAlgorithmToString(algo)) + "/sel=" +
+                 std::to_string(permille / 10.0) + "%");
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void RegisterAll() {
+  for (RecAlgorithm a : {RecAlgorithm::kItemCosCF, RecAlgorithm::kSVD}) {
+    for (int64_t permille : {1, 10, 100}) {
+      benchmark::RegisterBenchmark("Fig6/RecDB", BM_Fig6_RecDB)
+          ->Args({static_cast<int64_t>(a), permille})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark("Fig6/OnTopDB", BM_Fig6_OnTopDB)
+          ->Args({static_cast<int64_t>(a), permille})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

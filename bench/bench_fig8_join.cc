@@ -1,0 +1,13 @@
+// Figure 8 — Join + recommendation query time (MovieLens):
+// (a) one-way join, (b) two-way join, for ItemCosCF / ItemPearCF / SVD.
+// RecDB's JoinRecommend only scores items surviving the joined relation's
+// filter; OnTopDB predicts everything first and joins afterwards.
+#include "bench_join_common.h"
+
+namespace recdb::bench {
+namespace {
+int dummy = (RegisterJoinBenches("Fig8", Which::kMovieLens), 0);
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

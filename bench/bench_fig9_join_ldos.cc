@@ -1,0 +1,11 @@
+// Figure 9 — Join + recommendation query time (LDOS-CoMoDa):
+// (a) one-way join, (b) two-way join, for ItemCosCF / ItemPearCF / SVD.
+#include "bench_join_common.h"
+
+namespace recdb::bench {
+namespace {
+int dummy = (RegisterJoinBenches("Fig9", Which::kLdos), 0);
+}  // namespace
+}  // namespace recdb::bench
+
+BENCHMARK_MAIN();

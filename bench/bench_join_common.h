@@ -1,0 +1,94 @@
+// Shared harness for the join+recommendation figures (Figures 8 and 9):
+// one-way join (recommend ⋈ items filtered by genre) and two-way join
+// (additionally ⋈ users), for ItemCosCF / ItemPearCF / SVD, RecDB vs
+// OnTopDB.
+#pragma once
+
+#include "bench_common.h"
+
+namespace recdb::bench {
+
+inline std::string JoinRecDBSql(BenchEnv& env, RecAlgorithm algo,
+                                int64_t user, bool two_way) {
+  const auto& ds = env.dataset();
+  std::string sql =
+      "SELECT R.uid, M.name, R.ratingval FROM " + ds.ratings_table +
+      " AS R, " + ds.items_table + " AS M";
+  if (two_way) sql += ", " + ds.users_table + " AS U";
+  sql += " RECOMMEND R.iid TO R.uid ON R.ratingval USING " +
+         std::string(RecAlgorithmToString(algo)) +
+         " WHERE R.uid = " + std::to_string(user) +
+         " AND M.iid = R.iid AND M.genre = 'Action'";
+  if (two_way) sql += " AND U.uid = R.uid AND U.age > 0";
+  return sql;
+}
+
+inline std::string JoinOnTopSql(BenchEnv& env, ontop::OnTopEngine* engine,
+                                int64_t user, bool two_way) {
+  const auto& ds = env.dataset();
+  std::string sql = "SELECT P.uid, M.name, P.ratingval FROM " +
+                    engine->predictions_table() + " AS P, " + ds.items_table +
+                    " AS M";
+  if (two_way) sql += ", " + ds.users_table + " AS U";
+  sql += " WHERE P.uid = " + std::to_string(user) +
+         " AND M.iid = P.iid AND M.genre = 'Action'";
+  if (two_way) sql += " AND U.uid = P.uid AND U.age > 0";
+  return sql;
+}
+
+inline void BM_Join_RecDB(benchmark::State& state, Which which) {
+  RecAlgorithm algo = static_cast<RecAlgorithm>(state.range(0));
+  bool two_way = state.range(1) != 0;
+  BenchEnv& env = Env(which);
+  env.GetRecommender(algo);
+  int64_t user = env.SampleUsers(1, 42)[0];
+  std::string sql = JoinRecDBSql(env, algo, user, two_way);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rs = MustExecute(env.db(), sql);
+    rows = rs.NumRows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetLabel(std::string(RecAlgorithmToString(algo)) +
+                 (two_way ? "/two-way" : "/one-way"));
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+inline void BM_Join_OnTopDB(benchmark::State& state, Which which) {
+  RecAlgorithm algo = static_cast<RecAlgorithm>(state.range(0));
+  bool two_way = state.range(1) != 0;
+  BenchEnv& env = Env(which);
+  auto* engine = env.GetOnTop(algo);
+  int64_t user = env.SampleUsers(1, 42)[0];
+  std::string sql = JoinOnTopSql(env, engine, user, two_way);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rs = engine->Execute(sql);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows = rs.value().NumRows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetLabel(std::string(RecAlgorithmToString(algo)) +
+                 (two_way ? "/two-way" : "/one-way"));
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+inline void RegisterJoinBenches(const std::string& fig, Which which) {
+  for (RecAlgorithm a : kFigAlgos) {
+    for (int64_t two_way : {0, 1}) {
+      benchmark::RegisterBenchmark(
+          (fig + "/RecDB").c_str(),
+          [which](benchmark::State& s) { BM_Join_RecDB(s, which); })
+          ->Args({static_cast<int64_t>(a), two_way})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          (fig + "/OnTopDB").c_str(),
+          [which](benchmark::State& s) { BM_Join_OnTopDB(s, which); })
+          ->Args({static_cast<int64_t>(a), two_way})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace recdb::bench

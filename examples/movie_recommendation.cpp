@@ -1,0 +1,113 @@
+// Movie recommendation at MovieLens scale.
+//
+// Loads the synthetic MovieLens-100K-shaped dataset, creates recommenders
+// with three algorithms, and walks through the paper's query repertoire:
+// prediction for specific movies (Query 3), genre-filtered joins
+// (Query 4/5), and an algorithm comparison on the same user — printing the
+// optimizer's plan and the executor's work counters for each.
+//
+// Run: ./build/examples/movie_recommendation
+#include <cstdio>
+
+#include "api/recdb.h"
+#include "datagen/datagen.h"
+
+using recdb::RecDB;
+using recdb::ResultSet;
+
+namespace {
+
+ResultSet Run(RecDB& db, const std::string& sql) {
+  auto r = db.Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n  sql: %s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+void Show(const char* title, const ResultSet& rs) {
+  std::printf("== %s  (%.2f ms, %llu predictions)\n%s\n", title,
+              rs.elapsed_seconds * 1e3,
+              static_cast<unsigned long long>(rs.stats.predictions),
+              rs.ToString(8).c_str());
+}
+
+}  // namespace
+
+int main() {
+  RecDB db;
+
+  std::printf("Loading synthetic MovieLens 100K (943 users x 1682 movies)...\n");
+  auto ds = recdb::datagen::LoadDataset(
+      &db, recdb::datagen::DatasetSpec::MovieLens100K());
+  if (!ds.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %lld ratings\n\n",
+              static_cast<long long>(ds.value().num_ratings));
+
+  // Three recommenders on the same ratings table, one per algorithm.
+  for (const char* algo : {"ItemCosCF", "ItemPearCF", "SVD"}) {
+    auto rs = Run(db, std::string("CREATE RECOMMENDER rec_") + algo +
+                          " ON ml_ratings USERS FROM uid ITEMS FROM iid "
+                          "RATINGS FROM ratingval USING " + algo);
+    std::printf("%s\n", rs.message.c_str());
+  }
+  std::printf("\n");
+
+  // Paper Query 3: predicted ratings for a handful of specific movies.
+  Show("Query 3: predict ratings of movies 840-844 for user 7",
+       Run(db,
+           "SELECT R.iid, R.ratingval FROM ml_ratings AS R "
+           "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+           "WHERE R.uid = 7 AND R.iid IN (840,841,842,843,844)"));
+
+  // Paper Query 4: genre-filtered recommendations with movie names.
+  Show("Query 4: action movies for user 7",
+       Run(db,
+           "SELECT R.uid, M.name, R.ratingval "
+           "FROM ml_ratings AS R, ml_items AS M "
+           "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+           "WHERE R.uid = 7 AND M.iid = R.iid AND M.genre = 'Action' "
+           "ORDER BY R.ratingval DESC LIMIT 5"));
+
+  auto plan = db.Explain(
+      "SELECT R.uid, M.name, R.ratingval "
+      "FROM ml_ratings AS R, ml_items AS M "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 7 AND M.iid = R.iid AND M.genre = 'Action' "
+      "ORDER BY R.ratingval DESC LIMIT 5");
+  std::printf("Query 4 plan (note JoinRecommend):\n%s\n",
+              plan.value_or("?").c_str());
+
+  // Algorithm comparison: same user, three models.
+  for (const char* algo : {"ItemCosCF", "ItemPearCF", "SVD"}) {
+    Show((std::string("Top-5 via ") + algo).c_str(),
+         Run(db, std::string(
+                     "SELECT R.iid, R.ratingval FROM ml_ratings AS R "
+                     "RECOMMEND R.iid TO R.uid ON R.ratingval USING ") +
+                     algo +
+                     " WHERE R.uid = 7 ORDER BY R.ratingval DESC LIMIT 5"));
+  }
+
+  // Pre-computation: materialize user 7 and watch the same query hit the
+  // RecScoreIndex.
+  auto rec = db.GetRecommender("rec_ItemCosCF");
+  if (rec.ok()) {
+    (void)rec.value()->MaterializeUser(7);
+  }
+  auto cached = Run(db,
+                    "SELECT R.iid, R.ratingval FROM ml_ratings AS R "
+                    "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+                    "WHERE R.uid = 7 ORDER BY R.ratingval DESC LIMIT 5");
+  std::printf(
+      "== Same top-5 after materialization: %.3f ms, index hits = %llu, "
+      "predictions = %llu\n",
+      cached.elapsed_seconds * 1e3,
+      static_cast<unsigned long long>(cached.stats.index_hits),
+      static_cast<unsigned long long>(cached.stats.predictions));
+  return 0;
+}

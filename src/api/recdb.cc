@@ -1,0 +1,454 @@
+#include "api/recdb.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "parser/parser.h"
+
+namespace recdb {
+
+RecDB::RecDB(RecDBOptions options)
+    : options_(options), clock_(&default_clock_) {
+  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, &disk_);
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
+RecDB::~RecDB() = default;
+
+Result<ResultSet> RecDB::Execute(const std::string& sql) {
+  RECDB_ASSIGN_OR_RETURN(auto stmts, Parser::Parse(sql));
+  ResultSet last;
+  for (const auto& stmt : stmts) {
+    RECDB_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
+  }
+  return last;
+}
+
+Result<std::string> RecDB::Explain(const std::string& sql) {
+  RECDB_ASSIGN_OR_RETURN(auto stmt, Parser::ParseSingle(sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  Planner planner(catalog_.get(), &registry_, options_.planner);
+  RECDB_ASSIGN_OR_RETURN(
+      auto planned, planner.PlanSelect(static_cast<SelectStatement&>(*stmt)));
+  Optimizer optimizer(options_.planner);
+  RECDB_ASSIGN_OR_RETURN(auto plan, optimizer.Optimize(std::move(planned.plan)));
+  return plan->ToString();
+}
+
+Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(static_cast<const SelectStatement&>(stmt));
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(static_cast<const CreateTableStatement&>(stmt));
+    case StatementKind::kDropTable: {
+      const auto& drop = static_cast<const DropTableStatement&>(stmt);
+      RECDB_RETURN_NOT_OK(catalog_->DropTable(drop.table_name));
+      ResultSet rs;
+      rs.message = "dropped table " + drop.table_name;
+      return rs;
+    }
+    case StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const InsertStatement&>(stmt));
+    case StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const DeleteStatement&>(stmt));
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<const UpdateStatement&>(stmt));
+    case StatementKind::kExplain: {
+      const auto& explain = static_cast<const ExplainStatement&>(stmt);
+      Planner planner(catalog_.get(), &registry_, options_.planner);
+      RECDB_ASSIGN_OR_RETURN(
+          auto planned,
+          planner.PlanSelect(
+              static_cast<const SelectStatement&>(*explain.inner)));
+      Optimizer optimizer(options_.planner);
+      RECDB_ASSIGN_OR_RETURN(auto plan,
+                             optimizer.Optimize(std::move(planned.plan)));
+      ResultSet rs;
+      rs.columns = {"plan"};
+      for (const auto& line : Split(plan->ToString(), '\n')) {
+        if (!line.empty()) rs.rows.push_back(Tuple({Value::String(line)}));
+      }
+      return rs;
+    }
+    case StatementKind::kCreateRecommender:
+      return ExecuteCreateRecommender(
+          static_cast<const CreateRecommenderStatement&>(stmt));
+    case StatementKind::kDropRecommender: {
+      const auto& drop = static_cast<const DropRecommenderStatement&>(stmt);
+      cache_managers_.erase(ToLower(drop.name));
+      RECDB_RETURN_NOT_OK(registry_.Drop(drop.name));
+      ResultSet rs;
+      rs.message = "dropped recommender " + drop.name;
+      return rs;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ResultSet> RecDB::ExecuteSelect(const SelectStatement& stmt) {
+  Stopwatch watch;
+  Planner planner(catalog_.get(), &registry_, options_.planner);
+  RECDB_ASSIGN_OR_RETURN(auto planned, planner.PlanSelect(stmt));
+  Optimizer optimizer(options_.planner);
+  RECDB_ASSIGN_OR_RETURN(auto plan, optimizer.Optimize(std::move(planned.plan)));
+
+  NotifyRecommendQuery(*plan);
+
+  ExecContext ctx;
+  RECDB_ASSIGN_OR_RETURN(auto exec, CreateExecutor(*plan, &ctx));
+  RECDB_RETURN_NOT_OK(exec->Init());
+
+  ResultSet rs;
+  rs.columns = std::move(planned.output_names);
+  rs.plan = plan->ToString();
+  while (true) {
+    RECDB_ASSIGN_OR_RETURN(auto next, exec->Next());
+    if (!next.has_value()) break;
+    rs.rows.push_back(std::move(*next));
+  }
+  rs.stats = ctx.stats;
+  rs.elapsed_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+Result<ResultSet> RecDB::ExecuteCreateTable(const CreateTableStatement& stmt) {
+  std::vector<Column> cols;
+  for (const auto& [name, type_name] : stmt.columns) {
+    RECDB_ASSIGN_OR_RETURN(TypeId type, TypeIdFromName(type_name));
+    cols.emplace_back(name, type);
+  }
+  RECDB_RETURN_NOT_OK(
+      catalog_->CreateTable(stmt.table_name, Schema(std::move(cols)))
+          .status());
+  ResultSet rs;
+  rs.message = "created table " + stmt.table_name;
+  return rs;
+}
+
+Result<ResultSet> RecDB::ExecuteInsert(const InsertStatement& stmt) {
+  RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema;
+  ExecSchema empty_schema;
+  Tuple empty_tuple;
+  size_t inserted = 0;
+  for (const auto& row : stmt.rows) {
+    if (row.size() != schema.NumColumns()) {
+      return Status::InvalidArgument(StringFormat(
+          "INSERT row has %zu values, table %s has %zu columns", row.size(),
+          table->name.c_str(), schema.NumColumns()));
+    }
+    std::vector<Value> vals;
+    vals.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      RECDB_ASSIGN_OR_RETURN(auto bound, BindExpr(*row[i], empty_schema));
+      RECDB_ASSIGN_OR_RETURN(Value v, bound->Eval(empty_tuple));
+      RECDB_ASSIGN_OR_RETURN(v, v.CastTo(schema.ColumnAt(i).type));
+      vals.push_back(std::move(v));
+    }
+    Tuple tuple(std::move(vals));
+    RECDB_RETURN_NOT_OK(table->heap->Insert(tuple).status());
+    RECDB_RETURN_NOT_OK(NotifyInsert(table->name, schema, tuple));
+    ++inserted;
+  }
+  ResultSet rs;
+  rs.message = StringFormat("inserted %zu rows into %s", inserted,
+                            table->name.c_str());
+  return rs;
+}
+
+Result<Recommender*> RecDB::CreateRecommender(RecommenderConfig config) {
+  RECDB_ASSIGN_OR_RETURN(TableInfo * table,
+                         catalog_->GetTable(config.ratings_table));
+  const Schema& schema = table->schema;
+  RECDB_ASSIGN_OR_RETURN(size_t user_idx, schema.IndexOf(config.user_col));
+  RECDB_ASSIGN_OR_RETURN(size_t item_idx, schema.IndexOf(config.item_col));
+  RECDB_ASSIGN_OR_RETURN(size_t rating_idx,
+                         schema.IndexOf(config.rating_col));
+  config.ratings_table = table->name;  // canonical spelling
+  std::string name = config.name;
+  RECDB_ASSIGN_OR_RETURN(Recommender * rec, registry_.Create(std::move(config)));
+
+  // Load the ratings table into the recommender's live matrix.
+  auto it = table->heap->Begin(schema.NumColumns());
+  while (true) {
+    auto next = it.Next();
+    if (!next.ok()) {
+      registry_.Drop(name);
+      return next.status();
+    }
+    if (!next.value().has_value()) break;
+    const Tuple& t = next.value()->second;
+    const Value& u = t.At(user_idx);
+    const Value& i = t.At(item_idx);
+    const Value& r = t.At(rating_idx);
+    if (u.is_null() || i.is_null() || r.is_null()) continue;
+    if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64 ||
+        !r.is_numeric()) {
+      registry_.Drop(name);
+      return Status::InvalidArgument(
+          "ratings table columns must be INT user id, INT item id, "
+          "numeric rating");
+    }
+    rec->AddRating(u.AsInt(), i.AsInt(), r.AsNumeric());
+  }
+
+  auto build = rec->Build();
+  if (!build.ok()) {
+    registry_.Drop(name);
+    return build.status();
+  }
+  return rec;
+}
+
+Result<ResultSet> RecDB::ExecuteCreateRecommender(
+    const CreateRecommenderStatement& stmt) {
+  RecommenderConfig config;
+  config.name = stmt.name;
+  config.ratings_table = stmt.ratings_table;
+  config.user_col = stmt.user_col;
+  config.item_col = stmt.item_col;
+  config.rating_col = stmt.rating_col;
+  config.rebuild_threshold = options_.rebuild_threshold;
+  config.sim_opts = options_.sim_opts;
+  config.svd_opts = options_.svd_opts;
+  if (stmt.algorithm.has_value()) {
+    RECDB_ASSIGN_OR_RETURN(config.algorithm,
+                           RecAlgorithmFromString(*stmt.algorithm));
+  }
+  Stopwatch watch;
+  RECDB_ASSIGN_OR_RETURN(Recommender * rec,
+                         CreateRecommender(std::move(config)));
+  ResultSet rs;
+  rs.elapsed_seconds = watch.ElapsedSeconds();
+  rs.message = StringFormat(
+      "created recommender %s (%s) on %s: %zu ratings, built in %.3fs",
+      rec->name().c_str(), RecAlgorithmToString(rec->algorithm()),
+      rec->config().ratings_table.c_str(), rec->base_size(),
+      rs.elapsed_seconds);
+  return rs;
+}
+
+Result<std::vector<std::pair<Rid, Tuple>>> RecDB::CollectMatching(
+    TableInfo* table, const Expr* where) {
+  BoundExprPtr pred;
+  if (where != nullptr) {
+    ExecSchema schema;
+    for (const auto& col : table->schema.columns()) {
+      schema.Add(ExecColumn{table->name, col.name, col.type});
+    }
+    RECDB_ASSIGN_OR_RETURN(pred, BindExpr(*where, schema));
+  }
+  std::vector<std::pair<Rid, Tuple>> out;
+  auto it = table->heap->Begin(table->schema.NumColumns());
+  while (true) {
+    RECDB_ASSIGN_OR_RETURN(auto next, it.Next());
+    if (!next.has_value()) break;
+    if (pred != nullptr) {
+      RECDB_ASSIGN_OR_RETURN(bool pass, pred->EvalPredicate(next->second));
+      if (!pass) continue;
+    }
+    out.push_back(std::move(*next));
+  }
+  return out;
+}
+
+Result<ResultSet> RecDB::ExecuteDelete(const DeleteStatement& stmt) {
+  RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table_name));
+  RECDB_ASSIGN_OR_RETURN(auto victims,
+                         CollectMatching(table, stmt.where.get()));
+  for (const auto& [rid, tuple] : victims) {
+    RECDB_RETURN_NOT_OK(table->heap->Delete(rid));
+    RECDB_RETURN_NOT_OK(NotifyDelete(table->name, table->schema, tuple));
+  }
+  ResultSet rs;
+  rs.message = StringFormat("deleted %zu rows from %s", victims.size(),
+                            table->name.c_str());
+  return rs;
+}
+
+Result<ResultSet> RecDB::ExecuteUpdate(const UpdateStatement& stmt) {
+  RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema;
+  ExecSchema exec_schema;
+  for (const auto& col : schema.columns()) {
+    exec_schema.Add(ExecColumn{table->name, col.name, col.type});
+  }
+  // Bind assignment targets and value expressions (values may reference the
+  // row being updated, e.g. SET ratingval = ratingval + 1).
+  std::vector<std::pair<size_t, BoundExprPtr>> assigns;
+  for (const auto& [col, expr] : stmt.assignments) {
+    RECDB_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(col));
+    RECDB_ASSIGN_OR_RETURN(auto bound, BindExpr(*expr, exec_schema));
+    assigns.emplace_back(idx, std::move(bound));
+  }
+  RECDB_ASSIGN_OR_RETURN(auto victims,
+                         CollectMatching(table, stmt.where.get()));
+  for (auto& [rid, tuple] : victims) {
+    Tuple updated = tuple;
+    for (const auto& [idx, expr] : assigns) {
+      RECDB_ASSIGN_OR_RETURN(Value v, expr->Eval(tuple));
+      RECDB_ASSIGN_OR_RETURN(v, v.CastTo(schema.ColumnAt(idx).type));
+      updated.values()[idx] = std::move(v);
+    }
+    RECDB_RETURN_NOT_OK(table->heap->Update(rid, updated).status());
+    // For ratings sources, the overwrite semantics of AddRating handle both
+    // a changed rating value and changed user/item ids via delete + insert.
+    RECDB_RETURN_NOT_OK(NotifyDelete(table->name, schema, tuple));
+    RECDB_RETURN_NOT_OK(NotifyInsert(table->name, schema, updated));
+  }
+  ResultSet rs;
+  rs.message = StringFormat("updated %zu rows in %s", victims.size(),
+                            table->name.c_str());
+  return rs;
+}
+
+Status RecDB::NotifyDelete(const std::string& table, const Schema& schema,
+                           const Tuple& tuple) {
+  for (Recommender* rec : registry_.FindAllOnTable(table)) {
+    const RecommenderConfig& cfg = rec->config();
+    auto u_idx = schema.IndexOf(cfg.user_col);
+    auto i_idx = schema.IndexOf(cfg.item_col);
+    if (!u_idx.ok() || !i_idx.ok()) continue;
+    const Value& u = tuple.At(u_idx.value());
+    const Value& i = tuple.At(i_idx.value());
+    if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64) continue;
+    rec->RemoveRating(u.AsInt(), i.AsInt());
+    auto cm = cache_managers_.find(ToLower(rec->name()));
+    if (cm != cache_managers_.end()) {
+      cm->second->RecordUpdate(i.AsInt());
+    }
+    if (options_.auto_maintain) {
+      RECDB_RETURN_NOT_OK(rec->MaintainIfNeeded().status());
+    }
+  }
+  return Status::OK();
+}
+
+Status RecDB::NotifyInsert(const std::string& table, const Schema& schema,
+                           const Tuple& tuple) {
+  for (Recommender* rec : registry_.FindAllOnTable(table)) {
+    const RecommenderConfig& cfg = rec->config();
+    auto u_idx = schema.IndexOf(cfg.user_col);
+    auto i_idx = schema.IndexOf(cfg.item_col);
+    auto r_idx = schema.IndexOf(cfg.rating_col);
+    if (!u_idx.ok() || !i_idx.ok() || !r_idx.ok()) continue;
+    const Value& u = tuple.At(u_idx.value());
+    const Value& i = tuple.At(i_idx.value());
+    const Value& r = tuple.At(r_idx.value());
+    if (u.is_null() || i.is_null() || r.is_null()) continue;
+    if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64 ||
+        !r.is_numeric()) {
+      continue;
+    }
+    rec->AddRating(u.AsInt(), i.AsInt(), r.AsNumeric());
+    auto cm = cache_managers_.find(ToLower(rec->name()));
+    if (cm != cache_managers_.end()) {
+      cm->second->RecordUpdate(i.AsInt());
+    }
+    if (options_.auto_maintain) {
+      RECDB_RETURN_NOT_OK(rec->MaintainIfNeeded().status());
+    }
+  }
+  return Status::OK();
+}
+
+void RecDB::NotifyRecommendQuery(const PlanNode& plan) {
+  const std::vector<int64_t>* user_ids = nullptr;
+  Recommender* rec = nullptr;
+  switch (plan.type) {
+    case PlanNodeType::kFilterRecommend: {
+      const auto& node = static_cast<const RecommendPlan&>(plan);
+      if (node.user_ids.has_value()) {
+        user_ids = &*node.user_ids;
+        rec = node.rec;
+      }
+      break;
+    }
+    case PlanNodeType::kJoinRecommend: {
+      const auto& node = static_cast<const JoinRecommendPlan&>(plan);
+      user_ids = &node.user_ids;
+      rec = node.rec;
+      break;
+    }
+    case PlanNodeType::kIndexRecommend: {
+      const auto& node = static_cast<const IndexRecommendPlan&>(plan);
+      user_ids = &node.user_ids;
+      rec = node.rec;
+      break;
+    }
+    default:
+      break;
+  }
+  if (rec != nullptr && user_ids != nullptr) {
+    auto cm = cache_managers_.find(ToLower(rec->name()));
+    if (cm != cache_managers_.end()) {
+      for (int64_t uid : *user_ids) cm->second->RecordQuery(uid);
+    }
+  }
+  for (const auto& child : plan.children) NotifyRecommendQuery(*child);
+}
+
+Result<CacheManager*> RecDB::GetCacheManager(const std::string& recommender,
+                                             double hotness_threshold) {
+  std::string key = ToLower(recommender);
+  auto it = cache_managers_.find(key);
+  if (it != cache_managers_.end()) return it->second.get();
+  RECDB_ASSIGN_OR_RETURN(Recommender * rec, registry_.Get(recommender));
+  auto mgr =
+      std::make_unique<CacheManager>(rec, clock_, hotness_threshold);
+  CacheManager* raw = mgr.get();
+  cache_managers_[key] = std::move(mgr);
+  return raw;
+}
+
+Status RecDB::BulkInsert(const std::string& table,
+                         const std::vector<std::vector<Value>>& rows) {
+  RECDB_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
+  const Schema& schema = info->schema;
+  for (const auto& row : rows) {
+    if (row.size() != schema.NumColumns()) {
+      return Status::InvalidArgument("bulk row width mismatch");
+    }
+    std::vector<Value> vals;
+    vals.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      RECDB_ASSIGN_OR_RETURN(Value v, row[i].CastTo(schema.ColumnAt(i).type));
+      vals.push_back(std::move(v));
+    }
+    Tuple tuple(std::move(vals));
+    RECDB_RETURN_NOT_OK(info->heap->Insert(tuple).status());
+    RECDB_RETURN_NOT_OK(NotifyInsert(info->name, schema, tuple));
+  }
+  return Status::OK();
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  out += Join(columns, " | ");
+  out += "\n";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += "-+-";
+    out += std::string(columns[i].size(), '-');
+  }
+  out += "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      out += StringFormat("... (%zu rows total)\n", rows.size());
+      break;
+    }
+    std::vector<std::string> cells;
+    for (const auto& v : row.values()) cells.push_back(v.ToString());
+    out += Join(cells, " | ");
+    out += "\n";
+  }
+  if (!message.empty()) {
+    out += message;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace recdb

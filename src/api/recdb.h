@@ -1,0 +1,141 @@
+// RecDB: the embedded database facade — the library's main entry point.
+//
+//   recdb::RecDB db;
+//   db.Execute("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE)");
+//   db.Execute("INSERT INTO Ratings VALUES (1, 1, 4.5), (2, 1, 3.0)");
+//   db.Execute("CREATE RECOMMENDER GeneralRec ON Ratings USERS FROM uid "
+//              "ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF");
+//   auto rs = db.Execute("SELECT R.iid, R.ratingval FROM Ratings AS R "
+//                        "RECOMMEND R.iid TO R.uid ON R.ratingval "
+//                        "USING ItemCosCF WHERE R.uid = 1 "
+//                        "ORDER BY R.ratingval DESC LIMIT 10");
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/recommender_registry.h"
+#include "cache/cache_manager.h"
+#include "common/status.h"
+#include "execution/executor.h"
+#include "planner/optimizer.h"
+#include "planner/planner.h"
+#include "storage/catalog.h"
+
+namespace recdb {
+
+struct RecDBOptions {
+  /// Buffer-pool frames (pages of kPageSize bytes).
+  size_t buffer_pool_pages = 4096;
+  /// Planner / optimizer rule toggles.
+  PlannerOptions planner;
+  /// Maintenance threshold (the paper's N%) used for new recommenders.
+  double rebuild_threshold = 0.10;
+  /// Model hyperparameters for new recommenders.
+  SimilarityOptions sim_opts;
+  SvdOptions svd_opts;
+  /// Check the rebuild threshold after every ratings insert.
+  bool auto_maintain = false;
+};
+
+/// Result of one executed statement.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;
+  /// For DDL/DML statements: a human-readable confirmation.
+  std::string message;
+  /// Optimized physical plan (SELECT only).
+  std::string plan;
+  ExecStats stats;
+  double elapsed_seconds = 0;
+
+  size_t NumRows() const { return rows.size(); }
+  const Value& At(size_t row, size_t col) const { return rows[row].At(col); }
+  /// Tabular rendering (up to `max_rows` rows).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+class RecDB {
+ public:
+  explicit RecDB(RecDBOptions options = {});
+  ~RecDB();
+
+  RecDB(const RecDB&) = delete;
+  RecDB& operator=(const RecDB&) = delete;
+
+  /// Parse and execute a script; returns the last statement's result.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// Plan a SELECT without executing (EXPLAIN).
+  Result<std::string> Explain(const std::string& sql);
+
+  // --- direct access for tools, tests and benchmarks ---
+  Catalog* catalog() { return catalog_.get(); }
+  RecommenderRegistry* registry() { return &registry_; }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk() { return &disk_; }
+  PlannerOptions* mutable_planner_options() { return &options_.planner; }
+  const RecDBOptions& options() const { return options_; }
+
+  /// Recommender by name.
+  Result<Recommender*> GetRecommender(const std::string& name) {
+    return registry_.Get(name);
+  }
+
+  /// Programmatic CREATE RECOMMENDER: registers the recommender, loads the
+  /// configured ratings table into it, and trains the model. The SQL path
+  /// uses this too; call it directly to set non-default hyperparameters.
+  Result<Recommender*> CreateRecommender(RecommenderConfig config);
+
+  /// Cache manager for a recommender (created lazily, shared clock).
+  Result<CacheManager*> GetCacheManager(const std::string& recommender,
+                                        double hotness_threshold = 0.5);
+
+  /// The clock used by cache managers; swap in a ManualClock for
+  /// deterministic experiments (must outlive the RecDB).
+  void set_clock(const Clock* clock) { clock_ = clock; }
+
+  /// Fast bulk-insert path used by data loaders: appends tuples directly
+  /// (values must already match the table schema) and feeds recommenders.
+  Status BulkInsert(const std::string& table,
+                    const std::vector<std::vector<Value>>& rows);
+
+ private:
+  Result<ResultSet> ExecuteStatement(const Statement& stmt);
+  Result<ResultSet> ExecuteSelect(const SelectStatement& stmt);
+  Result<ResultSet> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStatement& stmt);
+  Result<ResultSet> ExecuteCreateRecommender(
+      const CreateRecommenderStatement& stmt);
+  Result<ResultSet> ExecuteDelete(const DeleteStatement& stmt);
+  Result<ResultSet> ExecuteUpdate(const UpdateStatement& stmt);
+
+  /// Rows of a table matching an optional WHERE (shared by DELETE/UPDATE).
+  Result<std::vector<std::pair<Rid, Tuple>>> CollectMatching(
+      TableInfo* table, const Expr* where);
+
+  /// Feed one inserted ratings row to every recommender on `table` and to
+  /// their cache managers' item histograms.
+  Status NotifyInsert(const std::string& table, const Schema& schema,
+                      const Tuple& tuple);
+
+  /// Reflect a deleted ratings row in every recommender on `table`.
+  Status NotifyDelete(const std::string& table, const Schema& schema,
+                      const Tuple& tuple);
+
+  /// Record query demand (user histogram) for a RECOMMEND query.
+  void NotifyRecommendQuery(const PlanNode& plan);
+
+  RecDBOptions options_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  RecommenderRegistry registry_;
+  SystemClock default_clock_;
+  const Clock* clock_;
+  std::unordered_map<std::string, std::unique_ptr<CacheManager>>
+      cache_managers_;
+};
+
+}  // namespace recdb

@@ -1,0 +1,73 @@
+#include "api/recommender_registry.h"
+
+#include "common/string_util.h"
+
+namespace recdb {
+
+Result<Recommender*> RecommenderRegistry::Create(RecommenderConfig config) {
+  std::string key = ToLower(config.name);
+  if (recs_.count(key) > 0) {
+    return Status::AlreadyExists("recommender " + config.name +
+                                 " already exists");
+  }
+  auto rec = std::make_unique<Recommender>(std::move(config));
+  Recommender* raw = rec.get();
+  recs_[key] = std::move(rec);
+  return raw;
+}
+
+Result<Recommender*> RecommenderRegistry::Get(const std::string& name) const {
+  auto it = recs_.find(ToLower(name));
+  if (it == recs_.end()) {
+    return Status::NotFound("no recommender named " + name);
+  }
+  return it->second.get();
+}
+
+Result<Recommender*> RecommenderRegistry::Find(
+    const std::string& ratings_table, RecAlgorithm algorithm) const {
+  for (const auto& [key, rec] : recs_) {
+    (void)key;
+    if (EqualsIgnoreCase(rec->config().ratings_table, ratings_table) &&
+        rec->algorithm() == algorithm) {
+      return rec.get();
+    }
+  }
+  return Status::NotFound(
+      std::string("no ") + RecAlgorithmToString(algorithm) +
+      " recommender exists on table " + ratings_table +
+      "; CREATE RECOMMENDER first");
+}
+
+std::vector<Recommender*> RecommenderRegistry::FindAllOnTable(
+    const std::string& ratings_table) const {
+  std::vector<Recommender*> out;
+  for (const auto& [key, rec] : recs_) {
+    (void)key;
+    if (EqualsIgnoreCase(rec->config().ratings_table, ratings_table)) {
+      out.push_back(rec.get());
+    }
+  }
+  return out;
+}
+
+Status RecommenderRegistry::Drop(const std::string& name) {
+  auto it = recs_.find(ToLower(name));
+  if (it == recs_.end()) {
+    return Status::NotFound("no recommender named " + name);
+  }
+  recs_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> RecommenderRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(recs_.size());
+  for (const auto& [key, rec] : recs_) {
+    (void)key;
+    out.push_back(rec->name());
+  }
+  return out;
+}
+
+}  // namespace recdb

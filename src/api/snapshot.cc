@@ -1,0 +1,200 @@
+#include "api/snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace recdb {
+
+namespace {
+
+constexpr char kMagic[] = "RECDBSNAP1";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  template <typename T>
+  void Raw(T v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  void Str(const std::string& s) {
+    Raw(static_cast<uint32_t>(s.size()));
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  void Bytes(const std::vector<uint8_t>& b) {
+    Raw(static_cast<uint32_t>(b.size()));
+    out_.write(reinterpret_cast<const char*>(b.data()),
+               static_cast<std::streamsize>(b.size()));
+  }
+  void Magic() { out_.write(kMagic, kMagicLen); }
+
+ private:
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool open() const { return static_cast<bool>(in_); }
+
+  template <typename T>
+  Result<T> Raw() {
+    T v;
+    if (!in_.read(reinterpret_cast<char*>(&v), sizeof(T))) {
+      return Status::IOError("snapshot truncated");
+    }
+    return v;
+  }
+  Result<std::string> Str() {
+    RECDB_ASSIGN_OR_RETURN(uint32_t n, Raw<uint32_t>());
+    if (n > (1u << 20)) return Status::IOError("snapshot string too large");
+    std::string s(n, '\0');
+    if (!in_.read(s.data(), n)) return Status::IOError("snapshot truncated");
+    return s;
+  }
+  Result<std::vector<uint8_t>> Bytes() {
+    RECDB_ASSIGN_OR_RETURN(uint32_t n, Raw<uint32_t>());
+    if (n > (64u << 20)) return Status::IOError("snapshot blob too large");
+    std::vector<uint8_t> b(n);
+    if (!in_.read(reinterpret_cast<char*>(b.data()), n)) {
+      return Status::IOError("snapshot truncated");
+    }
+    return b;
+  }
+  Status Magic() {
+    char buf[kMagicLen];
+    if (!in_.read(buf, kMagicLen) ||
+        std::string(buf, kMagicLen) != kMagic) {
+      return Status::IOError("not a recdb snapshot");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace
+
+Status SaveDatabase(RecDB* db, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) return Status::IOError("cannot open " + path + " for write");
+  w.Magic();
+
+  auto table_names = db->catalog()->TableNames();
+  w.Raw(static_cast<uint32_t>(table_names.size()));
+  for (const auto& name : table_names) {
+    RECDB_ASSIGN_OR_RETURN(TableInfo * table, db->catalog()->GetTable(name));
+    w.Str(table->name);
+    w.Raw(static_cast<uint32_t>(table->schema.NumColumns()));
+    for (const auto& col : table->schema.columns()) {
+      w.Str(col.name);
+      w.Raw(static_cast<uint8_t>(col.type));
+    }
+    w.Raw(static_cast<uint64_t>(table->heap->num_tuples()));
+    auto it = table->heap->Begin(table->schema.NumColumns());
+    std::vector<uint8_t> bytes;
+    while (true) {
+      RECDB_ASSIGN_OR_RETURN(auto next, it.Next());
+      if (!next.has_value()) break;
+      bytes.clear();
+      next->second.SerializeTo(&bytes);
+      w.Bytes(bytes);
+    }
+  }
+
+  auto rec_names = db->registry()->Names();
+  w.Raw(static_cast<uint32_t>(rec_names.size()));
+  for (const auto& name : rec_names) {
+    RECDB_ASSIGN_OR_RETURN(Recommender * rec, db->registry()->Get(name));
+    const RecommenderConfig& cfg = rec->config();
+    w.Str(cfg.name);
+    w.Str(cfg.ratings_table);
+    w.Str(cfg.user_col);
+    w.Str(cfg.item_col);
+    w.Str(cfg.rating_col);
+    w.Raw(static_cast<uint8_t>(cfg.algorithm));
+    w.Raw(cfg.rebuild_threshold);
+    w.Raw(cfg.sim_opts.top_k);
+    w.Raw(cfg.sim_opts.min_overlap);
+    w.Raw(cfg.svd_opts.num_factors);
+    w.Raw(cfg.svd_opts.num_epochs);
+    w.Raw(cfg.svd_opts.learning_rate);
+    w.Raw(cfg.svd_opts.regularization);
+    w.Raw(cfg.svd_opts.seed);
+    w.Raw(static_cast<uint8_t>(cfg.svd_opts.use_biases ? 1 : 0));
+  }
+  if (!w.ok()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RecDB>> LoadDatabase(const std::string& path,
+                                            RecDBOptions options) {
+  Reader r(path);
+  if (!r.open()) return Status::IOError("cannot open " + path);
+  RECDB_RETURN_NOT_OK(r.Magic());
+
+  auto db = std::make_unique<RecDB>(options);
+
+  RECDB_ASSIGN_OR_RETURN(uint32_t num_tables, r.Raw<uint32_t>());
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    RECDB_ASSIGN_OR_RETURN(std::string name, r.Str());
+    RECDB_ASSIGN_OR_RETURN(uint32_t ncols, r.Raw<uint32_t>());
+    std::vector<Column> cols;
+    for (uint32_t c = 0; c < ncols; ++c) {
+      RECDB_ASSIGN_OR_RETURN(std::string col_name, r.Str());
+      RECDB_ASSIGN_OR_RETURN(uint8_t type, r.Raw<uint8_t>());
+      if (type > static_cast<uint8_t>(TypeId::kGeometry)) {
+        return Status::IOError("snapshot has unknown column type");
+      }
+      cols.emplace_back(std::move(col_name), static_cast<TypeId>(type));
+    }
+    RECDB_ASSIGN_OR_RETURN(
+        TableInfo * table,
+        db->catalog()->CreateTable(name, Schema(std::move(cols))));
+    RECDB_ASSIGN_OR_RETURN(uint64_t nrows, r.Raw<uint64_t>());
+    for (uint64_t row = 0; row < nrows; ++row) {
+      RECDB_ASSIGN_OR_RETURN(auto bytes, r.Bytes());
+      RECDB_ASSIGN_OR_RETURN(
+          Tuple tuple,
+          Tuple::DeserializeFrom(bytes.data(), bytes.size(),
+                                 table->schema.NumColumns()));
+      RECDB_RETURN_NOT_OK(table->heap->Insert(tuple).status());
+    }
+  }
+
+  RECDB_ASSIGN_OR_RETURN(uint32_t num_recs, r.Raw<uint32_t>());
+  for (uint32_t i = 0; i < num_recs; ++i) {
+    RecommenderConfig cfg;
+    RECDB_ASSIGN_OR_RETURN(cfg.name, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.ratings_table, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.user_col, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.item_col, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.rating_col, r.Str());
+    RECDB_ASSIGN_OR_RETURN(uint8_t algo, r.Raw<uint8_t>());
+    if (algo > static_cast<uint8_t>(RecAlgorithm::kSVD)) {
+      return Status::IOError("snapshot has unknown algorithm");
+    }
+    cfg.algorithm = static_cast<RecAlgorithm>(algo);
+    RECDB_ASSIGN_OR_RETURN(cfg.rebuild_threshold, r.Raw<double>());
+    RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.top_k, r.Raw<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.min_overlap, r.Raw<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_factors, r.Raw<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_epochs, r.Raw<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.learning_rate, r.Raw<double>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.regularization, r.Raw<double>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.seed, r.Raw<uint64_t>());
+    RECDB_ASSIGN_OR_RETURN(uint8_t biases, r.Raw<uint8_t>());
+    cfg.svd_opts.use_biases = biases != 0;
+    RECDB_RETURN_NOT_OK(db->CreateRecommender(std::move(cfg)).status());
+  }
+  return db;
+}
+
+}  // namespace recdb

@@ -1,0 +1,34 @@
+// Database snapshots: save a RecDB instance to a single file and load it
+// back — tables with all rows, and every recommender's configuration.
+//
+// Models are retrained on load rather than serialized: training is
+// deterministic (fixed seeds), so a reloaded database answers queries
+// identically, and the format stays independent of model internals.
+//
+// Format (little-endian binary):
+//   magic "RECDBSNAP1"
+//   u32 table count
+//     per table: str name; u32 col count; per col: str name, u8 type;
+//                u64 row count; per row: u32 byte size, serialized tuple
+//   u32 recommender count
+//     per recommender: str name, str ratings_table, str user/item/rating
+//                      cols, u8 algorithm, f64 rebuild_threshold,
+//                      i32 sim.top_k, i32 sim.min_overlap,
+//                      i32 svd.factors, i32 svd.epochs, f64 svd.lr,
+//                      f64 svd.lambda, u64 svd.seed, u8 svd.use_biases
+#pragma once
+
+#include <string>
+
+#include "api/recdb.h"
+
+namespace recdb {
+
+/// Write the database (tables + recommender configs) to `path`.
+Status SaveDatabase(RecDB* db, const std::string& path);
+
+/// Load a snapshot into a fresh RecDB (recommender models are retrained).
+Result<std::unique_ptr<RecDB>> LoadDatabase(const std::string& path,
+                                            RecDBOptions options = {});
+
+}  // namespace recdb

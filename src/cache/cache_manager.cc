@@ -1,0 +1,86 @@
+#include "cache/cache_manager.h"
+
+#include <algorithm>
+
+namespace recdb {
+
+void CacheManager::RecordQuery(int64_t user_id) {
+  auto& s = users_[user_id];
+  ++s.query_count;
+  s.last_query_ts = clock_->Now();
+}
+
+void CacheManager::RecordUpdate(int64_t item_id) {
+  auto& s = items_[item_id];
+  ++s.update_count;
+  s.last_update_ts = clock_->Now();
+}
+
+const UserStats* CacheManager::GetUserStats(int64_t user_id) const {
+  auto it = users_.find(user_id);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+const ItemStats* CacheManager::GetItemStats(int64_t item_id) const {
+  auto it = items_.find(item_id);
+  return it == items_.end() ? nullptr : &it->second;
+}
+
+double CacheManager::Hotness(int64_t user_id, int64_t item_id) const {
+  if (max_demand_ <= 0 || max_consumption_ <= 0) return 0;
+  const UserStats* u = GetUserStats(user_id);
+  const ItemStats* i = GetItemStats(item_id);
+  if (u == nullptr || i == nullptr) return 0;
+  return (u->demand_rate / max_demand_) *
+         (i->consumption_rate / max_consumption_);
+}
+
+Result<CacheDecision> CacheManager::Run() {
+  if (rec_->model() == nullptr) {
+    return Status::ExecutionError(
+        "cache manager requires an initialized recommender");
+  }
+  const double now = clock_->Now();
+  const double elapsed = std::max(now - init_ts_, 1e-9);
+
+  // STEP 1: refresh rates for users/items active since the last run
+  // (U' and I' in Algorithm 4), and maintain the maxima.
+  std::vector<int64_t> active_users, active_items;
+  for (auto& [uid, s] : users_) {
+    if (s.last_query_ts >= last_run_ts_) {
+      s.demand_rate = static_cast<double>(s.query_count) / elapsed;
+      active_users.push_back(uid);
+    }
+    max_demand_ = std::max(max_demand_, s.demand_rate);
+  }
+  for (auto& [iid, s] : items_) {
+    if (s.last_update_ts >= last_run_ts_) {
+      s.consumption_rate = static_cast<double>(s.update_count) / elapsed;
+      active_items.push_back(iid);
+    }
+    max_consumption_ = std::max(max_consumption_, s.consumption_rate);
+  }
+  last_run_ts_ = now;
+
+  // STEP 2: hotness decision for every (active user, active item) pair.
+  CacheDecision decision;
+  const RecModel* model = rec_->model();
+  const RatingMatrix& snapshot = model->ratings();
+  RecScoreIndex* index = rec_->score_index();
+  for (int64_t uid : active_users) {
+    for (int64_t iid : active_items) {
+      if (snapshot.Get(uid, iid).has_value()) continue;  // seen items skip
+      double hot = Hotness(uid, iid);
+      if (hot >= threshold_) {
+        index->Put(uid, iid, model->Predict(uid, iid));
+        decision.admitted.emplace_back(uid, iid);
+      } else if (index->GetScore(uid, iid).has_value()) {
+        index->Erase(uid, iid);
+        decision.evicted.emplace_back(uid, iid);
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace recdb

@@ -1,0 +1,84 @@
+// CacheManager: the paper's recommendation materialization manager
+// (Section IV-D, Algorithm 4).
+//
+// Tracks per-user demand (query counts) and per-item consumption (rating
+// update counts), derives normalized rates, and on each Run() decides which
+// (user, item) pairs to admit into / evict from the RecScoreIndex using the
+// hotness ratio
+//     Hot(u,i) = (D_u / D_max) * (P_i / P_max)
+// against HOTNESS-THRESHOLD. Threshold 0 => full materialization;
+// threshold 1 (or above any observed hotness) => no materialization.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "recommender/recommender.h"
+
+namespace recdb {
+
+struct UserStats {
+  uint64_t query_count = 0;   // QC_u
+  double last_query_ts = 0;   // TS_u
+  double demand_rate = 0;     // D_u
+};
+
+struct ItemStats {
+  uint64_t update_count = 0;  // UC_i
+  double last_update_ts = 0;  // TS_i
+  double consumption_rate = 0;  // P_i
+};
+
+struct CacheDecision {
+  std::vector<std::pair<int64_t, int64_t>> admitted;  // (user, item)
+  std::vector<std::pair<int64_t, int64_t>> evicted;
+};
+
+class CacheManager {
+ public:
+  /// `clock` must outlive the manager. Does not own the recommender.
+  CacheManager(Recommender* rec, const Clock* clock,
+               double hotness_threshold = 0.5)
+      : rec_(rec), clock_(clock), threshold_(hotness_threshold),
+        init_ts_(clock->Now()), last_run_ts_(clock->Now()) {}
+
+  /// A user issued a recommendation query (updates QC_u, TS_u).
+  void RecordQuery(int64_t user_id);
+
+  /// A rating was inserted for an item (updates UC_i, TS_i).
+  void RecordUpdate(int64_t item_id);
+
+  /// Algorithm 4: refresh rates for users/items touched since the last run,
+  /// then admit/evict (user, item) pairs in the recommender's RecScoreIndex.
+  /// Admitted pairs get their score computed through the model and inserted;
+  /// evicted pairs are batch-deleted. Returns what changed.
+  Result<CacheDecision> Run();
+
+  /// Inspection (tests reproduce the paper's Table I worked example).
+  const UserStats* GetUserStats(int64_t user_id) const;
+  const ItemStats* GetItemStats(int64_t item_id) const;
+  double max_demand() const { return max_demand_; }
+  double max_consumption() const { return max_consumption_; }
+  double hotness_threshold() const { return threshold_; }
+  void set_hotness_threshold(double t) { threshold_ = t; }
+
+  /// Hotness ratio of a pair under current statistics (0 when rates are
+  /// unknown or maxima are zero).
+  double Hotness(int64_t user_id, int64_t item_id) const;
+
+ private:
+  Recommender* rec_;
+  const Clock* clock_;
+  double threshold_;
+  double init_ts_;      // TS_init
+  double last_run_ts_;  // TS_mat: last cache-manager invocation
+  std::unordered_map<int64_t, UserStats> users_;
+  std::unordered_map<int64_t, ItemStats> items_;
+  double max_demand_ = 0;       // D_MAX
+  double max_consumption_ = 0;  // P_MAX
+};
+
+}  // namespace recdb

@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace recdb {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  RECDB_DCHECK(k <= n);
+  // Floyd's algorithm for k << n; fall back to shuffle for dense draws.
+  if (k * 3 >= n) {
+    std::vector<int64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    std::shuffle(all.begin(), all.end(), gen_);
+    all.resize(k);
+    return all;
+  }
+  std::vector<int64_t> out;
+  out.reserve(k);
+  std::vector<bool> seen;  // sparse set via sorted vector would also work
+  seen.resize(n, false);
+  for (int64_t j = n - k; j < n; ++j) {
+    int64_t t = UniformInt(0, j);
+    if (seen[t]) t = j;
+    seen[t] = true;
+    out.push_back(t);
+  }
+  std::shuffle(out.begin(), out.end(), gen_);
+  return out;
+}
+
+ZipfSampler::ZipfSampler(int64_t n, double s) : n_(n) {
+  RECDB_DCHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+int64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return it - cdf_.begin();
+}
+
+}  // namespace recdb

@@ -1,0 +1,66 @@
+// Seeded random-number utilities used by the data generators and tests.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace recdb {
+
+/// Thin wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// Pick k distinct values from [0, n) (k <= n). Order is random.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} via inverse-CDF on precomputed weights.
+///
+/// Used to give synthetic datasets the popularity skew of real rating data
+/// (a few blockbuster items collect most ratings).
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double s);
+
+  /// Draw one rank (0 = most popular).
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+
+ private:
+  int64_t n_;
+  std::vector<double> cdf_;  // cumulative, normalized to 1.0
+};
+
+}  // namespace recdb

@@ -1,0 +1,177 @@
+// Status / Result error-handling primitives.
+//
+// recdb follows the Arrow/RocksDB idiom: fallible operations return a Status
+// (or a Result<T> carrying a value on success) instead of throwing across
+// module boundaries. Exceptions are reserved for programmer errors
+// (RECDB_DCHECK failures abort).
+#pragma once
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace recdb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kParseError,
+  kBindError,
+  kPlanError,
+  kExecutionError,
+  kNotImplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Human-readable name of a StatusCode ("Ok", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : var_(std::move(value)) {}
+  /* implicit */ Result(Status status) : var_(std::move(status)) {
+    assert(!std::get<Status>(var_).ok() && "Result(Status) must carry error");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::OK();
+    if (ok()) return kOkStatus;
+    return std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value on success, `fallback` otherwise.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define RECDB_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::recdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Evaluate a Result<T> expression; on error propagate its Status, otherwise
+// bind the value to `lhs`. `lhs` may declare a new variable.
+#define RECDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define RECDB_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  RECDB_ASSIGN_OR_RETURN_IMPL(RECDB_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define RECDB_CONCAT_IMPL(a, b) a##b
+#define RECDB_CONCAT(a, b) RECDB_CONCAT_IMPL(a, b)
+
+// Programmer-error check, active in all build types.
+#define RECDB_DCHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::cerr << "RECDB_DCHECK failed: " #cond " at " << __FILE__ << ":"   \
+                << __LINE__ << std::endl;                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace recdb

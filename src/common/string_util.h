@@ -1,0 +1,32 @@
+// Small string helpers shared by the lexer, planner explainers and tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recdb {
+
+/// Lower-case an ASCII string (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// Upper-case an ASCII string.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Join strings with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...);
+
+}  // namespace recdb

@@ -1,0 +1,59 @@
+// Wall-clock timing helpers for benchmarks and the cache manager's clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace recdb {
+
+/// Monotonic stopwatch returning elapsed seconds / milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Clock abstraction so the cache manager's time-based statistics are
+/// deterministic in tests (paper Algorithm 4 uses timestamps).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since an arbitrary epoch.
+  virtual double Now() const = 0;
+};
+
+/// Real wall-clock.
+class SystemClock : public Clock {
+ public:
+  double Now() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for tests and the worked example in paper Table I.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start = 0) : now_(start) {}
+  double Now() const override { return now_; }
+  void Advance(double seconds) { now_ += seconds; }
+  void Set(double t) { now_ = t; }
+
+ private:
+  double now_;
+};
+
+}  // namespace recdb

@@ -1,0 +1,47 @@
+// Volcano (iterator-model) executor interface.
+//
+// All operators — including the RECOMMEND family — are non-blocking
+// iterators (paper Section IV-B): Init() prepares state, Next() produces one
+// tuple at a time so downstream operators can consume results before the
+// recommendation operator finishes all predictions.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+#include "planner/plan_node.h"
+#include "types/tuple.h"
+
+namespace recdb {
+
+/// Counters shared by all executors of one query execution.
+struct ExecStats {
+  uint64_t tuples_scanned = 0;      // base-table tuples read
+  uint64_t predictions = 0;         // model Predict() invocations
+  uint64_t index_hits = 0;          // users served from RecScoreIndex
+  uint64_t index_misses = 0;        // users that fell back to the model
+  uint64_t join_probes = 0;
+};
+
+struct ExecContext {
+  ExecStats stats;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Prepare (or re-prepare) the iterator. Must be callable repeatedly.
+  virtual Status Init() = 0;
+
+  /// Produce the next tuple, or nullopt when exhausted.
+  virtual Result<std::optional<Tuple>> Next() = 0;
+};
+
+using ExecutorPtr = std::unique_ptr<Executor>;
+
+/// Instantiate the executor tree for a physical plan.
+Result<ExecutorPtr> CreateExecutor(const PlanNode& plan, ExecContext* ctx);
+
+}  // namespace recdb

@@ -1,0 +1,82 @@
+#include "execution/aggregate_executor.h"
+#include "execution/basic_executors.h"
+#include "execution/executor.h"
+#include "execution/recommend_executors.h"
+
+namespace recdb {
+
+Result<ExecutorPtr> CreateExecutor(const PlanNode& plan, ExecContext* ctx) {
+  switch (plan.type) {
+    case PlanNodeType::kSeqScan:
+      return ExecutorPtr(std::make_unique<SeqScanExecutor>(
+          static_cast<const SeqScanPlan&>(plan), ctx));
+    case PlanNodeType::kRecommend:
+    case PlanNodeType::kFilterRecommend:
+      return ExecutorPtr(std::make_unique<RecommendExecutor>(
+          static_cast<const RecommendPlan&>(plan), ctx));
+    case PlanNodeType::kJoinRecommend: {
+      RECDB_ASSIGN_OR_RETURN(auto outer,
+                             CreateExecutor(*plan.children[0], ctx));
+      return ExecutorPtr(std::make_unique<JoinRecommendExecutor>(
+          static_cast<const JoinRecommendPlan&>(plan), std::move(outer), ctx));
+    }
+    case PlanNodeType::kIndexRecommend:
+      return ExecutorPtr(std::make_unique<IndexRecommendExecutor>(
+          static_cast<const IndexRecommendPlan&>(plan), ctx));
+    case PlanNodeType::kFilter: {
+      RECDB_ASSIGN_OR_RETURN(auto child,
+                             CreateExecutor(*plan.children[0], ctx));
+      return ExecutorPtr(std::make_unique<FilterExecutor>(
+          static_cast<const FilterPlan&>(plan), std::move(child), ctx));
+    }
+    case PlanNodeType::kProject: {
+      RECDB_ASSIGN_OR_RETURN(auto child,
+                             CreateExecutor(*plan.children[0], ctx));
+      return ExecutorPtr(std::make_unique<ProjectExecutor>(
+          static_cast<const ProjectPlan&>(plan), std::move(child), ctx));
+    }
+    case PlanNodeType::kAggregate: {
+      RECDB_ASSIGN_OR_RETURN(auto child,
+                             CreateExecutor(*plan.children[0], ctx));
+      return ExecutorPtr(std::make_unique<HashAggregateExecutor>(
+          static_cast<const AggregatePlan&>(plan), std::move(child), ctx));
+    }
+    case PlanNodeType::kNestedLoopJoin: {
+      RECDB_ASSIGN_OR_RETURN(auto left, CreateExecutor(*plan.children[0], ctx));
+      RECDB_ASSIGN_OR_RETURN(auto right,
+                             CreateExecutor(*plan.children[1], ctx));
+      return ExecutorPtr(std::make_unique<NestedLoopJoinExecutor>(
+          static_cast<const NestedLoopJoinPlan&>(plan), std::move(left),
+          std::move(right), ctx));
+    }
+    case PlanNodeType::kHashJoin: {
+      RECDB_ASSIGN_OR_RETURN(auto left, CreateExecutor(*plan.children[0], ctx));
+      RECDB_ASSIGN_OR_RETURN(auto right,
+                             CreateExecutor(*plan.children[1], ctx));
+      return ExecutorPtr(std::make_unique<HashJoinExecutor>(
+          static_cast<const HashJoinPlan&>(plan), std::move(left),
+          std::move(right), ctx));
+    }
+    case PlanNodeType::kSort: {
+      RECDB_ASSIGN_OR_RETURN(auto child,
+                             CreateExecutor(*plan.children[0], ctx));
+      return ExecutorPtr(std::make_unique<SortExecutor>(
+          static_cast<const SortPlan&>(plan), std::move(child), ctx));
+    }
+    case PlanNodeType::kTopN: {
+      RECDB_ASSIGN_OR_RETURN(auto child,
+                             CreateExecutor(*plan.children[0], ctx));
+      return ExecutorPtr(std::make_unique<TopNExecutor>(
+          static_cast<const TopNPlan&>(plan), std::move(child), ctx));
+    }
+    case PlanNodeType::kLimit: {
+      RECDB_ASSIGN_OR_RETURN(auto child,
+                             CreateExecutor(*plan.children[0], ctx));
+      return ExecutorPtr(std::make_unique<LimitExecutor>(
+          static_cast<const LimitPlan&>(plan), std::move(child), ctx));
+    }
+  }
+  return Status::Internal("unhandled plan node type");
+}
+
+}  // namespace recdb

@@ -1,0 +1,242 @@
+#include "execution/recommend_executors.h"
+
+#include <algorithm>
+
+namespace recdb {
+
+namespace {
+
+/// Tuple shaped like the ratings table: user id, item id and score at their
+/// column positions, NULL for any other ratings-table column.
+Tuple MakeRecTuple(const ExecSchema& schema, size_t user_idx, size_t item_idx,
+                   size_t rating_idx, int64_t user_id, int64_t item_id,
+                   double score) {
+  std::vector<Value> vals(schema.NumColumns(), Value::Null());
+  vals[user_idx] = Value::Int(user_id);
+  vals[item_idx] = Value::Int(item_id);
+  vals[rating_idx] = Value::Double(score);
+  return Tuple(std::move(vals));
+}
+
+/// Resolve the candidate user list: pushed-down ids filtered to users the
+/// model knows, or every user in the snapshot.
+std::vector<int64_t> ResolveUsers(
+    const RatingMatrix& snapshot,
+    const std::optional<std::vector<int64_t>>& pushed) {
+  if (!pushed.has_value()) return snapshot.user_ids();
+  std::vector<int64_t> out;
+  out.reserve(pushed->size());
+  for (int64_t id : *pushed) {
+    if (snapshot.UserIndex(id).has_value()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<int64_t> ResolveItems(
+    const RatingMatrix& snapshot,
+    const std::optional<std::vector<int64_t>>& pushed) {
+  if (!pushed.has_value()) return snapshot.item_ids();
+  std::vector<int64_t> out;
+  out.reserve(pushed->size());
+  for (int64_t id : *pushed) {
+    if (snapshot.ItemIndex(id).has_value()) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+// -------------------------------------------------- Recommend / FilterRec
+
+Status RecommendExecutor::Init() {
+  if (plan_.rec->model() == nullptr) {
+    return Status::ExecutionError("recommender " + plan_.rec->name() +
+                                  " has no built model");
+  }
+  const RatingMatrix& snapshot = plan_.rec->model()->ratings();
+  users_ = ResolveUsers(snapshot, plan_.user_ids);
+  items_ = ResolveItems(snapshot, plan_.item_ids);
+  user_pos_ = 0;
+  item_pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> RecommendExecutor::Next() {
+  const RecModel* model = plan_.rec->model();
+  const RatingMatrix& snapshot = model->ratings();
+  while (user_pos_ < users_.size()) {
+    if (item_pos_ >= items_.size()) {
+      ++user_pos_;
+      item_pos_ = 0;
+      continue;
+    }
+    int64_t user_id = users_[user_pos_];
+    int64_t item_id = items_[item_pos_++];
+    auto rated = snapshot.Get(user_id, item_id);
+    double score;
+    if (rated.has_value()) {
+      if (!plan_.include_rated) continue;  // default: unseen items only
+      score = *rated;                      // Algorithm 1 line 8
+    } else {
+      score = model->Predict(user_id, item_id);
+      ++ctx_->stats.predictions;
+    }
+    return std::make_optional(
+        MakeRecTuple(plan_.schema, plan_.user_col_idx, plan_.item_col_idx,
+                     plan_.rating_col_idx, user_id, item_id, score));
+  }
+  return std::optional<Tuple>{};
+}
+
+// -------------------------------------------------------- JoinRecommend
+
+Status JoinRecommendExecutor::Init() {
+  if (plan_.rec->model() == nullptr) {
+    return Status::ExecutionError("recommender " + plan_.rec->name() +
+                                  " has no built model");
+  }
+  RECDB_RETURN_NOT_OK(outer_->Init());
+  outer_tuple_.reset();
+  user_pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> JoinRecommendExecutor::Next() {
+  const RecModel* model = plan_.rec->model();
+  const RatingMatrix& snapshot = model->ratings();
+  while (true) {
+    if (!outer_tuple_.has_value()) {
+      RECDB_ASSIGN_OR_RETURN(auto next, outer_->Next());
+      if (!next.has_value()) return std::optional<Tuple>{};
+      outer_tuple_ = std::move(next);
+      user_pos_ = 0;
+      ++ctx_->stats.join_probes;
+    }
+    const Value& item_val = outer_tuple_->At(plan_.outer_item_col);
+    if (item_val.is_null() || item_val.type() != TypeId::kInt64) {
+      outer_tuple_.reset();
+      continue;
+    }
+    int64_t item_id = item_val.AsInt();
+    if (!snapshot.ItemIndex(item_id).has_value()) {
+      outer_tuple_.reset();  // item unknown to the model: no score
+      continue;
+    }
+    while (user_pos_ < plan_.user_ids.size()) {
+      int64_t user_id = plan_.user_ids[user_pos_++];
+      if (!snapshot.UserIndex(user_id).has_value()) continue;
+      auto rated = snapshot.Get(user_id, item_id);
+      double score;
+      if (rated.has_value()) {
+        if (!plan_.include_rated) continue;
+        score = *rated;
+      } else {
+        score = model->Predict(user_id, item_id);
+        ++ctx_->stats.predictions;
+      }
+      // 〈recommend columns〉 ++ 〈outer tuple〉 (paper: tup concatenated).
+      Tuple rec_part = MakeRecTuple(
+          plan_.schema, plan_.user_col_idx, plan_.item_col_idx,
+          plan_.rating_col_idx, user_id, item_id, score);
+      // rec_part currently has the full output width; overwrite the tail
+      // with the outer tuple's values.
+      size_t outer_start = plan_.schema.NumColumns() -
+                           outer_tuple_->NumValues();
+      for (size_t i = 0; i < outer_tuple_->NumValues(); ++i) {
+        rec_part.values()[outer_start + i] = outer_tuple_->At(i);
+      }
+      return std::make_optional(std::move(rec_part));
+    }
+    outer_tuple_.reset();
+  }
+}
+
+// ------------------------------------------------------- IndexRecommend
+
+Status IndexRecommendExecutor::Init() {
+  if (plan_.rec->model() == nullptr) {
+    return Status::ExecutionError("recommender " + plan_.rec->name() +
+                                  " has no built model");
+  }
+  const RatingMatrix& snapshot = plan_.rec->model()->ratings();
+  if (plan_.user_ids.empty()) {
+    users_ = snapshot.user_ids();
+  } else {
+    users_.clear();
+    for (int64_t id : plan_.user_ids) {
+      if (snapshot.UserIndex(id).has_value()) users_.push_back(id);
+    }
+  }
+  user_pos_ = 0;
+  current_.clear();
+  current_pos_ = 0;
+  loaded_ = false;
+  return Status::OK();
+}
+
+Status IndexRecommendExecutor::LoadCurrentUser() {
+  current_.clear();
+  current_pos_ = 0;
+  loaded_ = true;
+  int64_t user_id = users_[user_pos_];
+  const RecScoreIndex& index = *plan_.rec->score_index();
+
+  auto item_ok = [&](int64_t item) {
+    if (!plan_.item_ids.has_value()) return true;
+    return std::find(plan_.item_ids->begin(), plan_.item_ids->end(), item) !=
+           plan_.item_ids->end();
+  };
+
+  if (index.HasUser(user_id)) {
+    // Phase II/III of Algorithm 3: walk the user's RecTree best-first,
+    // stopping at the rating bound; filter items; cap at the limit.
+    ++ctx_->stats.index_hits;
+    index.Scan(user_id, plan_.min_score, [&](int64_t item, double score) {
+      if (item_ok(item)) current_.emplace_back(item, score);
+      return plan_.per_user_limit == 0 ||
+             current_.size() < plan_.per_user_limit;
+    });
+    return Status::OK();
+  }
+
+  // Cache miss: fall back to the model (score, sort, cap).
+  ++ctx_->stats.index_misses;
+  const RecModel* model = plan_.rec->model();
+  const RatingMatrix& snapshot = model->ratings();
+  std::vector<int64_t> items =
+      plan_.item_ids.has_value() ? *plan_.item_ids : snapshot.item_ids();
+  for (int64_t item : items) {
+    if (!snapshot.ItemIndex(item).has_value()) continue;
+    if (snapshot.Get(user_id, item).has_value()) continue;  // unseen only
+    double score = model->Predict(user_id, item);
+    ++ctx_->stats.predictions;
+    if (score >= plan_.min_score) current_.emplace_back(item, score);
+  }
+  std::sort(current_.begin(), current_.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (plan_.per_user_limit > 0 && current_.size() > plan_.per_user_limit) {
+    current_.resize(plan_.per_user_limit);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> IndexRecommendExecutor::Next() {
+  while (user_pos_ < users_.size()) {
+    if (!loaded_) {
+      RECDB_RETURN_NOT_OK(LoadCurrentUser());
+    }
+    if (current_pos_ < current_.size()) {
+      const auto& [item, score] = current_[current_pos_++];
+      return std::make_optional(
+          MakeRecTuple(plan_.schema, plan_.user_col_idx, plan_.item_col_idx,
+                       plan_.rating_col_idx, users_[user_pos_], item, score));
+    }
+    ++user_pos_;
+    loaded_ = false;
+  }
+  return std::optional<Tuple>{};
+}
+
+}  // namespace recdb

@@ -1,0 +1,74 @@
+// Recommendation-aware executors (paper Section IV):
+//   RecommendExecutor       — RECOMMEND / FILTERRECOMMEND (Algorithms 1 & 2;
+//                             pushed-down user/item predicates prune scoring)
+//   JoinRecommendExecutor   — JOINRECOMMEND (outer relation drives scoring)
+//   IndexRecommendExecutor  — INDEXRECOMMEND (Algorithm 3 over RecScoreIndex,
+//                             with model fallback on cache miss)
+#pragma once
+
+#include <vector>
+
+#include "execution/executor.h"
+
+namespace recdb {
+
+class RecommendExecutor : public Executor {
+ public:
+  RecommendExecutor(const RecommendPlan& plan, ExecContext* ctx)
+      : plan_(plan), ctx_(ctx) {}
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+
+ private:
+  /// Advance (user_pos_, item_pos_) to the next candidate pair; fills the
+  /// output fields. Returns false when exhausted.
+  Result<std::optional<Tuple>> Emit(int64_t user_id, int64_t item_id,
+                                    double score) const;
+
+  const RecommendPlan& plan_;
+  ExecContext* ctx_;
+  // Candidate id lists resolved at Init (filters applied).
+  std::vector<int64_t> users_;
+  std::vector<int64_t> items_;
+  size_t user_pos_ = 0;
+  size_t item_pos_ = 0;
+};
+
+class JoinRecommendExecutor : public Executor {
+ public:
+  JoinRecommendExecutor(const JoinRecommendPlan& plan, ExecutorPtr outer,
+                        ExecContext* ctx)
+      : plan_(plan), outer_(std::move(outer)), ctx_(ctx) {}
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+
+ private:
+  const JoinRecommendPlan& plan_;
+  ExecutorPtr outer_;
+  ExecContext* ctx_;
+  std::optional<Tuple> outer_tuple_;
+  size_t user_pos_ = 0;
+};
+
+class IndexRecommendExecutor : public Executor {
+ public:
+  IndexRecommendExecutor(const IndexRecommendPlan& plan, ExecContext* ctx)
+      : plan_(plan), ctx_(ctx) {}
+  Status Init() override;
+  Result<std::optional<Tuple>> Next() override;
+
+ private:
+  /// Load the (item, score) list for users_[user_pos_], from the index when
+  /// materialized (hit) or by scoring through the model (miss).
+  Status LoadCurrentUser();
+
+  const IndexRecommendPlan& plan_;
+  ExecContext* ctx_;
+  std::vector<int64_t> users_;
+  size_t user_pos_ = 0;
+  std::vector<std::pair<int64_t, double>> current_;  // best-first
+  size_t current_pos_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace recdb

@@ -1,0 +1,377 @@
+// In-memory B+-tree with unique keys, ordered iteration, and range scans.
+//
+// Backs the paper's RecScoreIndex (Figure 4): per-user trees keyed by
+// (descending predicted score, item id), leaves chained for sorted scans so
+// INDEXRECOMMEND can emit top-k items without touching the model.
+//
+// Runtime-configurable max node occupancy (>= 3) so tests can parameterize
+// over fanouts and exercise every split/merge path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace recdb {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class BPlusTree {
+ public:
+  explicit BPlusTree(size_t max_keys = 64, Compare cmp = Compare())
+      : max_keys_(max_keys < 3 ? 3 : max_keys), cmp_(cmp) {
+    root_ = NewNode(/*leaf=*/true);
+  }
+
+  ~BPlusTree() { FreeNode(root_); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Insert or overwrite. Returns true if the key was new.
+  bool Insert(const K& key, V value) {
+    InsertResult res = InsertInto(root_, key, std::move(value));
+    if (res.split) {
+      Node* new_root = NewNode(/*leaf=*/false);
+      new_root->keys.push_back(res.split_key);
+      new_root->children.push_back(root_);
+      new_root->children.push_back(res.right);
+      root_ = new_root;
+    }
+    if (res.inserted) ++size_;
+    return res.inserted;
+  }
+
+  /// Value for key, if present.
+  std::optional<V> Find(const K& key) const {
+    const Node* n = root_;
+    while (!n->leaf) {
+      n = n->children[ChildIndex(n, key)];
+    }
+    size_t i = LowerBound(n, key);
+    if (i < n->keys.size() && !cmp_(key, n->keys[i])) return n->values[i];
+    return std::nullopt;
+  }
+
+  bool Contains(const K& key) const { return Find(key).has_value(); }
+
+  /// Remove a key. Returns true if it was present.
+  bool Erase(const K& key) {
+    bool erased = EraseFrom(root_, key);
+    if (!root_->leaf && root_->children.size() == 1) {
+      Node* old = root_;
+      root_ = root_->children[0];
+      old->children.clear();
+      delete old;
+    }
+    if (erased) --size_;
+    return erased;
+  }
+
+  /// Forward iterator over (key, value) in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const BPlusTree* tree, const typename BPlusTree::Node* node,
+             size_t pos)
+        : tree_(tree), node_(node), pos_(pos) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const K& key() const { return node_->keys[pos_]; }
+    const V& value() const { return node_->values[pos_]; }
+
+    void Next() {
+      RECDB_DCHECK(Valid());
+      ++pos_;
+      if (pos_ >= node_->keys.size()) {
+        node_ = node_->next;
+        pos_ = 0;
+      }
+    }
+
+   private:
+    const BPlusTree* tree_ = nullptr;
+    const typename BPlusTree::Node* node_ = nullptr;
+    size_t pos_ = 0;
+  };
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const {
+    const Node* n = root_;
+    while (!n->leaf) n = n->children[0];
+    if (n->keys.empty()) return Iterator(this, nullptr, 0);
+    return Iterator(this, n, 0);
+  }
+
+  /// Iterator at the first key >= `key`.
+  Iterator LowerBoundIter(const K& key) const {
+    const Node* n = root_;
+    while (!n->leaf) n = n->children[ChildIndex(n, key)];
+    size_t i = LowerBound(n, key);
+    if (i >= n->keys.size()) {
+      n = n->next;
+      i = 0;
+      if (n == nullptr || n->keys.empty())
+        return Iterator(this, nullptr, 0);
+    }
+    return Iterator(this, n, i);
+  }
+
+  /// Height (levels), for structural assertions in tests.
+  size_t Height() const {
+    size_t h = 1;
+    const Node* n = root_;
+    while (!n->leaf) {
+      n = n->children[0];
+      ++h;
+    }
+    return h;
+  }
+
+  /// Structural invariants: ordering within nodes, occupancy bounds,
+  /// leaf-chain order, separator correctness. Test aid.
+  bool CheckInvariants() const {
+    bool ok = true;
+    CheckNode(root_, nullptr, nullptr, /*is_root=*/true, &ok);
+    // Leaf chain must be globally sorted.
+    Iterator it = Begin();
+    if (it.Valid()) {
+      K prev = it.key();
+      it.Next();
+      while (it.Valid()) {
+        if (!cmp_(prev, it.key())) return false;
+        prev = it.key();
+        it.Next();
+      }
+    }
+    return ok;
+  }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<K> keys;
+    std::vector<V> values;           // leaf only; parallel with keys
+    std::vector<Node*> children;     // internal only; keys.size()+1
+    Node* next = nullptr;            // leaf chain
+  };
+  friend class Iterator;
+
+  Node* NewNode(bool leaf) {
+    Node* n = new Node();
+    n->leaf = leaf;
+    return n;
+  }
+
+  void FreeNode(Node* n) {
+    if (n == nullptr) return;
+    for (Node* c : n->children) FreeNode(c);
+    delete n;
+  }
+
+  size_t LowerBound(const Node* n, const K& key) const {
+    size_t lo = 0, hi = n->keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cmp_(n->keys[mid], key))
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  /// Child to descend into for `key`: first separator > key goes left of it.
+  size_t ChildIndex(const Node* n, const K& key) const {
+    size_t i = LowerBound(n, key);
+    // Separator keys equal to `key` route right (separator = first key of
+    // the right subtree for leaves).
+    if (i < n->keys.size() && !cmp_(key, n->keys[i])) return i + 1;
+    return i;
+  }
+
+  struct InsertResult {
+    bool inserted = false;
+    bool split = false;
+    K split_key{};
+    Node* right = nullptr;
+  };
+
+  InsertResult InsertInto(Node* n, const K& key, V value) {
+    InsertResult res;
+    if (n->leaf) {
+      size_t i = LowerBound(n, key);
+      if (i < n->keys.size() && !cmp_(key, n->keys[i])) {
+        n->values[i] = std::move(value);  // overwrite
+        return res;
+      }
+      n->keys.insert(n->keys.begin() + i, key);
+      n->values.insert(n->values.begin() + i, std::move(value));
+      res.inserted = true;
+      if (n->keys.size() > max_keys_) SplitLeaf(n, &res);
+      return res;
+    }
+    size_t ci = ChildIndex(n, key);
+    InsertResult child_res = InsertInto(n->children[ci], key, std::move(value));
+    res.inserted = child_res.inserted;
+    if (child_res.split) {
+      n->keys.insert(n->keys.begin() + ci, child_res.split_key);
+      n->children.insert(n->children.begin() + ci + 1, child_res.right);
+      if (n->keys.size() > max_keys_) SplitInternal(n, &res);
+    }
+    return res;
+  }
+
+  void SplitLeaf(Node* n, InsertResult* res) {
+    Node* right = NewNode(/*leaf=*/true);
+    size_t mid = n->keys.size() / 2;
+    right->keys.assign(n->keys.begin() + mid, n->keys.end());
+    right->values.assign(std::make_move_iterator(n->values.begin() + mid),
+                         std::make_move_iterator(n->values.end()));
+    n->keys.resize(mid);
+    n->values.resize(mid);
+    right->next = n->next;
+    n->next = right;
+    res->split = true;
+    res->split_key = right->keys.front();
+    res->right = right;
+  }
+
+  void SplitInternal(Node* n, InsertResult* res) {
+    Node* right = NewNode(/*leaf=*/false);
+    size_t mid = n->keys.size() / 2;
+    res->split = true;
+    res->split_key = n->keys[mid];
+    right->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
+    right->children.assign(n->children.begin() + mid + 1, n->children.end());
+    n->keys.resize(mid);
+    n->children.resize(mid + 1);
+    res->right = right;
+  }
+
+  size_t MinKeys() const { return max_keys_ / 2; }
+
+  bool EraseFrom(Node* n, const K& key) {
+    if (n->leaf) {
+      size_t i = LowerBound(n, key);
+      if (i >= n->keys.size() || cmp_(key, n->keys[i])) return false;
+      n->keys.erase(n->keys.begin() + i);
+      n->values.erase(n->values.begin() + i);
+      return true;
+    }
+    size_t ci = ChildIndex(n, key);
+    Node* child = n->children[ci];
+    bool erased = EraseFrom(child, key);
+    if (erased && child->keys.size() < MinKeys()) Rebalance(n, ci);
+    return erased;
+  }
+
+  void Rebalance(Node* parent, size_t ci) {
+    Node* child = parent->children[ci];
+    Node* left = ci > 0 ? parent->children[ci - 1] : nullptr;
+    Node* right =
+        ci + 1 < parent->children.size() ? parent->children[ci + 1] : nullptr;
+
+    if (left != nullptr && left->keys.size() > MinKeys()) {
+      // Borrow from left sibling.
+      if (child->leaf) {
+        child->keys.insert(child->keys.begin(), left->keys.back());
+        child->values.insert(child->values.begin(),
+                             std::move(left->values.back()));
+        left->keys.pop_back();
+        left->values.pop_back();
+        parent->keys[ci - 1] = child->keys.front();
+      } else {
+        child->keys.insert(child->keys.begin(), parent->keys[ci - 1]);
+        parent->keys[ci - 1] = left->keys.back();
+        left->keys.pop_back();
+        child->children.insert(child->children.begin(),
+                               left->children.back());
+        left->children.pop_back();
+      }
+      return;
+    }
+    if (right != nullptr && right->keys.size() > MinKeys()) {
+      // Borrow from right sibling.
+      if (child->leaf) {
+        child->keys.push_back(right->keys.front());
+        child->values.push_back(std::move(right->values.front()));
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        parent->keys[ci] = right->keys.front();
+      } else {
+        child->keys.push_back(parent->keys[ci]);
+        parent->keys[ci] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        child->children.push_back(right->children.front());
+        right->children.erase(right->children.begin());
+      }
+      return;
+    }
+    // Merge with a sibling.
+    if (left != nullptr) {
+      MergeChildren(parent, ci - 1);
+    } else if (right != nullptr) {
+      MergeChildren(parent, ci);
+    }
+  }
+
+  /// Merge children[i+1] into children[i]; drops separator keys[i].
+  void MergeChildren(Node* parent, size_t i) {
+    Node* l = parent->children[i];
+    Node* r = parent->children[i + 1];
+    if (l->leaf) {
+      l->keys.insert(l->keys.end(), r->keys.begin(), r->keys.end());
+      l->values.insert(l->values.end(),
+                       std::make_move_iterator(r->values.begin()),
+                       std::make_move_iterator(r->values.end()));
+      l->next = r->next;
+    } else {
+      l->keys.push_back(parent->keys[i]);
+      l->keys.insert(l->keys.end(), r->keys.begin(), r->keys.end());
+      l->children.insert(l->children.end(), r->children.begin(),
+                         r->children.end());
+      r->children.clear();
+    }
+    parent->keys.erase(parent->keys.begin() + i);
+    parent->children.erase(parent->children.begin() + i + 1);
+    delete r;
+  }
+
+  void CheckNode(const Node* n, const K* lo, const K* hi, bool is_root,
+                 bool* ok) const {
+    for (size_t i = 0; i + 1 < n->keys.size(); ++i) {
+      if (!cmp_(n->keys[i], n->keys[i + 1])) *ok = false;
+    }
+    for (const K& k : n->keys) {
+      if (lo != nullptr && cmp_(k, *lo)) *ok = false;
+      if (hi != nullptr && !cmp_(k, *hi)) *ok = false;
+    }
+    if (!is_root && n->keys.size() < MinKeys() && !n->leaf) *ok = false;
+    if (n->keys.size() > max_keys_) *ok = false;
+    if (!n->leaf) {
+      if (n->children.size() != n->keys.size() + 1) {
+        *ok = false;
+        return;
+      }
+      for (size_t i = 0; i < n->children.size(); ++i) {
+        const K* clo = i == 0 ? lo : &n->keys[i - 1];
+        const K* chi = i == n->keys.size() ? hi : &n->keys[i];
+        CheckNode(n->children[i], clo, chi, false, ok);
+      }
+    }
+  }
+
+  size_t max_keys_;
+  Compare cmp_;
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace recdb

@@ -1,0 +1,91 @@
+#include "index/rec_score_index.h"
+
+#include <limits>
+
+namespace recdb {
+
+void RecScoreIndex::Put(int64_t user_id, int64_t item_id, double score) {
+  auto& entry = users_[user_id];
+  if (entry.tree == nullptr) {
+    entry.tree = std::make_unique<Tree>(fanout_);
+  }
+  auto it = entry.item_scores.find(item_id);
+  if (it != entry.item_scores.end()) {
+    entry.tree->Erase(RecScoreKey{it->second, item_id});
+    it->second = score;
+  } else {
+    entry.item_scores.emplace(item_id, score);
+    ++num_entries_;
+  }
+  entry.tree->Insert(RecScoreKey{score, item_id}, 0);
+}
+
+bool RecScoreIndex::Erase(int64_t user_id, int64_t item_id) {
+  auto uit = users_.find(user_id);
+  if (uit == users_.end()) return false;
+  auto& entry = uit->second;
+  auto it = entry.item_scores.find(item_id);
+  if (it == entry.item_scores.end()) return false;
+  entry.tree->Erase(RecScoreKey{it->second, item_id});
+  entry.item_scores.erase(it);
+  --num_entries_;
+  if (entry.item_scores.empty()) users_.erase(uit);
+  return true;
+}
+
+void RecScoreIndex::EraseUser(int64_t user_id) {
+  auto uit = users_.find(user_id);
+  if (uit == users_.end()) return;
+  num_entries_ -= uit->second.item_scores.size();
+  users_.erase(uit);
+}
+
+std::optional<double> RecScoreIndex::GetScore(int64_t user_id,
+                                              int64_t item_id) const {
+  auto uit = users_.find(user_id);
+  if (uit == users_.end()) return std::nullopt;
+  auto it = uit->second.item_scores.find(item_id);
+  if (it == uit->second.item_scores.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t RecScoreIndex::UserEntryCount(int64_t user_id) const {
+  auto uit = users_.find(user_id);
+  if (uit == users_.end()) return 0;
+  return uit->second.item_scores.size();
+}
+
+void RecScoreIndex::Scan(
+    int64_t user_id, double min_score,
+    const std::function<bool(int64_t, double)>& fn) const {
+  auto uit = users_.find(user_id);
+  if (uit == users_.end()) return;
+  for (auto it = uit->second.tree->Begin(); it.Valid(); it.Next()) {
+    const RecScoreKey& k = it.key();
+    if (k.score < min_score) break;  // descending order: nothing better left
+    if (!fn(k.item_id, k.score)) break;
+  }
+}
+
+std::vector<std::pair<int64_t, double>> RecScoreIndex::TopK(
+    int64_t user_id, size_t k,
+    const std::function<bool(int64_t)>& item_filter) const {
+  std::vector<std::pair<int64_t, double>> out;
+  Scan(user_id, -std::numeric_limits<double>::infinity(),
+       [&](int64_t item, double score) {
+         if (item_filter == nullptr || item_filter(item)) {
+           out.emplace_back(item, score);
+         }
+         return out.size() < k;
+       });
+  return out;
+}
+
+size_t RecScoreIndex::ApproxBytes() const {
+  // Per entry: tree key (16B) + leaf overhead (~8B) + hash map node (~48B).
+  constexpr size_t kPerEntry = 16 + 8 + 48;
+  constexpr size_t kPerUser = 128;  // tree root + hash bucket
+  return num_entries_ * kPerEntry + users_.size() * kPerUser;
+}
+
+}  // namespace recdb

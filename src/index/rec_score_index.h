@@ -1,0 +1,87 @@
+// RecScoreIndex (paper Figure 4): hash table keyed by user id, each entry
+// pointing to a B+-tree of that user's pre-computed predicted rating scores.
+// Tree keys order by *descending* score (item id breaks ties), so leaf-order
+// iteration yields items best-first and top-k queries stop after k leaves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "index/bplus_tree.h"
+
+namespace recdb {
+
+/// One pre-computed (score, item) entry key. Orders score-descending.
+struct RecScoreKey {
+  double score = 0;
+  int64_t item_id = 0;
+};
+
+struct RecScoreKeyLess {
+  bool operator()(const RecScoreKey& a, const RecScoreKey& b) const {
+    if (a.score != b.score) return a.score > b.score;  // higher score first
+    return a.item_id < b.item_id;
+  }
+};
+
+class RecScoreIndex {
+ public:
+  using Tree = BPlusTree<RecScoreKey, char, RecScoreKeyLess>;
+
+  explicit RecScoreIndex(size_t tree_fanout = 64) : fanout_(tree_fanout) {}
+
+  /// Insert or refresh the predicted score of (user, item).
+  void Put(int64_t user_id, int64_t item_id, double score);
+
+  /// Drop (user, item); returns true if it was materialized.
+  bool Erase(int64_t user_id, int64_t item_id);
+
+  /// Drop every entry of a user.
+  void EraseUser(int64_t user_id);
+
+  /// Pre-computed score, if materialized.
+  std::optional<double> GetScore(int64_t user_id, int64_t item_id) const;
+
+  bool HasUser(int64_t user_id) const {
+    return users_.count(user_id) > 0;
+  }
+
+  /// Entries a user has materialized (0 when absent).
+  size_t UserEntryCount(int64_t user_id) const;
+
+  size_t NumUsers() const { return users_.size(); }
+  size_t NumEntries() const { return num_entries_; }
+
+  /// Visit a user's entries best-score-first; `fn` returns false to stop
+  /// (e.g. after collecting k items). `min_score`: skip entries below it
+  /// (the paper's Phase II ratingval predicate; descending order means we
+  /// simply stop at the first score below the bound).
+  void Scan(int64_t user_id, double min_score,
+            const std::function<bool(int64_t item_id, double score)>& fn) const;
+
+  /// Convenience: top-k item ids with scores, best first, optionally
+  /// filtered by an item predicate (the paper's Phase III iPred).
+  std::vector<std::pair<int64_t, double>> TopK(
+      int64_t user_id, size_t k,
+      const std::function<bool(int64_t)>& item_filter = nullptr) const;
+
+  /// Rough memory footprint in bytes (for the scalability ablation).
+  size_t ApproxBytes() const;
+
+ private:
+  struct UserEntry {
+    std::unique_ptr<Tree> tree;
+    // item -> current score, so Erase/Put can locate tree keys.
+    std::unordered_map<int64_t, double> item_scores;
+  };
+
+  size_t fanout_;
+  std::unordered_map<int64_t, UserEntry> users_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace recdb

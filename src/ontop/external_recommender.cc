@@ -1,0 +1,104 @@
+#include "ontop/external_recommender.h"
+
+#include <cmath>
+
+namespace recdb::ontop {
+
+Status ExternalRecommender::Build() {
+  auto snapshot = std::make_shared<RatingMatrix>(*ratings_);
+  switch (opts_.algorithm) {
+    case RecAlgorithm::kItemCosCF:
+      model_ = ItemCFModel::Build(snapshot, false, opts_.sim_opts);
+      break;
+    case RecAlgorithm::kItemPearCF:
+      model_ = ItemCFModel::Build(snapshot, true, opts_.sim_opts);
+      break;
+    case RecAlgorithm::kUserCosCF:
+      model_ = UserCFModel::Build(snapshot, false, opts_.sim_opts);
+      break;
+    case RecAlgorithm::kUserPearCF:
+      model_ = UserCFModel::Build(snapshot, true, opts_.sim_opts);
+      break;
+    case RecAlgorithm::kSVD:
+      model_ = SvdModel::Build(snapshot, opts_.svd_opts);
+      break;
+  }
+  if (model_ == nullptr) return Status::Internal("external model build failed");
+  return Status::OK();
+}
+
+double ExternalRecommender::Predict(int64_t user_id, int64_t item_id) const {
+  RECDB_DCHECK(model_ != nullptr);
+  return model_->Predict(user_id, item_id);
+}
+
+std::vector<std::pair<int64_t, double>> ExternalRecommender::ScoreAllForUser(
+    int64_t user_id) const {
+  RECDB_DCHECK(model_ != nullptr);
+  const RatingMatrix& r = model_->ratings();
+  std::vector<std::pair<int64_t, double>> out;
+  auto u = r.UserIndex(user_id);
+  if (!u) return out;
+  const auto& rated = r.UserVector(*u);
+  const size_t ni = r.NumItems();
+
+  std::vector<double> num(ni, 0.0), den(ni, 0.0);
+  bool accumulated = false;
+
+  switch (model_->algorithm()) {
+    case RecAlgorithm::kItemCosCF:
+    case RecAlgorithm::kItemPearCF: {
+      // For each rated item l, scatter sim(i, l) * r_ul into every
+      // neighbor i — one pass over Σ|N(l)| instead of per-pair intersection.
+      const auto* m = static_cast<const ItemCFModel*>(model_.get());
+      for (const auto& e : rated) {
+        for (const auto& nb : m->NeighborhoodAt(e.idx)) {
+          num[nb.idx] += static_cast<double>(nb.sim) * e.rating;
+          den[nb.idx] += std::fabs(static_cast<double>(nb.sim));
+        }
+      }
+      accumulated = true;
+      break;
+    }
+    case RecAlgorithm::kUserCosCF:
+    case RecAlgorithm::kUserPearCF: {
+      // For each similar user v, scatter sim(u, v) * r_vi into every item v
+      // rated.
+      const auto* m = static_cast<const UserCFModel*>(model_.get());
+      for (const auto& nb : m->NeighborhoodAt(*u)) {
+        for (const auto& e : r.UserVector(nb.idx)) {
+          num[e.idx] += static_cast<double>(nb.sim) * e.rating;
+          den[e.idx] += std::fabs(static_cast<double>(nb.sim));
+        }
+      }
+      accumulated = true;
+      break;
+    }
+    case RecAlgorithm::kSVD:
+      break;  // handled below: plain dot products
+  }
+
+  size_t rated_pos = 0;
+  out.reserve(ni - rated.size());
+  for (size_t i = 0; i < ni; ++i) {
+    while (rated_pos < rated.size() &&
+           rated[rated_pos].idx < static_cast<int32_t>(i)) {
+      ++rated_pos;
+    }
+    if (rated_pos < rated.size() &&
+        rated[rated_pos].idx == static_cast<int32_t>(i)) {
+      continue;  // unseen items only
+    }
+    int64_t item_id = r.ItemIdAt(static_cast<int32_t>(i));
+    double score;
+    if (accumulated) {
+      score = den[i] == 0 ? 0 : num[i] / den[i];
+    } else {
+      score = model_->Predict(user_id, item_id);
+    }
+    out.emplace_back(item_id, score);
+  }
+  return out;
+}
+
+}  // namespace recdb::ontop

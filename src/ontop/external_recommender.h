@@ -1,0 +1,57 @@
+// ExternalRecommender: the standalone recommendation library that the
+// OnTopDB baseline runs *outside* the database engine (the paper's
+// LensKit/Mahout role).
+//
+// Deliberately shares recdb's model math (so RecDB-vs-OnTopDB comparisons
+// isolate the *architecture* — where the computation runs and how much of it
+// can be pruned — rather than implementation quality), but adds the batch
+// per-user scoring an offline library would use.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "recommender/cf_model.h"
+#include "recommender/svd_model.h"
+
+namespace recdb::ontop {
+
+struct ExternalRecommenderOptions {
+  RecAlgorithm algorithm = RecAlgorithm::kItemCosCF;
+  SimilarityOptions sim_opts;
+  SvdOptions svd_opts;
+};
+
+class ExternalRecommender {
+ public:
+  explicit ExternalRecommender(ExternalRecommenderOptions opts = {})
+      : opts_(opts), ratings_(std::make_shared<RatingMatrix>()) {}
+
+  /// Ingest one extracted rating triple.
+  void AddRating(int64_t user_id, int64_t item_id, double rating) {
+    ratings_->Add(user_id, item_id, rating);
+  }
+
+  /// Train the model on everything ingested so far.
+  Status Build();
+
+  bool built() const { return model_ != nullptr; }
+  const RatingMatrix& ratings() const { return *ratings_; }
+  const RecModel* model() const { return model_.get(); }
+
+  /// Single-pair prediction (same semantics as the in-engine operators).
+  double Predict(int64_t user_id, int64_t item_id) const;
+
+  /// Batch-score every item the user has not rated (the offline-library
+  /// fast path: one accumulation pass instead of per-pair intersection).
+  /// Returns (item id, score) pairs, item order unspecified.
+  std::vector<std::pair<int64_t, double>> ScoreAllForUser(
+      int64_t user_id) const;
+
+ private:
+  ExternalRecommenderOptions opts_;
+  std::shared_ptr<RatingMatrix> ratings_;
+  std::unique_ptr<RecModel> model_;
+};
+
+}  // namespace recdb::ontop

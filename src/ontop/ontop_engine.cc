@@ -1,0 +1,85 @@
+#include "ontop/ontop_engine.h"
+
+#include "common/string_util.h"
+
+namespace recdb::ontop {
+
+OnTopEngine::OnTopEngine(RecDB* db, std::string ratings_table,
+                         std::string user_col, std::string item_col,
+                         std::string rating_col, OnTopOptions options)
+    : db_(db),
+      ratings_table_(std::move(ratings_table)),
+      user_col_(std::move(user_col)),
+      item_col_(std::move(item_col)),
+      rating_col_(std::move(rating_col)),
+      options_(options),
+      pred_table_(ratings_table_ + "_ontop_pred"),
+      rec_(options.rec) {}
+
+Status OnTopEngine::Extract() {
+  // Step 1: pull every rating out through the SQL layer (full scan +
+  // materialization — the extraction overhead the paper charges OnTopDB).
+  rec_ = ExternalRecommender(options_.rec);
+  RECDB_ASSIGN_OR_RETURN(
+      ResultSet rows,
+      db_->Execute(StringFormat("SELECT %s, %s, %s FROM %s",
+                                user_col_.c_str(), item_col_.c_str(),
+                                rating_col_.c_str(), ratings_table_.c_str())));
+  for (const auto& row : rows.rows) {
+    const Value& u = row.At(0);
+    const Value& i = row.At(1);
+    const Value& r = row.At(2);
+    if (u.is_null() || i.is_null() || r.is_null()) continue;
+    rec_.AddRating(u.AsInt(), i.AsInt(), r.AsNumeric());
+  }
+  return Status::OK();
+}
+
+Status OnTopEngine::BuildModel() {
+  RECDB_RETURN_NOT_OK(Extract());
+  RECDB_RETURN_NOT_OK(rec_.Build());
+  model_ready_ = true;
+  return Status::OK();
+}
+
+Status OnTopEngine::RecomputeAndLoad() {
+  if (!model_ready_) {
+    return Status::ExecutionError("OnTopEngine: BuildModel() first");
+  }
+  // Step 3 staging: (re)create the predictions table.
+  (void)db_->catalog()->DropTable(pred_table_);
+  RECDB_RETURN_NOT_OK(
+      db_->Execute(StringFormat("CREATE TABLE %s (%s INT, %s INT, %s DOUBLE)",
+                                pred_table_.c_str(), user_col_.c_str(),
+                                item_col_.c_str(), rating_col_.c_str()))
+          .status());
+  // Step 2: the external library scores every user over every unseen item —
+  // it has no way to know which users/items the SQL on top will keep.
+  std::vector<std::vector<Value>> batch;
+  batch.reserve(4096);
+  for (int64_t user_id : rec_.ratings().user_ids()) {
+    for (const auto& [item_id, score] : rec_.ScoreAllForUser(user_id)) {
+      batch.push_back(
+          {Value::Int(user_id), Value::Int(item_id), Value::Double(score)});
+      if (batch.size() >= 4096) {
+        RECDB_RETURN_NOT_OK(db_->BulkInsert(pred_table_, batch));
+        batch.clear();
+      }
+    }
+  }
+  if (!batch.empty()) {
+    RECDB_RETURN_NOT_OK(db_->BulkInsert(pred_table_, batch));
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> OnTopEngine::Execute(const std::string& residual_sql) {
+  if (options_.rebuild_per_query || !model_ready_) {
+    RECDB_RETURN_NOT_OK(BuildModel());
+  }
+  RECDB_RETURN_NOT_OK(RecomputeAndLoad());
+  // Step 4: the residual relational work runs inside the database.
+  return db_->Execute(residual_sql);
+}
+
+}  // namespace recdb::ontop

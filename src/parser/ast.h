@@ -1,0 +1,206 @@
+// Abstract syntax tree for the recdb SQL dialect, including the paper's
+// extensions: CREATE/DROP RECOMMENDER and the RECOMMEND..TO..ON..USING
+// clause inside SELECT.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace recdb {
+
+// ----------------------------------------------------------------------
+// Expressions
+// ----------------------------------------------------------------------
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kNot,
+  kNegate,        // unary minus
+  kFunctionCall,  // ST_Contains, ST_DWithin, ST_Distance, CScore, ABS, ...
+  kInList,        // expr [NOT] IN (literal, ...)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: optional qualifier ("R" in R.uid) and the column name.
+  std::string qualifier;
+  std::string column;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kEq;
+  ExprPtr left;
+  ExprPtr right;  // also the operand of kNot / kNegate (in `left`)
+
+  // kFunctionCall
+  std::string func_name;  // lower-cased
+  std::vector<ExprPtr> args;
+
+  // kInList: `left` IN `args`
+  bool negated = false;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeNot(ExprPtr operand);
+  static ExprPtr MakeNegate(ExprPtr operand);
+  static ExprPtr MakeFunctionCall(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr MakeInList(ExprPtr needle, std::vector<ExprPtr> list,
+                            bool negated);
+
+  /// Deep copy (the optimizer clones predicates when splitting them).
+  ExprPtr Clone() const;
+
+  /// SQL-ish rendering for diagnostics.
+  std::string ToString() const;
+};
+
+// ----------------------------------------------------------------------
+// Statements
+// ----------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kDropTable,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kCreateRecommender,
+  kDropRecommender,
+  kExplain,
+};
+
+struct Statement {
+  virtual ~Statement() = default;
+  explicit Statement(StatementKind k) : kind(k) {}
+  StatementKind kind;
+};
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct SelectItem {
+  bool is_star = false;
+  ExprPtr expr;        // null when is_star
+  std::string alias;   // optional output name
+};
+
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // empty -> table name is the alias
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// RECOMMEND <item col> TO <user col> ON <rating col> USING <algorithm>
+/// (paper Section III-B; the USING algorithm defaults to ItemCosCF).
+struct RecommendClause {
+  ExprPtr item_col;    // column ref
+  ExprPtr user_col;    // column ref
+  ExprPtr rating_col;  // column ref
+  std::optional<std::string> algorithm;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStatement : Statement {
+  SelectStatement() : Statement(StatementKind::kSelect) {}
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::optional<RecommendClause> recommend;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null; requires aggregation
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+struct CreateTableStatement : Statement {
+  CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
+  std::string table_name;
+  std::vector<std::pair<std::string, std::string>> columns;  // (name, type)
+};
+
+struct DropTableStatement : Statement {
+  DropTableStatement() : Statement(StatementKind::kDropTable) {}
+  std::string table_name;
+};
+
+struct InsertStatement : Statement {
+  InsertStatement() : Statement(StatementKind::kInsert) {}
+  std::string table_name;
+  std::vector<std::vector<ExprPtr>> rows;  // literal (or constant) tuples
+};
+
+/// DELETE FROM t [WHERE expr]
+struct DeleteStatement : Statement {
+  DeleteStatement() : Statement(StatementKind::kDelete) {}
+  std::string table_name;
+  ExprPtr where;  // null = delete all rows
+};
+
+/// UPDATE t SET col = expr [, col = expr ...] [WHERE expr]
+struct UpdateStatement : Statement {
+  UpdateStatement() : Statement(StatementKind::kUpdate) {}
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // null = update all rows
+};
+
+/// EXPLAIN <select>
+struct ExplainStatement : Statement {
+  ExplainStatement() : Statement(StatementKind::kExplain) {}
+  StatementPtr inner;  // a SelectStatement
+};
+
+/// CREATE RECOMMENDER name ON table USERS FROM c ITEMS FROM c RATINGS FROM c
+/// USING algo  (paper Section III-A).
+struct CreateRecommenderStatement : Statement {
+  CreateRecommenderStatement() : Statement(StatementKind::kCreateRecommender) {}
+  std::string name;
+  std::string ratings_table;
+  std::string user_col;
+  std::string item_col;
+  std::string rating_col;
+  std::optional<std::string> algorithm;
+};
+
+struct DropRecommenderStatement : Statement {
+  DropRecommenderStatement() : Statement(StatementKind::kDropRecommender) {}
+  std::string name;
+};
+
+}  // namespace recdb

@@ -1,0 +1,19 @@
+// Hand-written SQL lexer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace recdb {
+
+/// Tokenize a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper-case; identifiers keep their original spelling.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (upper-case) is a reserved SQL keyword of this dialect.
+bool IsReservedKeyword(const std::string& upper);
+
+}  // namespace recdb

@@ -1,0 +1,520 @@
+#include "parser/parser.h"
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace recdb {
+
+Result<std::vector<StatementPtr>> Parser::Parse(const std::string& sql) {
+  RECDB_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser p(std::move(tokens));
+  return p.ParseScript();
+}
+
+Result<StatementPtr> Parser::ParseSingle(const std::string& sql) {
+  RECDB_ASSIGN_OR_RETURN(auto stmts, Parse(sql));
+  if (stmts.size() != 1) {
+    return Status::ParseError("expected exactly one statement, got " +
+                              std::to_string(stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+bool Parser::Match(TokenType t) {
+  if (Peek().type == t) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType t, const char* what) {
+  if (Peek().type == t) {
+    Advance();
+    return Status::OK();
+  }
+  return Error(std::string("expected ") + what);
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return Status::OK();
+  }
+  return Error(std::string("expected keyword ") + kw);
+}
+
+Result<std::string> Parser::ExpectIdentifier(const char* what) {
+  if (Peek().type == TokenType::kIdentifier) {
+    return Advance().text;
+  }
+  return Error(std::string("expected ") + what);
+}
+
+Status Parser::Error(const std::string& msg) const {
+  const Token& t = Peek();
+  std::string got = t.type == TokenType::kEof ? "end of input"
+                                              : "'" + t.text + "'";
+  return Status::ParseError(msg + ", got " + got + " at offset " +
+                            std::to_string(t.pos));
+}
+
+Result<std::vector<StatementPtr>> Parser::ParseScript() {
+  std::vector<StatementPtr> stmts;
+  while (Peek().type != TokenType::kEof) {
+    if (Match(TokenType::kSemicolon)) continue;
+    RECDB_ASSIGN_OR_RETURN(auto stmt, ParseStatement());
+    stmts.push_back(std::move(stmt));
+    if (Peek().type != TokenType::kEof) {
+      RECDB_RETURN_NOT_OK(Expect(TokenType::kSemicolon, "';'"));
+    }
+  }
+  if (stmts.empty()) return Status::ParseError("empty statement");
+  return stmts;
+}
+
+Result<StatementPtr> Parser::ParseStatement() {
+  const Token& t = Peek();
+  if (t.IsKeyword("SELECT")) return ParseSelect();
+  if (t.IsKeyword("CREATE")) return ParseCreate();
+  if (t.IsKeyword("DROP")) return ParseDrop();
+  if (t.IsKeyword("INSERT")) return ParseInsert();
+  if (t.IsKeyword("DELETE")) return ParseDelete();
+  if (t.IsKeyword("UPDATE")) return ParseUpdate();
+  if (t.IsKeyword("EXPLAIN")) return ParseExplain();
+  return Error(
+      "expected SELECT, CREATE, DROP, INSERT, DELETE, UPDATE or EXPLAIN");
+}
+
+Result<StatementPtr> Parser::ParseSelect() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStatement>();
+  stmt->distinct = MatchKeyword("DISTINCT");
+
+  // Select list.
+  do {
+    SelectItem item;
+    if (Match(TokenType::kStar)) {
+      item.is_star = true;
+    } else {
+      RECDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        RECDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+    }
+    stmt->items.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+
+  RECDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  do {
+    TableRef ref;
+    RECDB_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    if (MatchKeyword("AS")) {
+      RECDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    stmt->from.push_back(std::move(ref));
+  } while (Match(TokenType::kComma));
+
+  if (Peek().IsKeyword("RECOMMEND")) {
+    RECDB_ASSIGN_OR_RETURN(auto clause, ParseRecommendClause());
+    stmt->recommend = std::move(clause);
+  }
+
+  if (MatchKeyword("WHERE")) {
+    RECDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+
+  if (MatchKeyword("GROUP")) {
+    RECDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      RECDB_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      stmt->group_by.push_back(std::move(e));
+    } while (Match(TokenType::kComma));
+  }
+
+  if (MatchKeyword("HAVING")) {
+    RECDB_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+
+  if (MatchKeyword("ORDER")) {
+    RECDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      RECDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.desc = true;
+      } else {
+        (void)MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return Error("expected integer after LIMIT");
+    }
+    stmt->limit = Advance().int_val;
+    if (stmt->limit.value() < 0) {
+      return Status::ParseError("LIMIT must be non-negative");
+    }
+  }
+
+  return StatementPtr(std::move(stmt));
+}
+
+Result<RecommendClause> Parser::ParseRecommendClause() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("RECOMMEND"));
+  RecommendClause clause;
+  RECDB_ASSIGN_OR_RETURN(clause.item_col, ParseColumnRef());
+  RECDB_RETURN_NOT_OK(ExpectKeyword("TO"));
+  RECDB_ASSIGN_OR_RETURN(clause.user_col, ParseColumnRef());
+  RECDB_RETURN_NOT_OK(ExpectKeyword("ON"));
+  RECDB_ASSIGN_OR_RETURN(clause.rating_col, ParseColumnRef());
+  if (MatchKeyword("USING")) {
+    RECDB_ASSIGN_OR_RETURN(auto algo, ExpectIdentifier("algorithm name"));
+    clause.algorithm = algo;
+  }
+  return clause;
+}
+
+Result<StatementPtr> Parser::ParseCreate() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+  if (MatchKeyword("TABLE")) {
+    auto stmt = std::make_unique<CreateTableStatement>();
+    RECDB_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    RECDB_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    do {
+      RECDB_ASSIGN_OR_RETURN(auto col, ExpectIdentifier("column name"));
+      RECDB_ASSIGN_OR_RETURN(auto type, ExpectIdentifier("column type"));
+      stmt->columns.emplace_back(std::move(col), std::move(type));
+    } while (Match(TokenType::kComma));
+    RECDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return StatementPtr(std::move(stmt));
+  }
+  if (MatchKeyword("RECOMMENDER")) {
+    auto stmt = std::make_unique<CreateRecommenderStatement>();
+    RECDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("recommender name"));
+    RECDB_RETURN_NOT_OK(ExpectKeyword("ON"));
+    RECDB_ASSIGN_OR_RETURN(stmt->ratings_table,
+                           ExpectIdentifier("ratings table"));
+    // USERS / ITEMS / RATINGS are context-sensitive (not reserved) so that
+    // tables may carry those names, as the paper's examples do. The paper
+    // also writes both "ITEMS FROM" and "ITEM FROM"; accept either.
+    auto match_word = [this](std::initializer_list<const char*> words) {
+      if (Peek().type != TokenType::kIdentifier) return false;
+      for (const char* w : words) {
+        if (EqualsIgnoreCase(Peek().text, w)) {
+          Advance();
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!match_word({"users", "user"})) return Error("expected USERS");
+    RECDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    RECDB_ASSIGN_OR_RETURN(stmt->user_col, ExpectIdentifier("user id column"));
+    if (!match_word({"items", "item"})) return Error("expected ITEMS");
+    RECDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    RECDB_ASSIGN_OR_RETURN(stmt->item_col, ExpectIdentifier("item id column"));
+    if (!match_word({"ratings", "rating"})) return Error("expected RATINGS");
+    RECDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    RECDB_ASSIGN_OR_RETURN(stmt->rating_col,
+                           ExpectIdentifier("rating value column"));
+    if (MatchKeyword("USING")) {
+      RECDB_ASSIGN_OR_RETURN(auto algo, ExpectIdentifier("algorithm name"));
+      stmt->algorithm = algo;
+    }
+    return StatementPtr(std::move(stmt));
+  }
+  return Error("expected TABLE or RECOMMENDER after CREATE");
+}
+
+Result<StatementPtr> Parser::ParseDrop() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("DROP"));
+  if (MatchKeyword("TABLE")) {
+    auto stmt = std::make_unique<DropTableStatement>();
+    RECDB_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    return StatementPtr(std::move(stmt));
+  }
+  if (MatchKeyword("RECOMMENDER")) {
+    auto stmt = std::make_unique<DropRecommenderStatement>();
+    RECDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("recommender name"));
+    return StatementPtr(std::move(stmt));
+  }
+  return Error("expected TABLE or RECOMMENDER after DROP");
+}
+
+Result<StatementPtr> Parser::ParseInsert() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  RECDB_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  auto stmt = std::make_unique<InsertStatement>();
+  RECDB_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+  RECDB_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  do {
+    RECDB_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    std::vector<ExprPtr> row;
+    do {
+      RECDB_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+      row.push_back(std::move(expr));
+    } while (Match(TokenType::kComma));
+    RECDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    stmt->rows.push_back(std::move(row));
+  } while (Match(TokenType::kComma));
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseDelete() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  RECDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  auto stmt = std::make_unique<DeleteStatement>();
+  RECDB_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+  if (MatchKeyword("WHERE")) {
+    RECDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseUpdate() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  auto stmt = std::make_unique<UpdateStatement>();
+  RECDB_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+  RECDB_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    RECDB_ASSIGN_OR_RETURN(auto col, ExpectIdentifier("column name"));
+    RECDB_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+    RECDB_ASSIGN_OR_RETURN(auto value, ParseExpr());
+    stmt->assignments.emplace_back(std::move(col), std::move(value));
+  } while (Match(TokenType::kComma));
+  if (MatchKeyword("WHERE")) {
+    RECDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseExplain() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("EXPLAIN"));
+  auto stmt = std::make_unique<ExplainStatement>();
+  if (!Peek().IsKeyword("SELECT")) {
+    return Error("EXPLAIN supports SELECT only");
+  }
+  RECDB_ASSIGN_OR_RETURN(stmt->inner, ParseSelect());
+  return StatementPtr(std::move(stmt));
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  RECDB_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    RECDB_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+    lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  RECDB_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    RECDB_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+    lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    RECDB_ASSIGN_OR_RETURN(auto operand, ParseNot());
+    return Expr::MakeNot(std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  RECDB_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+  // expr [NOT] IN (list)
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") && PeekAt(1).IsKeyword("IN")) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("IN")) {
+    RECDB_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after IN"));
+    std::vector<ExprPtr> list;
+    do {
+      RECDB_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      list.push_back(std::move(e));
+    } while (Match(TokenType::kComma));
+    RECDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return Expr::MakeInList(std::move(lhs), std::move(list), negated);
+  }
+  // expr BETWEEN a AND b  ->  expr >= a AND expr <= b
+  if (MatchKeyword("BETWEEN")) {
+    RECDB_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+    RECDB_RETURN_NOT_OK(ExpectKeyword("AND"));
+    RECDB_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+    auto ge = Expr::MakeBinary(BinaryOp::kGe, lhs->Clone(), std::move(lo));
+    auto le = Expr::MakeBinary(BinaryOp::kLe, std::move(lhs), std::move(hi));
+    return Expr::MakeBinary(BinaryOp::kAnd, std::move(ge), std::move(le));
+  }
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = BinaryOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = BinaryOp::kGe;
+      break;
+    default:
+      return lhs;
+  }
+  Advance();
+  RECDB_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+  return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  RECDB_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (Peek().type == TokenType::kPlus) {
+      op = BinaryOp::kAdd;
+    } else if (Peek().type == TokenType::kMinus) {
+      op = BinaryOp::kSub;
+    } else {
+      return lhs;
+    }
+    Advance();
+    RECDB_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  RECDB_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (Peek().type == TokenType::kStar) {
+      op = BinaryOp::kMul;
+    } else if (Peek().type == TokenType::kSlash) {
+      op = BinaryOp::kDiv;
+    } else {
+      return lhs;
+    }
+    Advance();
+    RECDB_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenType::kMinus)) {
+    RECDB_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+    // Fold negation of numeric literals immediately.
+    if (operand->kind == ExprKind::kLiteral &&
+        operand->literal.type() == TypeId::kInt64) {
+      return Expr::MakeLiteral(Value::Int(-operand->literal.AsInt()));
+    }
+    if (operand->kind == ExprKind::kLiteral &&
+        operand->literal.type() == TypeId::kDouble) {
+      return Expr::MakeLiteral(Value::Double(-operand->literal.AsDouble()));
+    }
+    return Expr::MakeNegate(std::move(operand));
+  }
+  (void)Match(TokenType::kPlus);  // unary plus is a no-op
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral: {
+      int64_t v = Advance().int_val;
+      return Expr::MakeLiteral(Value::Int(v));
+    }
+    case TokenType::kDoubleLiteral: {
+      double v = Advance().double_val;
+      return Expr::MakeLiteral(Value::Double(v));
+    }
+    case TokenType::kStringLiteral: {
+      std::string v = Advance().text;
+      return Expr::MakeLiteral(Value::String(std::move(v)));
+    }
+    case TokenType::kKeyword: {
+      if (MatchKeyword("NULL")) return Expr::MakeLiteral(Value::Null());
+      if (MatchKeyword("TRUE")) return Expr::MakeLiteral(Value::Bool(true));
+      if (MatchKeyword("FALSE")) return Expr::MakeLiteral(Value::Bool(false));
+      return Error("unexpected keyword in expression");
+    }
+    case TokenType::kLParen: {
+      Advance();
+      RECDB_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      RECDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return e;
+    }
+    case TokenType::kIdentifier: {
+      // Function call?
+      if (PeekAt(1).type == TokenType::kLParen) {
+        std::string name = ToLower(Advance().text);
+        Advance();  // '('
+        std::vector<ExprPtr> args;
+        if (Peek().type != TokenType::kRParen) {
+          // COUNT(*): the star becomes a sentinel column ref "*".
+          if (Peek().type == TokenType::kStar) {
+            Advance();
+            args.push_back(Expr::MakeColumnRef("", "*"));
+          } else {
+            do {
+              RECDB_ASSIGN_OR_RETURN(auto a, ParseExpr());
+              args.push_back(std::move(a));
+            } while (Match(TokenType::kComma));
+          }
+        }
+        RECDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return Expr::MakeFunctionCall(std::move(name), std::move(args));
+      }
+      return ParseColumnRef();
+    }
+    default:
+      return Error("unexpected token in expression");
+  }
+}
+
+Result<ExprPtr> Parser::ParseColumnRef() {
+  RECDB_ASSIGN_OR_RETURN(auto first, ExpectIdentifier("column reference"));
+  if (Match(TokenType::kDot)) {
+    RECDB_ASSIGN_OR_RETURN(auto second, ExpectIdentifier("column name"));
+    return Expr::MakeColumnRef(std::move(first), std::move(second));
+  }
+  return Expr::MakeColumnRef("", std::move(first));
+}
+
+}  // namespace recdb

@@ -1,0 +1,75 @@
+// Recursive-descent parser for the recdb SQL dialect.
+//
+// Supported statements:
+//   SELECT <items> FROM <tables>
+//       [RECOMMEND <col> TO <col> ON <col> [USING <algo>]]
+//       [WHERE <expr>] [ORDER BY <expr> [ASC|DESC], ...] [LIMIT n]
+//   CREATE TABLE t (col TYPE, ...)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (v, ...), (v, ...)
+//   CREATE RECOMMENDER r ON ratings USERS FROM c ITEMS FROM c
+//       RATINGS FROM c [USING <algo>]
+//   DROP RECOMMENDER r
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/token.h"
+
+namespace recdb {
+
+class Parser {
+ public:
+  /// Parse a script of one or more ';'-separated statements.
+  static Result<std::vector<StatementPtr>> Parse(const std::string& sql);
+
+  /// Parse exactly one statement.
+  static Result<StatementPtr> ParseSingle(const std::string& sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<StatementPtr>> ParseScript();
+  Result<StatementPtr> ParseStatement();
+  Result<StatementPtr> ParseSelect();
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseDrop();
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseDelete();
+  Result<StatementPtr> ParseUpdate();
+  Result<StatementPtr> ParseExplain();
+
+  Result<RecommendClause> ParseRecommendClause();
+
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseColumnRef();
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t off) const {
+    size_t i = pos_ + off;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenType t);
+  bool MatchKeyword(const char* kw);
+  Status Expect(TokenType t, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Result<std::string> ExpectIdentifier(const char* what);
+  Status Error(const std::string& msg) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace recdb

@@ -1,0 +1,46 @@
+// SQL token definitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace recdb {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // table, column, function names (case-insensitive)
+  kKeyword,      // reserved words, normalized upper-case in `text`
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // quoted with ' ', quotes stripped
+  // punctuation / operators
+  kComma,
+  kDot,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,     // =
+  kNe,     // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      // normalized: keywords upper-case
+  int64_t int_val = 0;
+  double double_val = 0;
+  size_t pos = 0;        // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+}  // namespace recdb

@@ -1,0 +1,49 @@
+#include "planner/exec_schema.h"
+
+#include "common/string_util.h"
+
+namespace recdb {
+
+Result<size_t> ExecSchema::Resolve(const std::string& alias,
+                                   const std::string& name) const {
+  if (!alias.empty()) {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (EqualsIgnoreCase(cols_[i].table_alias, alias) &&
+          EqualsIgnoreCase(cols_[i].name, name)) {
+        return i;
+      }
+    }
+    return Status::BindError("unknown column " + alias + "." + name);
+  }
+  size_t found = cols_.size();
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (EqualsIgnoreCase(cols_[i].name, name)) {
+      if (found != cols_.size()) {
+        return Status::BindError("ambiguous column name " + name);
+      }
+      found = i;
+    }
+  }
+  if (found == cols_.size()) {
+    return Status::BindError("unknown column " + name);
+  }
+  return found;
+}
+
+ExecSchema ExecSchema::Concat(const ExecSchema& a, const ExecSchema& b) {
+  std::vector<ExecColumn> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return ExecSchema(std::move(cols));
+}
+
+std::string ExecSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(cols_.size());
+  for (const auto& c : cols_) {
+    std::string q = c.table_alias.empty() ? c.name : c.table_alias + "." + c.name;
+    parts.push_back(q + " " + TypeIdToString(c.type));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace recdb

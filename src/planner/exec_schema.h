@@ -1,0 +1,46 @@
+// ExecSchema: the name-resolution schema flowing between plan nodes.
+//
+// Unlike the storage Schema, every column carries the table alias it came
+// from, so `R.uid` and `M.iid` resolve unambiguously after joins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace recdb {
+
+struct ExecColumn {
+  std::string table_alias;  // may be empty for computed columns
+  std::string name;
+  TypeId type = TypeId::kNull;
+};
+
+class ExecSchema {
+ public:
+  ExecSchema() = default;
+  explicit ExecSchema(std::vector<ExecColumn> cols) : cols_(std::move(cols)) {}
+
+  size_t NumColumns() const { return cols_.size(); }
+  const ExecColumn& ColumnAt(size_t i) const { return cols_[i]; }
+  const std::vector<ExecColumn>& columns() const { return cols_; }
+  void Add(ExecColumn col) { cols_.push_back(std::move(col)); }
+
+  /// Resolve a (possibly unqualified) column reference.
+  /// - qualified (alias non-empty): exact alias+name match.
+  /// - unqualified: unique name match across all aliases; ambiguity errors.
+  Result<size_t> Resolve(const std::string& alias,
+                         const std::string& name) const;
+
+  static ExecSchema Concat(const ExecSchema& a, const ExecSchema& b);
+
+  /// "alias.name TYPE, ..."
+  std::string ToString() const;
+
+ private:
+  std::vector<ExecColumn> cols_;
+};
+
+}  // namespace recdb

@@ -1,0 +1,470 @@
+#include "planner/optimizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace recdb {
+
+std::vector<BoundExprPtr> SplitConjuncts(BoundExprPtr expr) {
+  std::vector<BoundExprPtr> out;
+  if (expr == nullptr) return out;
+  if (expr->kind == BoundExprKind::kBinary && expr->op == BinaryOp::kAnd) {
+    auto left = SplitConjuncts(std::move(expr->left));
+    auto right = SplitConjuncts(std::move(expr->right));
+    for (auto& e : left) out.push_back(std::move(e));
+    for (auto& e : right) out.push_back(std::move(e));
+    return out;
+  }
+  out.push_back(std::move(expr));
+  return out;
+}
+
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts) {
+  BoundExprPtr result;
+  for (auto& c : conjuncts) {
+    if (result == nullptr) {
+      result = std::move(c);
+    } else {
+      result = BoundExpr::MakeBinary(BinaryOp::kAnd, std::move(result),
+                                     std::move(c));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Column-index span classification for join pushdown.
+enum class Side { kLeft, kRight, kBoth, kNone };
+
+Side ClassifyColumns(const BoundExpr& e, size_t left_width) {
+  std::vector<size_t> cols;
+  e.CollectColumns(&cols);
+  if (cols.empty()) return Side::kNone;
+  bool has_left = false, has_right = false;
+  for (size_t c : cols) {
+    if (c < left_width)
+      has_left = true;
+    else
+      has_right = true;
+  }
+  if (has_left && has_right) return Side::kBoth;
+  return has_left ? Side::kLeft : Side::kRight;
+}
+
+/// Identity mapping shifted by -offset (for pushing right-side predicates).
+std::vector<int> ShiftMapping(size_t width, size_t offset) {
+  std::vector<int> m(width, -1);
+  for (size_t i = offset; i < width; ++i) {
+    m[i] = static_cast<int>(i - offset);
+  }
+  return m;
+}
+
+/// Wrap `child` in a Filter with `pred` (merging if child is a Filter).
+PlanNodePtr WrapFilter(PlanNodePtr child, BoundExprPtr pred) {
+  if (pred == nullptr) return child;
+  if (child->type == PlanNodeType::kFilter) {
+    auto* f = static_cast<FilterPlan*>(child.get());
+    f->predicate = BoundExpr::MakeBinary(BinaryOp::kAnd,
+                                         std::move(f->predicate),
+                                         std::move(pred));
+    return child;
+  }
+  auto filter = std::make_unique<FilterPlan>();
+  filter->predicate = std::move(pred);
+  filter->schema = child->schema;
+  filter->children.push_back(std::move(child));
+  return filter;
+}
+
+/// Match `expr` as  Column(col) = <int const>  (either operand order).
+/// Returns the constant on success.
+std::optional<int64_t> MatchColumnEqConst(const BoundExpr& expr,
+                                          size_t col) {
+  if (expr.kind != BoundExprKind::kBinary || expr.op != BinaryOp::kEq) {
+    return std::nullopt;
+  }
+  const BoundExpr* col_side = nullptr;
+  const BoundExpr* const_side = nullptr;
+  if (expr.left->kind == BoundExprKind::kColumn &&
+      expr.right->kind == BoundExprKind::kConstant) {
+    col_side = expr.left.get();
+    const_side = expr.right.get();
+  } else if (expr.right->kind == BoundExprKind::kColumn &&
+             expr.left->kind == BoundExprKind::kConstant) {
+    col_side = expr.right.get();
+    const_side = expr.left.get();
+  } else {
+    return std::nullopt;
+  }
+  if (col_side->column_idx != col) return std::nullopt;
+  if (const_side->constant.type() != TypeId::kInt64) return std::nullopt;
+  return const_side->constant.AsInt();
+}
+
+/// Match `expr` as  Column(col) IN (int consts...), not negated.
+std::optional<std::vector<int64_t>> MatchColumnInList(const BoundExpr& expr,
+                                                      size_t col) {
+  if (expr.kind != BoundExprKind::kInList || expr.negated) return std::nullopt;
+  if (expr.left->kind != BoundExprKind::kColumn ||
+      expr.left->column_idx != col) {
+    return std::nullopt;
+  }
+  std::vector<int64_t> out;
+  for (const auto& v : expr.in_values) {
+    if (v.type() != TypeId::kInt64) return std::nullopt;
+    out.push_back(v.AsInt());
+  }
+  return out;
+}
+
+/// Intersect `current` (unset = universe) with `incoming`.
+void IntersectIds(std::optional<std::vector<int64_t>>* current,
+                  std::vector<int64_t> incoming) {
+  std::sort(incoming.begin(), incoming.end());
+  incoming.erase(std::unique(incoming.begin(), incoming.end()),
+                 incoming.end());
+  if (!current->has_value()) {
+    *current = std::move(incoming);
+    return;
+  }
+  std::unordered_set<int64_t> keep(incoming.begin(), incoming.end());
+  auto& cur = **current;
+  cur.erase(std::remove_if(cur.begin(), cur.end(),
+                           [&](int64_t v) { return keep.count(v) == 0; }),
+            cur.end());
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Optimizer::Optimize(PlanNodePtr plan) {
+  for (int pass = 0; pass < 12; ++pass) {
+    bool changed = false;
+    RECDB_ASSIGN_OR_RETURN(plan, RewritePass(std::move(plan), &changed));
+    if (!changed) break;
+  }
+  return plan;
+}
+
+Result<PlanNodePtr> Optimizer::RewritePass(PlanNodePtr node, bool* changed) {
+  // Apply local rules at this node first (they may create children that the
+  // recursion below then visits).
+  RECDB_ASSIGN_OR_RETURN(node, MergeFilters(std::move(node), changed));
+  RECDB_ASSIGN_OR_RETURN(node, PushFilterThroughJoin(std::move(node), changed));
+  if (options_.enable_filter_recommend) {
+    RECDB_ASSIGN_OR_RETURN(node,
+                           PushFilterIntoRecommend(std::move(node), changed));
+  }
+  if (options_.enable_hash_join) {
+    RECDB_ASSIGN_OR_RETURN(node, NljToHashJoin(std::move(node), changed));
+  }
+  if (options_.enable_join_recommend) {
+    RECDB_ASSIGN_OR_RETURN(node, JoinToJoinRecommend(std::move(node), changed));
+  }
+  if (options_.enable_index_recommend) {
+    RECDB_ASSIGN_OR_RETURN(node,
+                           TopNToIndexRecommend(std::move(node), changed));
+  }
+  for (auto& child : node->children) {
+    RECDB_ASSIGN_OR_RETURN(child, RewritePass(std::move(child), changed));
+  }
+  return node;
+}
+
+Result<PlanNodePtr> Optimizer::MergeFilters(PlanNodePtr node, bool* changed) {
+  if (node->type != PlanNodeType::kFilter) return node;
+  auto* filter = static_cast<FilterPlan*>(node.get());
+  if (filter->children[0]->type != PlanNodeType::kFilter) return node;
+  auto* inner = static_cast<FilterPlan*>(filter->children[0].get());
+  filter->predicate = BoundExpr::MakeBinary(BinaryOp::kAnd,
+                                            std::move(filter->predicate),
+                                            std::move(inner->predicate));
+  PlanNodePtr grandchild = std::move(inner->children[0]);
+  filter->children[0] = std::move(grandchild);
+  *changed = true;
+  return node;
+}
+
+Result<PlanNodePtr> Optimizer::PushFilterThroughJoin(PlanNodePtr node,
+                                                     bool* changed) {
+  if (node->type != PlanNodeType::kFilter) return node;
+  auto* filter = static_cast<FilterPlan*>(node.get());
+  PlanNode* child = filter->children[0].get();
+  if (child->type != PlanNodeType::kNestedLoopJoin &&
+      child->type != PlanNodeType::kHashJoin) {
+    return node;
+  }
+  size_t left_width = child->children[0]->schema.NumColumns();
+  size_t total_width = child->schema.NumColumns();
+
+  auto conjuncts = SplitConjuncts(std::move(filter->predicate));
+  std::vector<BoundExprPtr> left_preds, right_preds, join_preds, keep;
+  for (auto& c : conjuncts) {
+    switch (ClassifyColumns(*c, left_width)) {
+      case Side::kLeft:
+        left_preds.push_back(std::move(c));
+        break;
+      case Side::kRight: {
+        RECDB_RETURN_NOT_OK(
+            c->RemapColumns(ShiftMapping(total_width, left_width)));
+        right_preds.push_back(std::move(c));
+        break;
+      }
+      case Side::kBoth:
+        join_preds.push_back(std::move(c));
+        break;
+      case Side::kNone:
+        keep.push_back(std::move(c));  // constant predicate: leave on top
+        break;
+    }
+  }
+  if (left_preds.empty() && right_preds.empty() && join_preds.empty()) {
+    filter->predicate = CombineConjuncts(std::move(keep));
+    return node;
+  }
+  *changed = true;
+
+  if (!left_preds.empty()) {
+    child->children[0] = WrapFilter(std::move(child->children[0]),
+                                    CombineConjuncts(std::move(left_preds)));
+  }
+  if (!right_preds.empty()) {
+    child->children[1] = WrapFilter(std::move(child->children[1]),
+                                    CombineConjuncts(std::move(right_preds)));
+  }
+  if (!join_preds.empty()) {
+    if (child->type == PlanNodeType::kNestedLoopJoin) {
+      auto* nlj = static_cast<NestedLoopJoinPlan*>(child);
+      if (nlj->predicate != nullptr) {
+        join_preds.push_back(std::move(nlj->predicate));
+      }
+      nlj->predicate = CombineConjuncts(std::move(join_preds));
+    } else {
+      auto* hj = static_cast<HashJoinPlan*>(child);
+      if (hj->residual != nullptr) {
+        join_preds.push_back(std::move(hj->residual));
+      }
+      hj->residual = CombineConjuncts(std::move(join_preds));
+    }
+  }
+
+  PlanNodePtr join = std::move(filter->children[0]);
+  if (keep.empty()) return join;
+  return WrapFilter(std::move(join), CombineConjuncts(std::move(keep)));
+}
+
+Result<PlanNodePtr> Optimizer::PushFilterIntoRecommend(PlanNodePtr node,
+                                                       bool* changed) {
+  if (node->type != PlanNodeType::kFilter) return node;
+  auto* filter = static_cast<FilterPlan*>(node.get());
+  PlanNode* child = filter->children[0].get();
+  if (child->type != PlanNodeType::kRecommend &&
+      child->type != PlanNodeType::kFilterRecommend) {
+    return node;
+  }
+  auto* rec = static_cast<RecommendPlan*>(child);
+
+  auto conjuncts = SplitConjuncts(std::move(filter->predicate));
+  std::vector<BoundExprPtr> keep;
+  bool pushed = false;
+  for (auto& c : conjuncts) {
+    if (auto v = MatchColumnEqConst(*c, rec->user_col_idx)) {
+      IntersectIds(&rec->user_ids, {*v});
+      pushed = true;
+      continue;
+    }
+    if (auto vs = MatchColumnInList(*c, rec->user_col_idx)) {
+      IntersectIds(&rec->user_ids, std::move(*vs));
+      pushed = true;
+      continue;
+    }
+    if (auto v = MatchColumnEqConst(*c, rec->item_col_idx)) {
+      IntersectIds(&rec->item_ids, {*v});
+      pushed = true;
+      continue;
+    }
+    if (auto vs = MatchColumnInList(*c, rec->item_col_idx)) {
+      IntersectIds(&rec->item_ids, std::move(*vs));
+      pushed = true;
+      continue;
+    }
+    keep.push_back(std::move(c));
+  }
+  if (!pushed) {
+    filter->predicate = CombineConjuncts(std::move(keep));
+    return node;
+  }
+  *changed = true;
+  rec->type = PlanNodeType::kFilterRecommend;
+  PlanNodePtr rec_node = std::move(filter->children[0]);
+  return WrapFilter(std::move(rec_node), CombineConjuncts(std::move(keep)));
+}
+
+Result<PlanNodePtr> Optimizer::NljToHashJoin(PlanNodePtr node, bool* changed) {
+  if (node->type != PlanNodeType::kNestedLoopJoin) return node;
+  auto* nlj = static_cast<NestedLoopJoinPlan*>(node.get());
+  if (nlj->predicate == nullptr) return node;
+
+  size_t left_width = nlj->children[0]->schema.NumColumns();
+  auto conjuncts = SplitConjuncts(std::move(nlj->predicate));
+  // Find one equi-conjunct with one side entirely-left, other entirely-right.
+  int eq_idx = -1;
+  bool left_is_first = true;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const BoundExpr& c = *conjuncts[i];
+    if (c.kind != BoundExprKind::kBinary || c.op != BinaryOp::kEq) continue;
+    Side ls = ClassifyColumns(*c.left, left_width);
+    Side rs = ClassifyColumns(*c.right, left_width);
+    if (ls == Side::kLeft && rs == Side::kRight) {
+      eq_idx = static_cast<int>(i);
+      left_is_first = true;
+      break;
+    }
+    if (ls == Side::kRight && rs == Side::kLeft) {
+      eq_idx = static_cast<int>(i);
+      left_is_first = false;
+      break;
+    }
+  }
+  if (eq_idx < 0) {
+    nlj->predicate = CombineConjuncts(std::move(conjuncts));
+    return node;
+  }
+  *changed = true;
+
+  auto hj = std::make_unique<HashJoinPlan>();
+  hj->schema = nlj->schema;
+  BoundExprPtr eq = std::move(conjuncts[eq_idx]);
+  conjuncts.erase(conjuncts.begin() + eq_idx);
+  hj->residual = CombineConjuncts(std::move(conjuncts));
+  BoundExprPtr lkey = left_is_first ? std::move(eq->left) : std::move(eq->right);
+  BoundExprPtr rkey = left_is_first ? std::move(eq->right) : std::move(eq->left);
+  // Keys are evaluated against the child schemas: remap the right key.
+  RECDB_RETURN_NOT_OK(rkey->RemapColumns(
+      ShiftMapping(nlj->schema.NumColumns(), left_width)));
+  hj->left_key = std::move(lkey);
+  hj->right_key = std::move(rkey);
+  hj->children = std::move(nlj->children);
+  return PlanNodePtr(std::move(hj));
+}
+
+Result<PlanNodePtr> Optimizer::JoinToJoinRecommend(PlanNodePtr node,
+                                                   bool* changed) {
+  if (node->type != PlanNodeType::kHashJoin) return node;
+  auto* hj = static_cast<HashJoinPlan*>(node.get());
+  if (hj->left_key->kind != BoundExprKind::kColumn ||
+      hj->right_key->kind != BoundExprKind::kColumn) {
+    return node;
+  }
+
+  // Which side is a (Filter)Recommend keyed on its item column?
+  auto is_rec_side = [](const PlanNode& n, const BoundExpr& key) {
+    if (n.type != PlanNodeType::kRecommend &&
+        n.type != PlanNodeType::kFilterRecommend) {
+      return false;
+    }
+    const auto& rec = static_cast<const RecommendPlan&>(n);
+    return key.column_idx == rec.item_col_idx;
+  };
+
+  int rec_side = -1;
+  if (is_rec_side(*hj->children[0], *hj->left_key)) rec_side = 0;
+  else if (is_rec_side(*hj->children[1], *hj->right_key)) rec_side = 1;
+  if (rec_side < 0) return node;
+
+  auto* rec = static_cast<RecommendPlan*>(hj->children[rec_side].get());
+  // JOINRECOMMEND targets specific querying users (paper Section IV-B.2);
+  // without a user filter, scoring is driven per-user anyway — require the
+  // pushed-down user list. Item pushdowns would conflict with the outer
+  // relation driving item choice; bail out in that case.
+  if (!rec->user_ids.has_value() || rec->user_ids->empty()) return node;
+  if (rec->item_ids.has_value()) return node;
+  *changed = true;
+
+  size_t rec_width = rec->schema.NumColumns();
+  PlanNodePtr outer = std::move(hj->children[1 - rec_side]);
+  size_t outer_width = outer->schema.NumColumns();
+  const BoundExpr& outer_key =
+      rec_side == 0 ? *hj->right_key : *hj->left_key;
+
+  auto jr = std::make_unique<JoinRecommendPlan>();
+  jr->rec = rec->rec;
+  jr->alias = rec->alias;
+  jr->user_col_idx = rec->user_col_idx;
+  jr->item_col_idx = rec->item_col_idx;
+  jr->rating_col_idx = rec->rating_col_idx;
+  jr->include_rated = rec->include_rated;
+  jr->user_ids = *rec->user_ids;
+  jr->outer_item_col = outer_key.column_idx;
+  jr->schema = ExecSchema::Concat(rec->schema, outer->schema);
+  jr->children.push_back(std::move(outer));
+
+  BoundExprPtr residual = std::move(hj->residual);
+  PlanNodePtr result = std::move(jr);
+
+  if (rec_side == 0) {
+    // Output order rec ++ outer matches the join's left ++ right directly.
+    result = WrapFilter(std::move(result), std::move(residual));
+    return result;
+  }
+  // Join output was outer ++ rec; JoinRecommend emits rec ++ outer. Remap the
+  // residual and add a permutation projection restoring the original order.
+  size_t total = rec_width + outer_width;
+  if (residual != nullptr) {
+    std::vector<int> mapping(total, -1);
+    for (size_t i = 0; i < outer_width; ++i) {
+      mapping[i] = static_cast<int>(rec_width + i);
+    }
+    for (size_t i = 0; i < rec_width; ++i) {
+      mapping[outer_width + i] = static_cast<int>(i);
+    }
+    RECDB_RETURN_NOT_OK(residual->RemapColumns(mapping));
+    result = WrapFilter(std::move(result), std::move(residual));
+  }
+  auto proj = std::make_unique<ProjectPlan>();
+  proj->schema = hj->schema;  // original outer ++ rec order
+  for (size_t i = 0; i < outer_width; ++i) {
+    proj->exprs.push_back(BoundExpr::MakeColumn(rec_width + i));
+  }
+  for (size_t i = 0; i < rec_width; ++i) {
+    proj->exprs.push_back(BoundExpr::MakeColumn(i));
+  }
+  proj->children.push_back(std::move(result));
+  return PlanNodePtr(std::move(proj));
+}
+
+Result<PlanNodePtr> Optimizer::TopNToIndexRecommend(PlanNodePtr node,
+                                                    bool* changed) {
+  if (node->type != PlanNodeType::kTopN) return node;
+  auto* topn = static_cast<TopNPlan*>(node.get());
+  if (topn->n == 0 || topn->keys.size() != 1 || !topn->keys[0].desc) {
+    return node;
+  }
+  const BoundExpr& key = *topn->keys[0].expr;
+  if (key.kind != BoundExprKind::kColumn) return node;
+  PlanNode* child = topn->children[0].get();
+  if (child->type != PlanNodeType::kRecommend &&
+      child->type != PlanNodeType::kFilterRecommend) {
+    return node;
+  }
+  auto* rec = static_cast<RecommendPlan*>(child);
+  if (key.column_idx != rec->rating_col_idx) return node;
+  if (rec->include_rated) return node;  // index stores unseen items only
+  *changed = true;
+
+  auto ir = std::make_unique<IndexRecommendPlan>();
+  ir->rec = rec->rec;
+  ir->alias = rec->alias;
+  ir->user_col_idx = rec->user_col_idx;
+  ir->item_col_idx = rec->item_col_idx;
+  ir->rating_col_idx = rec->rating_col_idx;
+  ir->schema = rec->schema;
+  if (rec->user_ids.has_value()) ir->user_ids = *rec->user_ids;
+  ir->item_ids = rec->item_ids;
+  ir->per_user_limit = topn->n;
+  topn->children[0] = std::move(ir);
+  return node;
+}
+
+}  // namespace recdb

@@ -1,0 +1,45 @@
+// Rule-based plan optimizer.
+//
+// Rules (paper Section IV-B's query-plan rewrites):
+//   - merge stacked filters; push filter conjuncts below joins
+//   - convert equality nested-loop joins to hash joins
+//   - push uid/iid predicates into RECOMMEND  -> FILTERRECOMMEND
+//   - rewrite item-equality joins over RECOMMEND -> JOINRECOMMEND
+//   - rewrite top-k-by-predicted-score       -> INDEXRECOMMEND
+// Each rule can be disabled via PlannerOptions for ablation studies.
+#pragma once
+
+#include "planner/plan_node.h"
+#include "planner/planner.h"
+
+namespace recdb {
+
+class Optimizer {
+ public:
+  explicit Optimizer(const PlannerOptions& options) : options_(options) {}
+
+  /// Rewrite to fixpoint (bounded passes).
+  Result<PlanNodePtr> Optimize(PlanNodePtr plan);
+
+ private:
+  /// One post-order pass; sets *changed when any rule fired.
+  Result<PlanNodePtr> RewritePass(PlanNodePtr node, bool* changed);
+
+  /// Local rules; each returns the (possibly replaced) node.
+  Result<PlanNodePtr> MergeFilters(PlanNodePtr node, bool* changed);
+  Result<PlanNodePtr> PushFilterThroughJoin(PlanNodePtr node, bool* changed);
+  Result<PlanNodePtr> PushFilterIntoRecommend(PlanNodePtr node, bool* changed);
+  Result<PlanNodePtr> NljToHashJoin(PlanNodePtr node, bool* changed);
+  Result<PlanNodePtr> JoinToJoinRecommend(PlanNodePtr node, bool* changed);
+  Result<PlanNodePtr> TopNToIndexRecommend(PlanNodePtr node, bool* changed);
+
+  PlannerOptions options_;
+};
+
+/// Split an AND-tree into conjuncts (ownership moves out).
+std::vector<BoundExprPtr> SplitConjuncts(BoundExprPtr expr);
+
+/// AND-combine conjuncts; nullptr when the list is empty.
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts);
+
+}  // namespace recdb

@@ -1,0 +1,63 @@
+// Planner: binds a parsed SELECT against the catalog and recommender
+// registry and produces an executable plan tree.
+//
+// Plan shape before optimization:
+//   Project( [TopN|Sort|Limit]( Filter( cross-join of scans/recommends ) ) )
+// The RECOMMEND clause replaces the ratings table's scan with a Recommend
+// node whose output is shaped like the ratings table (paper Section IV-B:
+// the operator is always pushed to the bottom of the pipeline).
+#pragma once
+
+#include "api/recommender_registry.h"
+#include "parser/ast.h"
+#include "planner/plan_node.h"
+#include "storage/catalog.h"
+
+namespace recdb {
+
+struct PlannerOptions {
+  /// Push uid/iid predicates into the RECOMMEND operator (FilterRecommend).
+  bool enable_filter_recommend = true;
+  /// Rewrite item-equality joins over RECOMMEND into JoinRecommend.
+  bool enable_join_recommend = true;
+  /// Rewrite top-k-by-score over RECOMMEND into IndexRecommend.
+  bool enable_index_recommend = true;
+  /// Convert equality nested-loop joins into hash joins.
+  bool enable_hash_join = true;
+  /// Emit already-rated items with their actual rating (Algorithm 1's
+  /// literal behaviour). Default: unseen items only (paper prose).
+  bool include_rated = false;
+};
+
+struct PlannedQuery {
+  PlanNodePtr plan;
+  std::vector<std::string> output_names;
+};
+
+class Planner {
+ public:
+  Planner(Catalog* catalog, RecommenderRegistry* registry,
+          PlannerOptions options = {})
+      : catalog_(catalog), registry_(registry), options_(options) {}
+
+  /// Bind + plan (no optimization; see Optimizer).
+  Result<PlannedQuery> PlanSelect(const SelectStatement& stmt);
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  /// Build the base input for one FROM entry: a SeqScan, or a Recommend
+  /// node when the RECOMMEND clause targets this table reference.
+  Result<PlanNodePtr> PlanTableRef(const SelectStatement& stmt,
+                                   const TableRef& ref,
+                                   bool is_recommend_target);
+
+  /// Which FROM entry the RECOMMEND clause applies to.
+  Result<size_t> FindRecommendTarget(const SelectStatement& stmt) const;
+
+  Catalog* catalog_;
+  RecommenderRegistry* registry_;
+  PlannerOptions options_;
+};
+
+}  // namespace recdb

@@ -1,0 +1,40 @@
+#include "recommender/algorithm.h"
+
+#include "common/string_util.h"
+
+namespace recdb {
+
+const char* RecAlgorithmToString(RecAlgorithm a) {
+  switch (a) {
+    case RecAlgorithm::kItemCosCF:
+      return "ItemCosCF";
+    case RecAlgorithm::kItemPearCF:
+      return "ItemPearCF";
+    case RecAlgorithm::kUserCosCF:
+      return "UserCosCF";
+    case RecAlgorithm::kUserPearCF:
+      return "UserPearCF";
+    case RecAlgorithm::kSVD:
+      return "SVD";
+  }
+  return "?";
+}
+
+Result<RecAlgorithm> RecAlgorithmFromString(const std::string& s) {
+  if (EqualsIgnoreCase(s, "ItemCosCF")) return RecAlgorithm::kItemCosCF;
+  if (EqualsIgnoreCase(s, "ItemPearCF")) return RecAlgorithm::kItemPearCF;
+  if (EqualsIgnoreCase(s, "UserCosCF")) return RecAlgorithm::kUserCosCF;
+  if (EqualsIgnoreCase(s, "UserPearCF")) return RecAlgorithm::kUserPearCF;
+  if (EqualsIgnoreCase(s, "SVD")) return RecAlgorithm::kSVD;
+  return Status::ParseError("unknown recommendation algorithm: " + s);
+}
+
+bool IsItemBased(RecAlgorithm a) {
+  return a == RecAlgorithm::kItemCosCF || a == RecAlgorithm::kItemPearCF;
+}
+
+bool IsUserBased(RecAlgorithm a) {
+  return a == RecAlgorithm::kUserCosCF || a == RecAlgorithm::kUserPearCF;
+}
+
+}  // namespace recdb

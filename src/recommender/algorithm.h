@@ -1,0 +1,34 @@
+// Recommendation algorithms supported by CREATE RECOMMENDER / USING
+// (paper Section III-A): item-item and user-user collaborative filtering
+// with cosine or Pearson similarity, and regularized-SGD SVD.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace recdb {
+
+enum class RecAlgorithm {
+  kItemCosCF,
+  kItemPearCF,
+  kUserCosCF,
+  kUserPearCF,
+  kSVD,
+};
+
+/// Paper default when USING is omitted.
+inline constexpr RecAlgorithm kDefaultAlgorithm = RecAlgorithm::kItemCosCF;
+
+/// Canonical name ("ItemCosCF", ...).
+const char* RecAlgorithmToString(RecAlgorithm a);
+
+/// Case-insensitive parse of the names used in the paper's SQL.
+Result<RecAlgorithm> RecAlgorithmFromString(const std::string& s);
+
+/// Item-based algorithms scan ItemNeighborhood; user-based scan
+/// UserNeighborhood (paper Section IV-A.1/2).
+bool IsItemBased(RecAlgorithm a);
+bool IsUserBased(RecAlgorithm a);
+
+}  // namespace recdb

@@ -1,0 +1,128 @@
+#include "recommender/cf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recdb {
+
+namespace {
+
+/// Binary search a sorted RatingEntry vector for a dense index.
+const RatingEntry* FindEntry(const std::vector<RatingEntry>& vec,
+                             int32_t idx) {
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), idx,
+      [](const RatingEntry& e, int32_t i) { return e.idx < i; });
+  if (it != vec.end() && it->idx == idx) return &*it;
+  return nullptr;
+}
+
+size_t NeighborhoodBytes(const std::vector<std::vector<Neighbor>>& nb) {
+  size_t total = 0;
+  for (const auto& row : nb) total += row.size() * sizeof(Neighbor) + 24;
+  return total;
+}
+
+size_t NeighborhoodEntries(const std::vector<std::vector<Neighbor>>& nb) {
+  size_t total = 0;
+  for (const auto& row : nb) total += row.size();
+  return total;
+}
+
+double SimilarityLookup(const std::vector<std::vector<Neighbor>>& nb,
+                        int32_t a, int32_t b) {
+  for (const auto& n : nb[a]) {
+    if (n.idx == b) return n.sim;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::unique_ptr<ItemCFModel> ItemCFModel::Build(
+    std::shared_ptr<const RatingMatrix> ratings, bool centered,
+    const SimilarityOptions& opts) {
+  SimilarityOptions o = opts;
+  o.centered = centered;
+  auto neighborhoods = BuildItemNeighborhoods(*ratings, o);
+  return std::unique_ptr<ItemCFModel>(
+      new ItemCFModel(std::move(ratings), centered, std::move(neighborhoods)));
+}
+
+double ItemCFModel::Predict(int64_t user_id, int64_t item_id) const {
+  auto u = ratings_->UserIndex(user_id);
+  auto i = ratings_->ItemIndex(item_id);
+  if (!u || !i) return 0;
+  const auto& user_items = ratings_->UserVector(*u);
+  if (user_items.empty()) return 0;
+  // CandItems = ItemNeighbors(i) ∩ UserItems(u)  (Algorithm 1, line 10).
+  double num = 0, den = 0;
+  for (const auto& nb : neighborhoods_[*i]) {
+    const RatingEntry* e = FindEntry(user_items, nb.idx);
+    if (e == nullptr) continue;
+    num += static_cast<double>(nb.sim) * e->rating;
+    den += std::fabs(static_cast<double>(nb.sim));
+  }
+  if (den == 0) return 0;  // empty overlap -> 0 (Algorithm 1, line 14)
+  return num / den;
+}
+
+double ItemCFModel::Similarity(int64_t item_a, int64_t item_b) const {
+  auto a = ratings_->ItemIndex(item_a);
+  auto b = ratings_->ItemIndex(item_b);
+  if (!a || !b) return 0;
+  return SimilarityLookup(neighborhoods_, *a, *b);
+}
+
+size_t ItemCFModel::ApproxBytes() const {
+  return NeighborhoodBytes(neighborhoods_);
+}
+
+size_t ItemCFModel::NumNeighborEntries() const {
+  return NeighborhoodEntries(neighborhoods_);
+}
+
+std::unique_ptr<UserCFModel> UserCFModel::Build(
+    std::shared_ptr<const RatingMatrix> ratings, bool centered,
+    const SimilarityOptions& opts) {
+  SimilarityOptions o = opts;
+  o.centered = centered;
+  auto neighborhoods = BuildUserNeighborhoods(*ratings, o);
+  return std::unique_ptr<UserCFModel>(
+      new UserCFModel(std::move(ratings), centered, std::move(neighborhoods)));
+}
+
+double UserCFModel::Predict(int64_t user_id, int64_t item_id) const {
+  auto u = ratings_->UserIndex(user_id);
+  auto i = ratings_->ItemIndex(item_id);
+  if (!u || !i) return 0;
+  const auto& item_raters = ratings_->ItemVector(*i);
+  if (item_raters.empty()) return 0;
+  // Weighted average of similar users' ratings of item i.
+  double num = 0, den = 0;
+  for (const auto& nb : neighborhoods_[*u]) {
+    const RatingEntry* e = FindEntry(item_raters, nb.idx);
+    if (e == nullptr) continue;
+    num += static_cast<double>(nb.sim) * e->rating;
+    den += std::fabs(static_cast<double>(nb.sim));
+  }
+  if (den == 0) return 0;
+  return num / den;
+}
+
+double UserCFModel::Similarity(int64_t user_a, int64_t user_b) const {
+  auto a = ratings_->UserIndex(user_a);
+  auto b = ratings_->UserIndex(user_b);
+  if (!a || !b) return 0;
+  return SimilarityLookup(neighborhoods_, *a, *b);
+}
+
+size_t UserCFModel::ApproxBytes() const {
+  return NeighborhoodBytes(neighborhoods_);
+}
+
+size_t UserCFModel::NumNeighborEntries() const {
+  return NeighborhoodEntries(neighborhoods_);
+}
+
+}  // namespace recdb

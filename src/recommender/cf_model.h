@@ -1,0 +1,89 @@
+// Neighborhood-based collaborative filtering models.
+//
+// ItemCFModel keeps the paper's Item Neighborhood Table (per-item similarity
+// lists); prediction follows Eq. (2): similarity-weighted average of the
+// user's ratings over the intersection of the item's neighborhood and the
+// user's rated items, normalized by Σ|sim|. UserCFModel is the symmetric
+// user-user variant (paper Section IV-A.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "recommender/model.h"
+#include "recommender/similarity.h"
+
+namespace recdb {
+
+class ItemCFModel : public RecModel {
+ public:
+  /// Build from a ratings snapshot. `centered` selects Pearson (ItemPearCF)
+  /// vs plain cosine (ItemCosCF).
+  static std::unique_ptr<ItemCFModel> Build(
+      std::shared_ptr<const RatingMatrix> ratings, bool centered,
+      const SimilarityOptions& opts = {});
+
+  RecAlgorithm algorithm() const override {
+    return centered_ ? RecAlgorithm::kItemPearCF : RecAlgorithm::kItemCosCF;
+  }
+
+  double Predict(int64_t user_id, int64_t item_id) const override;
+
+  /// Similarity of two items by external id (0 when either is unknown or
+  /// the pair is not in the neighborhood list).
+  double Similarity(int64_t item_a, int64_t item_b) const;
+
+  /// The neighborhood list of an item (dense indices), test/inspection aid.
+  const std::vector<Neighbor>& NeighborhoodAt(int32_t item_idx) const {
+    return neighborhoods_[item_idx];
+  }
+
+  size_t ApproxBytes() const override;
+
+  /// Total neighbor entries across all lists (model-size ablations).
+  size_t NumNeighborEntries() const;
+
+ private:
+  ItemCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,
+              std::vector<std::vector<Neighbor>> neighborhoods)
+      : RecModel(std::move(ratings)),
+        centered_(centered),
+        neighborhoods_(std::move(neighborhoods)) {}
+
+  bool centered_;
+  std::vector<std::vector<Neighbor>> neighborhoods_;  // [item_idx]
+};
+
+class UserCFModel : public RecModel {
+ public:
+  static std::unique_ptr<UserCFModel> Build(
+      std::shared_ptr<const RatingMatrix> ratings, bool centered,
+      const SimilarityOptions& opts = {});
+
+  RecAlgorithm algorithm() const override {
+    return centered_ ? RecAlgorithm::kUserPearCF : RecAlgorithm::kUserCosCF;
+  }
+
+  double Predict(int64_t user_id, int64_t item_id) const override;
+
+  double Similarity(int64_t user_a, int64_t user_b) const;
+
+  const std::vector<Neighbor>& NeighborhoodAt(int32_t user_idx) const {
+    return neighborhoods_[user_idx];
+  }
+
+  size_t ApproxBytes() const override;
+  size_t NumNeighborEntries() const;
+
+ private:
+  UserCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,
+              std::vector<std::vector<Neighbor>> neighborhoods)
+      : RecModel(std::move(ratings)),
+        centered_(centered),
+        neighborhoods_(std::move(neighborhoods)) {}
+
+  bool centered_;
+  std::vector<std::vector<Neighbor>> neighborhoods_;  // [user_idx]
+};
+
+}  // namespace recdb

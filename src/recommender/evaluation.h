@@ -1,0 +1,49 @@
+// Offline evaluation harness for recommendation quality.
+//
+// The paper explicitly does not study accuracy ("RecDB does not introduce a
+// novel recommendation model with higher accuracy"); this harness exists so
+// library users can validate algorithm/hyperparameter choices the way
+// LensKit-style toolkits do: a deterministic train/test split, rating-
+// prediction error (RMSE/MAE) and ranking quality (precision/recall@k).
+#pragma once
+
+#include <cstdint>
+
+#include "recommender/cf_model.h"
+#include "recommender/svd_model.h"
+
+namespace recdb {
+
+struct EvalOptions {
+  /// One in `holdout_mod` ratings (by deterministic pair hash) is held out
+  /// as the test set; the rest train the model. Must be >= 2.
+  int32_t holdout_mod = 5;
+  /// Ranking cutoff for precision/recall.
+  size_t k = 10;
+  /// A held-out rating >= this counts as "relevant" for ranking metrics.
+  double relevance_threshold = 4.0;
+  /// Hyperparameters forwarded to the model builders.
+  SimilarityOptions sim_opts;
+  SvdOptions svd_opts;
+};
+
+struct EvalResult {
+  double rmse = 0;
+  double mae = 0;
+  /// Mean precision@k / recall@k over users with >= 1 relevant test item.
+  double precision_at_k = 0;
+  double recall_at_k = 0;
+  size_t num_train_ratings = 0;
+  size_t num_test_ratings = 0;
+  size_t num_ranked_users = 0;
+  /// RMSE of always predicting the training global mean (baseline).
+  double global_mean_rmse = 0;
+};
+
+/// Split `full` into train/test, build `algo` on the train slice, and score
+/// the held-out ratings. Deterministic for fixed options.
+Result<EvalResult> EvaluateAlgorithm(const RatingMatrix& full,
+                                     RecAlgorithm algo,
+                                     const EvalOptions& options = {});
+
+}  // namespace recdb

@@ -1,0 +1,37 @@
+// RecModel: a built recommendation model (paper Step I output), queried by
+// the RECOMMEND operators to produce RecScore(u, i) (paper Step II).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "recommender/algorithm.h"
+#include "recommender/rating_matrix.h"
+
+namespace recdb {
+
+class RecModel {
+ public:
+  explicit RecModel(std::shared_ptr<const RatingMatrix> ratings)
+      : ratings_(std::move(ratings)) {}
+  virtual ~RecModel() = default;
+
+  virtual RecAlgorithm algorithm() const = 0;
+
+  /// RecScore(u, i) for external ids. Semantics follow paper Algorithm 1:
+  /// unknown user/item or empty candidate overlap yields 0.
+  virtual double Predict(int64_t user_id, int64_t item_id) const = 0;
+
+  /// Rough model footprint in bytes (scalability ablations).
+  virtual size_t ApproxBytes() const = 0;
+
+  /// The snapshot the model was built from.
+  const RatingMatrix& ratings() const { return *ratings_; }
+  std::shared_ptr<const RatingMatrix> ratings_ptr() const { return ratings_; }
+
+ protected:
+  std::shared_ptr<const RatingMatrix> ratings_;
+};
+
+}  // namespace recdb

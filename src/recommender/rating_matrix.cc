@@ -1,0 +1,131 @@
+#include "recommender/rating_matrix.h"
+
+#include <algorithm>
+
+namespace recdb {
+
+int32_t RatingMatrix::InternUser(int64_t user_id) {
+  auto it = user_index_.find(user_id);
+  if (it != user_index_.end()) return it->second;
+  int32_t idx = static_cast<int32_t>(user_ids_.size());
+  user_ids_.push_back(user_id);
+  user_index_[user_id] = idx;
+  by_user_.emplace_back();
+  return idx;
+}
+
+int32_t RatingMatrix::InternItem(int64_t item_id) {
+  auto it = item_index_.find(item_id);
+  if (it != item_index_.end()) return it->second;
+  int32_t idx = static_cast<int32_t>(item_ids_.size());
+  item_ids_.push_back(item_id);
+  item_index_[item_id] = idx;
+  by_item_.emplace_back();
+  return idx;
+}
+
+void RatingMatrix::Upsert(std::vector<RatingEntry>* vec, int32_t idx,
+                          double rating, bool* was_new) {
+  auto it = std::lower_bound(
+      vec->begin(), vec->end(), idx,
+      [](const RatingEntry& e, int32_t i) { return e.idx < i; });
+  if (it != vec->end() && it->idx == idx) {
+    it->rating = rating;
+    *was_new = false;
+    return;
+  }
+  vec->insert(it, RatingEntry{idx, rating});
+  *was_new = true;
+}
+
+void RatingMatrix::Add(int64_t user_id, int64_t item_id, double rating) {
+  int32_t u = InternUser(user_id);
+  int32_t i = InternItem(item_id);
+  bool new_in_user = false, new_in_item = false;
+  double old = 0;
+  if (auto existing = GetByIndex(u, i)) old = *existing;
+  Upsert(&by_user_[u], i, rating, &new_in_user);
+  Upsert(&by_item_[i], u, rating, &new_in_item);
+  RECDB_DCHECK(new_in_user == new_in_item);
+  if (new_in_user) {
+    ++num_ratings_;
+    rating_sum_ += rating;
+  } else {
+    rating_sum_ += rating - old;
+  }
+}
+
+bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
+  auto u = UserIndex(user_id);
+  auto i = ItemIndex(item_id);
+  if (!u || !i) return false;
+  auto erase_from = [](std::vector<RatingEntry>* vec, int32_t idx) {
+    auto it = std::lower_bound(
+        vec->begin(), vec->end(), idx,
+        [](const RatingEntry& e, int32_t v) { return e.idx < v; });
+    if (it == vec->end() || it->idx != idx) return false;
+    vec->erase(it);
+    return true;
+  };
+  auto existing = GetByIndex(*u, *i);
+  if (!existing) return false;
+  bool a = erase_from(&by_user_[*u], *i);
+  bool b = erase_from(&by_item_[*i], *u);
+  RECDB_DCHECK(a && b);
+  --num_ratings_;
+  rating_sum_ -= *existing;
+  return true;
+}
+
+std::optional<int32_t> RatingMatrix::UserIndex(int64_t user_id) const {
+  auto it = user_index_.find(user_id);
+  if (it == user_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<int32_t> RatingMatrix::ItemIndex(int64_t item_id) const {
+  auto it = item_index_.find(item_id);
+  if (it == item_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> RatingMatrix::GetByIndex(int32_t user_idx,
+                                               int32_t item_idx) const {
+  const auto& vec = by_user_[user_idx];
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), item_idx,
+      [](const RatingEntry& e, int32_t i) { return e.idx < i; });
+  if (it != vec.end() && it->idx == item_idx) return it->rating;
+  return std::nullopt;
+}
+
+std::optional<double> RatingMatrix::Get(int64_t user_id,
+                                        int64_t item_id) const {
+  auto u = UserIndex(user_id);
+  auto i = ItemIndex(item_id);
+  if (!u || !i) return std::nullopt;
+  return GetByIndex(*u, *i);
+}
+
+double RatingMatrix::GlobalMean() const {
+  if (num_ratings_ == 0) return 0;
+  return rating_sum_ / static_cast<double>(num_ratings_);
+}
+
+double RatingMatrix::UserMean(int32_t user_idx) const {
+  const auto& vec = by_user_[user_idx];
+  if (vec.empty()) return 0;
+  double s = 0;
+  for (const auto& e : vec) s += e.rating;
+  return s / static_cast<double>(vec.size());
+}
+
+double RatingMatrix::ItemMean(int32_t item_idx) const {
+  const auto& vec = by_item_[item_idx];
+  if (vec.empty()) return 0;
+  double s = 0;
+  for (const auto& e : vec) s += e.rating;
+  return s / static_cast<double>(vec.size());
+}
+
+}  // namespace recdb

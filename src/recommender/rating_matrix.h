@@ -1,0 +1,89 @@
+// RatingMatrix: the in-memory user/item ratings snapshot a model is built
+// from (paper input: users U, items I, ratings R).
+//
+// External ids are arbitrary int64 (as stored in the ratings table); they are
+// mapped to dense indices. Both user-major and item-major views are kept so
+// item-item and user-user algorithms each get their natural access pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace recdb {
+
+/// One (item, rating) pair inside a user vector, or (user, rating) inside an
+/// item vector. `idx` is a dense index, not an external id.
+struct RatingEntry {
+  int32_t idx = 0;
+  double rating = 0;
+};
+
+class RatingMatrix {
+ public:
+  RatingMatrix() = default;
+
+  /// Add one rating. A repeated (user, item) pair overwrites the old rating.
+  void Add(int64_t user_id, int64_t item_id, double rating);
+
+  /// Remove a rating; returns false if it was not present. Interned ids
+  /// remain (a user/item with no ratings keeps an empty vector).
+  bool Remove(int64_t user_id, int64_t item_id);
+
+  size_t NumUsers() const { return user_ids_.size(); }
+  size_t NumItems() const { return item_ids_.size(); }
+  size_t NumRatings() const { return num_ratings_; }
+
+  /// Dense index of an external id, if known.
+  std::optional<int32_t> UserIndex(int64_t user_id) const;
+  std::optional<int32_t> ItemIndex(int64_t item_id) const;
+
+  int64_t UserIdAt(int32_t idx) const { return user_ids_[idx]; }
+  int64_t ItemIdAt(int32_t idx) const { return item_ids_[idx]; }
+
+  /// A user's ratings, sorted by item index (the paper's UserVector row).
+  const std::vector<RatingEntry>& UserVector(int32_t user_idx) const {
+    return by_user_[user_idx];
+  }
+  /// An item's ratings, sorted by user index (the paper's ItemVector row).
+  const std::vector<RatingEntry>& ItemVector(int32_t item_idx) const {
+    return by_item_[item_idx];
+  }
+
+  /// Rating of (user, item) by dense index, if present.
+  std::optional<double> GetByIndex(int32_t user_idx, int32_t item_idx) const;
+
+  /// Rating of (user, item) by external id, if present.
+  std::optional<double> Get(int64_t user_id, int64_t item_id) const;
+
+  /// Mean of all ratings (0 when empty).
+  double GlobalMean() const;
+
+  /// Mean of one user's / item's ratings (0 when empty).
+  double UserMean(int32_t user_idx) const;
+  double ItemMean(int32_t item_idx) const;
+
+  /// All external item ids (for operators that enumerate candidates).
+  const std::vector<int64_t>& item_ids() const { return item_ids_; }
+  const std::vector<int64_t>& user_ids() const { return user_ids_; }
+
+ private:
+  int32_t InternUser(int64_t user_id);
+  int32_t InternItem(int64_t item_id);
+  static void Upsert(std::vector<RatingEntry>* vec, int32_t idx,
+                     double rating, bool* was_new);
+
+  std::vector<int64_t> user_ids_;
+  std::vector<int64_t> item_ids_;
+  std::unordered_map<int64_t, int32_t> user_index_;
+  std::unordered_map<int64_t, int32_t> item_index_;
+  std::vector<std::vector<RatingEntry>> by_user_;
+  std::vector<std::vector<RatingEntry>> by_item_;
+  size_t num_ratings_ = 0;
+  double rating_sum_ = 0;
+};
+
+}  // namespace recdb

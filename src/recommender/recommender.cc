@@ -1,0 +1,83 @@
+#include "recommender/recommender.h"
+
+#include "common/timer.h"
+
+namespace recdb {
+
+Result<double> Recommender::Build() {
+  Stopwatch watch;
+  // Snapshot the live matrix so later AddRating calls do not disturb the
+  // model's input (copy is cheap relative to model building).
+  auto snapshot = std::make_shared<RatingMatrix>(*live_);
+  std::unique_ptr<RecModel> model;
+  switch (config_.algorithm) {
+    case RecAlgorithm::kItemCosCF:
+      model = ItemCFModel::Build(snapshot, /*centered=*/false,
+                                 config_.sim_opts);
+      break;
+    case RecAlgorithm::kItemPearCF:
+      model = ItemCFModel::Build(snapshot, /*centered=*/true,
+                                 config_.sim_opts);
+      break;
+    case RecAlgorithm::kUserCosCF:
+      model = UserCFModel::Build(snapshot, /*centered=*/false,
+                                 config_.sim_opts);
+      break;
+    case RecAlgorithm::kUserPearCF:
+      model = UserCFModel::Build(snapshot, /*centered=*/true,
+                                 config_.sim_opts);
+      break;
+    case RecAlgorithm::kSVD:
+      model = SvdModel::Build(snapshot, config_.svd_opts);
+      break;
+  }
+  if (model == nullptr) {
+    return Status::Internal("model construction failed for " + config_.name);
+  }
+  snapshot_ = snapshot;
+  model_ = std::move(model);
+  base_size_ = snapshot->NumRatings();
+  pending_updates_ = 0;
+  return watch.ElapsedSeconds();
+}
+
+Status Recommender::MaterializeUser(int64_t user_id) {
+  if (model_ == nullptr) {
+    return Status::ExecutionError("recommender " + config_.name +
+                                  " has no built model");
+  }
+  const RatingMatrix& r = *snapshot_;
+  auto uopt = r.UserIndex(user_id);
+  if (!uopt) return Status::NotFound("unknown user");
+  const auto& rated = r.UserVector(*uopt);
+  size_t rated_pos = 0;
+  for (size_t i = 0; i < r.NumItems(); ++i) {
+    // Skip items the user already rated (both lists are idx-sorted).
+    while (rated_pos < rated.size() &&
+           rated[rated_pos].idx < static_cast<int32_t>(i)) {
+      ++rated_pos;
+    }
+    if (rated_pos < rated.size() &&
+        rated[rated_pos].idx == static_cast<int32_t>(i)) {
+      continue;
+    }
+    int64_t item_id = r.ItemIdAt(static_cast<int32_t>(i));
+    score_index_.Put(user_id, item_id, model_->Predict(user_id, item_id));
+  }
+  return Status::OK();
+}
+
+Status Recommender::MaterializeAll() {
+  if (model_ == nullptr) {
+    return Status::ExecutionError("recommender " + config_.name +
+                                  " has no built model");
+  }
+  const RatingMatrix& r = *snapshot_;
+  for (size_t u = 0; u < r.NumUsers(); ++u) {
+    RECDB_RETURN_NOT_OK(
+        MaterializeUser(r.UserIdAt(static_cast<int32_t>(u))));
+  }
+  return Status::OK();
+}
+
+}  // namespace recdb

@@ -1,0 +1,110 @@
+// Recommender: a named, registered recommender (paper CREATE RECOMMENDER).
+//
+// Owns the live ratings snapshot, the built RecModel, the pre-computation
+// index (RecScoreIndex) and the maintenance policy: the model is rebuilt
+// only when new ratings reach N% of the entries used to build the current
+// model (paper Section III-A, "Maintaining a Recommender").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "index/rec_score_index.h"
+#include "recommender/cf_model.h"
+#include "recommender/svd_model.h"
+
+namespace recdb {
+
+struct RecommenderConfig {
+  std::string name;
+  std::string ratings_table;
+  std::string user_col;
+  std::string item_col;
+  std::string rating_col;
+  RecAlgorithm algorithm = kDefaultAlgorithm;
+  /// Rebuild when pending updates / base model size >= this ratio
+  /// (the paper's N% system parameter).
+  double rebuild_threshold = 0.10;
+  SimilarityOptions sim_opts;
+  SvdOptions svd_opts;
+};
+
+class Recommender {
+ public:
+  explicit Recommender(RecommenderConfig config)
+      : config_(std::move(config)),
+        live_(std::make_shared<RatingMatrix>()) {}
+
+  const RecommenderConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+  RecAlgorithm algorithm() const { return config_.algorithm; }
+
+  /// Ingest one rating into the live matrix (does NOT rebuild the model).
+  void AddRating(int64_t user_id, int64_t item_id, double rating) {
+    live_->Add(user_id, item_id, rating);
+    ++pending_updates_;
+  }
+
+  /// Remove a rating from the live matrix (SQL DELETE on the ratings
+  /// table); counts toward the rebuild threshold like an insert.
+  void RemoveRating(int64_t user_id, int64_t item_id) {
+    if (live_->Remove(user_id, item_id)) ++pending_updates_;
+  }
+
+  /// Recommender Initialization: snapshot the live ratings and train the
+  /// model for the configured algorithm. Returns the build wall time.
+  Result<double> Build();
+
+  /// True when pending updates have reached the rebuild threshold.
+  bool NeedsRebuild() const {
+    if (model_ == nullptr) return true;
+    if (base_size_ == 0) return pending_updates_ > 0;
+    return static_cast<double>(pending_updates_) >=
+           config_.rebuild_threshold * static_cast<double>(base_size_);
+  }
+
+  /// Rebuild if the maintenance policy calls for it; returns whether a
+  /// rebuild happened.
+  Result<bool> MaintainIfNeeded() {
+    if (!NeedsRebuild()) return false;
+    RECDB_RETURN_NOT_OK(Build().status());
+    return true;
+  }
+
+  /// Built model; null before the first Build().
+  const RecModel* model() const { return model_.get(); }
+
+  /// Ratings snapshot the current model was built from (null before Build).
+  std::shared_ptr<const RatingMatrix> snapshot() const { return snapshot_; }
+
+  /// Live matrix including not-yet-modeled ratings.
+  const RatingMatrix& live() const { return *live_; }
+
+  size_t pending_updates() const { return pending_updates_; }
+  size_t base_size() const { return base_size_; }
+
+  /// Pre-computed score store (paper Section IV-C); populated by the cache
+  /// manager or by full materialization.
+  RecScoreIndex* score_index() { return &score_index_; }
+  const RecScoreIndex& score_index() const { return score_index_; }
+
+  /// Materialize predicted scores for every (user, unseen item) pair —
+  /// HOTNESS-THRESHOLD = 0 behaviour. Expensive; benchmarks and tests use it
+  /// to study the pre-computation upper bound.
+  Status MaterializeAll();
+
+  /// Materialize one user's scores for all unseen items (what the cache
+  /// manager does for a hot user).
+  Status MaterializeUser(int64_t user_id);
+
+ private:
+  RecommenderConfig config_;
+  std::shared_ptr<RatingMatrix> live_;
+  std::shared_ptr<const RatingMatrix> snapshot_;
+  std::unique_ptr<RecModel> model_;
+  size_t base_size_ = 0;
+  size_t pending_updates_ = 0;
+  RecScoreIndex score_index_;
+};
+
+}  // namespace recdb

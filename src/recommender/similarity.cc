@@ -1,0 +1,150 @@
+#include "recommender/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace recdb {
+
+namespace {
+
+/// Sparse co-occurrence accumulation.
+///
+/// `vectors[v]` is the sparse vector of entity v (items for item-based CF,
+/// users for user-based), `dims[d]` lists which vectors contain dimension d
+/// together with the (possibly centered) value. For every dimension we
+/// accumulate all pairwise products into a dense dot-product matrix, then
+/// normalize by vector norms — one pass over Σ_d nnz(d)² products, the
+/// standard way to build full similarity lists.
+std::vector<std::vector<Neighbor>> BuildNeighborhoods(
+    size_t num_vectors, const std::vector<std::vector<RatingEntry>>& dims,
+    const std::vector<double>& means, const SimilarityOptions& opts) {
+  const size_t n = num_vectors;
+  std::vector<double> norms(n, 0.0);
+  // Dense accumulators. n is at most a few thousand for the paper's
+  // datasets; n^2 floats stay well under typical memory budgets.
+  std::vector<float> dot(n * n, 0.0f);
+  std::vector<int32_t> overlap;
+  const bool need_overlap = opts.min_overlap > 1;
+  if (need_overlap) overlap.assign(n * n, 0);
+
+  std::vector<RatingEntry> centered;
+  for (const auto& dim : dims) {
+    centered.clear();
+    centered.reserve(dim.size());
+    for (const auto& e : dim) {
+      double v = e.rating - (opts.centered ? means[e.idx] : 0.0);
+      centered.push_back(RatingEntry{e.idx, v});
+      norms[e.idx] += v * v;
+    }
+    for (size_t a = 0; a < centered.size(); ++a) {
+      const auto& ea = centered[a];
+      float* row = dot.data() + static_cast<size_t>(ea.idx) * n;
+      for (size_t b = a + 1; b < centered.size(); ++b) {
+        const auto& eb = centered[b];
+        row[eb.idx] += static_cast<float>(ea.rating * eb.rating);
+        if (need_overlap) overlap[static_cast<size_t>(ea.idx) * n + eb.idx]++;
+      }
+    }
+  }
+  for (auto& v : norms) v = std::sqrt(v);
+
+  std::vector<std::vector<Neighbor>> result(n);
+  std::vector<Neighbor> row;
+  for (size_t p = 0; p < n; ++p) {
+    row.clear();
+    for (size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      size_t idx = p < q ? p * n + q : q * n + p;
+      float d = dot[idx];
+      if (d == 0.0f) continue;
+      if (need_overlap && overlap[idx] < opts.min_overlap) continue;
+      double denom = norms[p] * norms[q];
+      if (denom <= 0) continue;
+      float sim = static_cast<float>(d / denom);
+      if (sim == 0.0f) continue;
+      row.push_back(Neighbor{static_cast<int32_t>(q), sim});
+    }
+    std::sort(row.begin(), row.end(), [](const Neighbor& a, const Neighbor& b) {
+      if (a.sim != b.sim) return a.sim > b.sim;
+      return a.idx < b.idx;
+    });
+    if (opts.top_k > 0 && row.size() > static_cast<size_t>(opts.top_k)) {
+      // Keep the k strongest by |sim| (negative correlations carry signal
+      // for Pearson), then restore descending-sim order.
+      std::partial_sort(
+          row.begin(), row.begin() + opts.top_k, row.end(),
+          [](const Neighbor& a, const Neighbor& b) {
+            return std::fabs(a.sim) > std::fabs(b.sim);
+          });
+      row.resize(opts.top_k);
+      std::sort(row.begin(), row.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  if (a.sim != b.sim) return a.sim > b.sim;
+                  return a.idx < b.idx;
+                });
+    }
+    result[p] = row;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::vector<Neighbor>> BuildItemNeighborhoods(
+    const RatingMatrix& ratings, const SimilarityOptions& opts) {
+  // Item vectors live in user-rating space: dimensions are users.
+  std::vector<std::vector<RatingEntry>> dims;
+  dims.reserve(ratings.NumUsers());
+  for (size_t u = 0; u < ratings.NumUsers(); ++u) {
+    dims.push_back(ratings.UserVector(static_cast<int32_t>(u)));
+  }
+  std::vector<double> means(ratings.NumItems(), 0.0);
+  if (opts.centered) {
+    for (size_t i = 0; i < ratings.NumItems(); ++i) {
+      means[i] = ratings.ItemMean(static_cast<int32_t>(i));
+    }
+  }
+  return BuildNeighborhoods(ratings.NumItems(), dims, means, opts);
+}
+
+std::vector<std::vector<Neighbor>> BuildUserNeighborhoods(
+    const RatingMatrix& ratings, const SimilarityOptions& opts) {
+  std::vector<std::vector<RatingEntry>> dims;
+  dims.reserve(ratings.NumItems());
+  for (size_t i = 0; i < ratings.NumItems(); ++i) {
+    dims.push_back(ratings.ItemVector(static_cast<int32_t>(i)));
+  }
+  std::vector<double> means(ratings.NumUsers(), 0.0);
+  if (opts.centered) {
+    for (size_t u = 0; u < ratings.NumUsers(); ++u) {
+      means[u] = ratings.UserMean(static_cast<int32_t>(u));
+    }
+  }
+  return BuildNeighborhoods(ratings.NumUsers(), dims, means, opts);
+}
+
+double PairwiseCosine(const std::vector<RatingEntry>& a,
+                      const std::vector<RatingEntry>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (const auto& e : a) na += e.rating * e.rating;
+  for (const auto& e : b) nb += e.rating * e.rating;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].idx < b[j].idx) {
+      ++i;
+    } else if (a[i].idx > b[j].idx) {
+      ++j;
+    } else {
+      dot += a[i].rating * b[j].rating;
+      ++i;
+      ++j;
+    }
+  }
+  double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0) return 0;
+  return dot / denom;
+}
+
+}  // namespace recdb

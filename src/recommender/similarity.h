@@ -1,0 +1,47 @@
+// Neighborhood (similarity-list) computation for collaborative filtering.
+//
+// Cosine similarity follows paper Eq. (1): dot product over co-rated
+// dimensions, normalized by the full vector norms. Pearson correlation is
+// realized as mean-centered cosine (each vector centered by its own mean
+// before Eq. (1)) — the "adjusted cosine" formulation used by LensKit and
+// the common in-practice Pearson variant; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "recommender/rating_matrix.h"
+
+namespace recdb {
+
+/// One neighbor in a similarity list: (neighbor dense index, SimScore).
+struct Neighbor {
+  int32_t idx = 0;
+  float sim = 0;
+};
+
+struct SimilarityOptions {
+  /// Center vectors by their own mean first (Pearson / adjusted cosine).
+  bool centered = false;
+  /// Keep only the top-k most similar neighbors per vector (by |sim|);
+  /// 0 keeps the full similarity list, as the paper's model tables do.
+  int32_t top_k = 0;
+  /// Drop pairs with fewer co-rated dimensions than this (noise control).
+  int32_t min_overlap = 1;
+};
+
+/// Compute per-item similarity lists (paper Item Neighborhood Table):
+/// result[i] is item i's neighbors, sorted by descending similarity.
+std::vector<std::vector<Neighbor>> BuildItemNeighborhoods(
+    const RatingMatrix& ratings, const SimilarityOptions& opts);
+
+/// Compute per-user similarity lists (paper User Neighborhood Table).
+std::vector<std::vector<Neighbor>> BuildUserNeighborhoods(
+    const RatingMatrix& ratings, const SimilarityOptions& opts);
+
+/// Pairwise similarity of two sparse vectors (sorted by idx), per Eq. (1).
+/// Exposed for direct testing against hand-computed fixtures.
+double PairwiseCosine(const std::vector<RatingEntry>& a,
+                      const std::vector<RatingEntry>& b);
+
+}  // namespace recdb

@@ -1,0 +1,145 @@
+#include "recommender/svd_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace recdb {
+
+namespace {
+
+/// Deterministic pair hash for the holdout split.
+uint64_t PairHash(int64_t u, int64_t i) {
+  uint64_t h = static_cast<uint64_t>(u) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<uint64_t>(i) + 0x7f4a7c159e3779b9ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::unique_ptr<SvdModel> SvdModel::Build(
+    std::shared_ptr<const RatingMatrix> ratings, const SvdOptions& opts) {
+  return BuildWithHoldout(std::move(ratings), opts, /*holdout_mod=*/0);
+}
+
+std::unique_ptr<SvdModel> SvdModel::BuildWithHoldout(
+    std::shared_ptr<const RatingMatrix> ratings, const SvdOptions& opts,
+    int32_t holdout_mod) {
+  auto model = std::unique_ptr<SvdModel>(new SvdModel(std::move(ratings), opts));
+  model->Train(holdout_mod);
+  return model;
+}
+
+void SvdModel::Train(int32_t holdout_mod) {
+  const RatingMatrix& r = *ratings_;
+  const size_t nu = r.NumUsers();
+  const size_t ni = r.NumItems();
+  const int32_t f = opts_.num_factors;
+  global_mean_ = r.GlobalMean();
+
+  Rng rng(opts_.seed);
+  const double init_scale = 1.0 / std::sqrt(static_cast<double>(f));
+  user_factors_.assign(nu, std::vector<float>(f));
+  item_factors_.assign(ni, std::vector<float>(f));
+  for (auto& vec : user_factors_)
+    for (auto& v : vec) v = static_cast<float>(rng.Gaussian(0, init_scale));
+  for (auto& vec : item_factors_)
+    for (auto& v : vec) v = static_cast<float>(rng.Gaussian(0, init_scale));
+  user_bias_.assign(nu, 0.0f);
+  item_bias_.assign(ni, 0.0f);
+
+  // Flatten training triples; hold out a deterministic slice if requested.
+  struct Triple {
+    int32_t u, i;
+    float rating;
+  };
+  std::vector<Triple> train, held;
+  train.reserve(r.NumRatings());
+  for (size_t u = 0; u < nu; ++u) {
+    for (const auto& e : r.UserVector(static_cast<int32_t>(u))) {
+      Triple t{static_cast<int32_t>(u), e.idx,
+               static_cast<float>(e.rating)};
+      bool hold =
+          holdout_mod > 1 &&
+          PairHash(r.UserIdAt(t.u), r.ItemIdAt(t.i)) % holdout_mod == 0;
+      (hold ? held : train).push_back(t);
+    }
+  }
+
+  const float lr = static_cast<float>(opts_.learning_rate);
+  const float lambda = static_cast<float>(opts_.regularization);
+  const bool biases = opts_.use_biases;
+  const float mean = biases ? static_cast<float>(global_mean_) : 0.0f;
+
+  epoch_rmse_.clear();
+  for (int32_t epoch = 0; epoch < opts_.num_epochs; ++epoch) {
+    std::shuffle(train.begin(), train.end(), rng.engine());
+    double se = 0;
+    for (const auto& t : train) {
+      float* pu = user_factors_[t.u].data();
+      float* qi = item_factors_[t.i].data();
+      float pred = mean;
+      if (biases) pred += user_bias_[t.u] + item_bias_[t.i];
+      for (int32_t k = 0; k < f; ++k) pred += pu[k] * qi[k];
+      float err = t.rating - pred;
+      se += static_cast<double>(err) * err;
+      if (biases) {
+        user_bias_[t.u] += lr * (err - lambda * user_bias_[t.u]);
+        item_bias_[t.i] += lr * (err - lambda * item_bias_[t.i]);
+      }
+      for (int32_t k = 0; k < f; ++k) {
+        float puk = pu[k];
+        pu[k] += lr * (err * qi[k] - lambda * puk);
+        qi[k] += lr * (err * puk - lambda * qi[k]);
+      }
+    }
+    epoch_rmse_.push_back(
+        train.empty() ? 0 : std::sqrt(se / static_cast<double>(train.size())));
+  }
+
+  if (!held.empty()) {
+    double se = 0;
+    for (const auto& t : held) {
+      double err = t.rating - PredictByIndex(t.u, t.i);
+      se += err * err;
+    }
+    holdout_rmse_ = std::sqrt(se / static_cast<double>(held.size()));
+  }
+}
+
+double SvdModel::PredictByIndex(int32_t u, int32_t i) const {
+  const auto& pu = user_factors_[u];
+  const auto& qi = item_factors_[i];
+  double pred = 0;
+  if (opts_.use_biases) {
+    pred = global_mean_ + user_bias_[u] + item_bias_[i];
+  }
+  for (size_t k = 0; k < pu.size(); ++k) {
+    pred += static_cast<double>(pu[k]) * qi[k];
+  }
+  return pred;
+}
+
+double SvdModel::Predict(int64_t user_id, int64_t item_id) const {
+  auto u = ratings_->UserIndex(user_id);
+  auto i = ratings_->ItemIndex(item_id);
+  if (!u || !i) return 0;
+  return PredictByIndex(*u, *i);
+}
+
+const std::vector<float>& SvdModel::UserFactors(int32_t user_idx) const {
+  return user_factors_[user_idx];
+}
+
+const std::vector<float>& SvdModel::ItemFactors(int32_t item_idx) const {
+  return item_factors_[item_idx];
+}
+
+size_t SvdModel::ApproxBytes() const {
+  return (user_factors_.size() + item_factors_.size()) *
+             (opts_.num_factors * sizeof(float) + 24) +
+         (user_bias_.size() + item_bias_.size()) * sizeof(float);
+}
+
+}  // namespace recdb

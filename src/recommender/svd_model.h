@@ -1,0 +1,78 @@
+// SvdModel: regularized matrix factorization trained with stochastic
+// gradient descent (paper Section IV-A.3, Eq. 3).
+//
+// Learns user factor vectors p_u and item factor vectors q_i minimizing
+//   Σ (r_ui - q_i·p_u)² + λ(‖q_i‖² + ‖p_u‖²)
+// Prediction is the dot product q_i·p_u (paper Algorithm 2), optionally
+// offset by global mean + biases (off by default to follow Eq. 3 literally).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "recommender/model.h"
+
+namespace recdb {
+
+struct SvdOptions {
+  int32_t num_factors = 32;
+  int32_t num_epochs = 25;
+  double learning_rate = 0.01;
+  double regularization = 0.05;  // λ in Eq. (3)
+  uint64_t seed = 7;
+  /// Add global mean + user/item bias terms to the model (Koren-style).
+  /// Default false: the paper's Eq. (3) has factors only.
+  bool use_biases = false;
+};
+
+class SvdModel : public RecModel {
+ public:
+  /// Train on the full snapshot.
+  static std::unique_ptr<SvdModel> Build(
+      std::shared_ptr<const RatingMatrix> ratings,
+      const SvdOptions& opts = {});
+
+  /// Train while holding out every rating with (hash(u,i) % holdout_mod ==
+  /// 0); held-out pairs are used for test RMSE only. holdout_mod <= 1 means
+  /// no holdout. Accuracy-invariant tests use this.
+  static std::unique_ptr<SvdModel> BuildWithHoldout(
+      std::shared_ptr<const RatingMatrix> ratings, const SvdOptions& opts,
+      int32_t holdout_mod);
+
+  RecAlgorithm algorithm() const override { return RecAlgorithm::kSVD; }
+
+  double Predict(int64_t user_id, int64_t item_id) const override;
+
+  /// Training RMSE at the end of each epoch (monotonicity checks).
+  const std::vector<double>& epoch_rmse() const { return epoch_rmse_; }
+
+  /// RMSE over the held-out set (0 when no holdout was used).
+  double holdout_rmse() const { return holdout_rmse_; }
+
+  /// Factor vector accessors (paper Figure 2's User/Item Factor tables).
+  const std::vector<float>& UserFactors(int32_t user_idx) const;
+  const std::vector<float>& ItemFactors(int32_t item_idx) const;
+
+  size_t ApproxBytes() const override;
+
+  const SvdOptions& options() const { return opts_; }
+
+ private:
+  SvdModel(std::shared_ptr<const RatingMatrix> ratings, SvdOptions opts)
+      : RecModel(std::move(ratings)), opts_(opts) {}
+
+  void Train(int32_t holdout_mod);
+  double PredictByIndex(int32_t u, int32_t i) const;
+
+  SvdOptions opts_;
+  // Row-major [entity][factor] factor matrices.
+  std::vector<std::vector<float>> user_factors_;
+  std::vector<std::vector<float>> item_factors_;
+  std::vector<float> user_bias_;
+  std::vector<float> item_bias_;
+  double global_mean_ = 0;
+  std::vector<double> epoch_rmse_;
+  double holdout_rmse_ = 0;
+};
+
+}  // namespace recdb

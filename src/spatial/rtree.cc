@@ -1,0 +1,160 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace recdb::spatial {
+
+namespace {
+
+Rect MbrOfEntries(const std::vector<RTreeEntry>& entries) {
+  Rect r{entries[0].point.x, entries[0].point.y, entries[0].point.x,
+         entries[0].point.y};
+  for (const auto& e : entries) {
+    r.min_x = std::min(r.min_x, e.point.x);
+    r.min_y = std::min(r.min_y, e.point.y);
+    r.max_x = std::max(r.max_x, e.point.x);
+    r.max_y = std::max(r.max_y, e.point.y);
+  }
+  return r;
+}
+
+}  // namespace
+
+RTree::RTree(std::vector<RTreeEntry> entries, size_t max_fanout)
+    : max_fanout_(max_fanout < 2 ? 2 : max_fanout), size_(entries.size()) {
+  root_ = BulkLoad(std::move(entries));
+}
+
+std::unique_ptr<RTree::Node> RTree::BulkLoad(std::vector<RTreeEntry> entries) {
+  if (entries.empty()) {
+    auto node = std::make_unique<Node>();
+    node->leaf = true;
+    node->mbr = Rect{0, 0, 0, 0};
+    return node;
+  }
+  // STR: sort by x, slice into vertical strips of ~sqrt(n/fanout) leaves,
+  // sort each strip by y, chop into leaves.
+  const size_t n = entries.size();
+  const size_t num_leaves = (n + max_fanout_ - 1) / max_fanout_;
+  const size_t num_strips =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t strip_size = (n + num_strips - 1) / num_strips;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.point.x < b.point.x;
+            });
+
+  std::vector<std::unique_ptr<Node>> leaves;
+  for (size_t s = 0; s < n; s += strip_size) {
+    size_t end = std::min(s + strip_size, n);
+    std::sort(entries.begin() + s, entries.begin() + end,
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                return a.point.y < b.point.y;
+              });
+    for (size_t i = s; i < end; i += max_fanout_) {
+      size_t leaf_end = std::min(i + max_fanout_, end);
+      auto leaf = std::make_unique<Node>();
+      leaf->leaf = true;
+      leaf->entries.assign(entries.begin() + i, entries.begin() + leaf_end);
+      leaf->mbr = MbrOfEntries(leaf->entries);
+      leaves.push_back(std::move(leaf));
+    }
+  }
+  return PackLevel(std::move(leaves));
+}
+
+std::unique_ptr<RTree::Node> RTree::PackLevel(
+    std::vector<std::unique_ptr<Node>> nodes) {
+  if (nodes.size() == 1) return std::move(nodes[0]);
+  // Recursively group nodes by x-center into parents of max_fanout_.
+  std::sort(nodes.begin(), nodes.end(),
+            [](const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+              return a->mbr.min_x + a->mbr.max_x <
+                     b->mbr.min_x + b->mbr.max_x;
+            });
+  std::vector<std::unique_ptr<Node>> parents;
+  for (size_t i = 0; i < nodes.size(); i += max_fanout_) {
+    size_t end = std::min(i + max_fanout_, nodes.size());
+    auto parent = std::make_unique<Node>();
+    parent->leaf = false;
+    parent->mbr = nodes[i]->mbr;
+    for (size_t j = i; j < end; ++j) {
+      parent->mbr = parent->mbr.Union(nodes[j]->mbr);
+      parent->children.push_back(std::move(nodes[j]));
+    }
+    parents.push_back(std::move(parent));
+  }
+  return PackLevel(std::move(parents));
+}
+
+size_t RTree::Height() const {
+  size_t h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+void RTree::Visit(const Rect& rect,
+                  const std::function<bool(const RTreeEntry&)>& fn) const {
+  nodes_visited_ = 0;
+  if (size_ == 0) return;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    ++nodes_visited_;
+    if (!n->mbr.Intersects(rect)) continue;
+    if (n->leaf) {
+      for (const auto& e : n->entries) {
+        if (rect.Contains(e.point)) {
+          if (!fn(e)) return;
+        }
+      }
+    } else {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+}
+
+std::vector<int64_t> RTree::QueryRect(const Rect& rect) const {
+  std::vector<int64_t> out;
+  Visit(rect, [&](const RTreeEntry& e) {
+    out.push_back(e.id);
+    return true;
+  });
+  return out;
+}
+
+std::vector<int64_t> RTree::QueryRadius(const Point& center,
+                                        double radius) const {
+  Rect box{center.x - radius, center.y - radius, center.x + radius,
+           center.y + radius};
+  std::vector<int64_t> out;
+  Visit(box, [&](const RTreeEntry& e) {
+    if (Distance(e.point, center) <= radius) out.push_back(e.id);
+    return true;
+  });
+  return out;
+}
+
+std::vector<int64_t> RTree::QueryPolygon(const Geometry& polygon) const {
+  RECDB_DCHECK(polygon.type() == GeometryType::kPolygon);
+  Rect box = polygon.Mbr();
+  std::vector<int64_t> out;
+  Visit(box, [&](const RTreeEntry& e) {
+    if (STContains(polygon, Geometry::MakePoint(e.point.x, e.point.y))) {
+      out.push_back(e.id);
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace recdb::spatial

@@ -1,0 +1,64 @@
+// STR-packed R-tree over points, used by the POI case study to filter
+// candidates by region or radius before recommendation scoring.
+//
+// Built once from a point set (Sort-Tile-Recursive bulk load); supports
+// rectangle queries, radius queries and contains-polygon queries. Entries
+// carry an int64 payload (the POI's item id).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "spatial/geometry.h"
+
+namespace recdb::spatial {
+
+struct RTreeEntry {
+  Point point;
+  int64_t id = 0;
+};
+
+class RTree {
+ public:
+  /// Bulk-load from entries. `max_fanout` controls node capacity (>= 2).
+  explicit RTree(std::vector<RTreeEntry> entries, size_t max_fanout = 16);
+
+  size_t size() const { return size_; }
+  size_t Height() const;
+
+  /// All ids whose point lies inside `rect` (inclusive bounds).
+  std::vector<int64_t> QueryRect(const Rect& rect) const;
+
+  /// All ids within `radius` of `center`.
+  std::vector<int64_t> QueryRadius(const Point& center, double radius) const;
+
+  /// All ids inside `polygon`.
+  std::vector<int64_t> QueryPolygon(const Geometry& polygon) const;
+
+  /// Visit entries in the rectangle; `fn` returns false to stop early.
+  void Visit(const Rect& rect,
+             const std::function<bool(const RTreeEntry&)>& fn) const;
+
+  /// Nodes touched by the last Query* call (work accounting for tests).
+  size_t last_nodes_visited() const { return nodes_visited_; }
+
+ private:
+  struct Node {
+    Rect mbr;
+    bool leaf = true;
+    std::vector<RTreeEntry> entries;           // leaf
+    std::vector<std::unique_ptr<Node>> children;  // internal
+  };
+
+  std::unique_ptr<Node> BulkLoad(std::vector<RTreeEntry> entries);
+  std::unique_ptr<Node> PackLevel(std::vector<std::unique_ptr<Node>> nodes);
+
+  size_t max_fanout_;
+  size_t size_;
+  std::unique_ptr<Node> root_;
+  mutable size_t nodes_visited_ = 0;
+};
+
+}  // namespace recdb::spatial

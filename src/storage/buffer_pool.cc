@@ -1,0 +1,130 @@
+#include "storage/buffer_pool.h"
+
+namespace recdb {
+
+BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
+  RECDB_DCHECK(pool_size > 0);
+  frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_list_.push_back(static_cast<frame_id_t>(i));
+  }
+}
+
+void BufferPool::TouchLru(frame_id_t fid) {
+  EraseLru(fid);
+  lru_.push_back(fid);
+  lru_pos_[fid] = std::prev(lru_.end());
+}
+
+void BufferPool::EraseLru(frame_id_t fid) {
+  auto it = lru_pos_.find(fid);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+    lru_pos_.erase(it);
+  }
+}
+
+Result<frame_id_t> BufferPool::GetVictim() {
+  if (!free_list_.empty()) {
+    frame_id_t fid = free_list_.back();
+    free_list_.pop_back();
+    return fid;
+  }
+  for (frame_id_t fid : lru_) {
+    if (frames_[fid]->pin_count() == 0) {
+      Page* victim = frames_[fid].get();
+      if (victim->is_dirty()) {
+        RECDB_RETURN_NOT_OK(disk_->WritePage(victim->page_id(), victim->data()));
+      }
+      page_table_.erase(victim->page_id());
+      EraseLru(fid);
+      victim->Reset();
+      return fid;
+    }
+  }
+  return Status::ResourceExhausted("all buffer-pool frames are pinned");
+}
+
+Result<Page*> BufferPool::Fetch(page_id_t pid) {
+  auto it = page_table_.find(pid);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Page* page = frames_[it->second].get();
+    ++page->pin_count_;
+    TouchLru(it->second);
+    return page;
+  }
+  ++misses_;
+  RECDB_ASSIGN_OR_RETURN(frame_id_t fid, GetVictim());
+  Page* page = frames_[fid].get();
+  Status st = disk_->ReadPage(pid, page->data());
+  if (!st.ok()) {
+    free_list_.push_back(fid);
+    return st;
+  }
+  page->page_id_ = pid;
+  page->pin_count_ = 1;
+  page->is_dirty_ = false;
+  page_table_[pid] = fid;
+  TouchLru(fid);
+  return page;
+}
+
+Result<Page*> BufferPool::New(page_id_t* pid_out) {
+  RECDB_ASSIGN_OR_RETURN(frame_id_t fid, GetVictim());
+  page_id_t pid = disk_->AllocatePage();
+  Page* page = frames_[fid].get();
+  page->Reset();
+  page->page_id_ = pid;
+  page->pin_count_ = 1;
+  page->is_dirty_ = true;  // a new page must reach disk even if untouched
+  page_table_[pid] = fid;
+  TouchLru(fid);
+  if (pid_out != nullptr) *pid_out = pid;
+  return page;
+}
+
+Status BufferPool::Unpin(page_id_t pid, bool dirty) {
+  auto it = page_table_.find(pid);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of non-resident page " +
+                            std::to_string(pid));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count_ <= 0) {
+    return Status::Internal("unpin of unpinned page " + std::to_string(pid));
+  }
+  --page->pin_count_;
+  page->is_dirty_ = page->is_dirty_ || dirty;
+  return Status::OK();
+}
+
+Status BufferPool::Flush(page_id_t pid) {
+  auto it = page_table_.find(pid);
+  if (it == page_table_.end()) return Status::OK();
+  Page* page = frames_[it->second].get();
+  if (page->is_dirty_) {
+    RECDB_RETURN_NOT_OK(disk_->WritePage(pid, page->data()));
+    page->is_dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [pid, fid] : page_table_) {
+    (void)fid;
+    RECDB_RETURN_NOT_OK(Flush(pid));
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::NumPinned() const {
+  size_t n = 0;
+  for (const auto& f : frames_) {
+    if (f->pin_count() > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace recdb

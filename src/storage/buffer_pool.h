@@ -1,0 +1,63 @@
+// BufferPool: fixed set of frames over the DiskManager with LRU replacement.
+//
+// Pin/unpin discipline: Fetch/New return a pinned page; callers must Unpin
+// (marking dirty when they wrote). Pinned pages are never evicted; evicting
+// a dirty page writes it back.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace recdb {
+
+class BufferPool {
+ public:
+  BufferPool(size_t pool_size, DiskManager* disk);
+
+  /// Fetch an existing page, pinning it. IOError if unallocated;
+  /// ResourceExhausted if every frame is pinned.
+  Result<Page*> Fetch(page_id_t pid);
+
+  /// Allocate a new page on disk and pin a zeroed frame for it.
+  Result<Page*> New(page_id_t* pid_out);
+
+  /// Drop a pin; `dirty` ORs into the frame's dirty bit.
+  Status Unpin(page_id_t pid, bool dirty);
+
+  /// Write a page back to disk if present (clears dirty bit).
+  Status Flush(page_id_t pid);
+
+  /// Flush every resident dirty page.
+  Status FlushAll();
+
+  size_t pool_size() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+  /// Number of currently pinned frames (test/debug aid).
+  size_t NumPinned() const;
+
+ private:
+  /// Pick a victim frame: free list first, else LRU among unpinned.
+  Result<frame_id_t> GetVictim();
+  void TouchLru(frame_id_t fid);
+  void EraseLru(frame_id_t fid);
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<page_id_t, frame_id_t> page_table_;
+  std::list<frame_id_t> lru_;  // front = least recently used
+  std::unordered_map<frame_id_t, std::list<frame_id_t>::iterator> lru_pos_;
+  std::vector<frame_id_t> free_list_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace recdb

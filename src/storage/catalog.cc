@@ -1,0 +1,50 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace recdb {
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                        Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  info->schema = std::move(schema);
+  info->table_id = next_table_id_++;
+  RECDB_ASSIGN_OR_RETURN(info->heap, TableHeap::Create(pool_));
+  TableInfo* raw = info.get();
+  tables_[key] = std::move(info);
+  return raw;
+}
+
+Result<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) {
+    (void)k;
+    out.push_back(v->name);
+  }
+  return out;
+}
+
+}  // namespace recdb

@@ -1,0 +1,46 @@
+// Catalog: registry of tables (name -> schema + heap file).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table_heap.h"
+#include "types/schema.h"
+
+namespace recdb {
+
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  std::unique_ptr<TableHeap> heap;
+  uint32_t table_id = 0;
+};
+
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Create a table; AlreadyExists if the (case-insensitive) name is taken.
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+
+  /// Look up by case-insensitive name.
+  Result<TableInfo*> GetTable(const std::string& name) const;
+
+  /// Drop a table and its heap.
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  BufferPool* buffer_pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  // Keyed by lower-cased name.
+  std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
+  uint32_t next_table_id_ = 0;
+};
+
+}  // namespace recdb

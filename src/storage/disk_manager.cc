@@ -1,0 +1,44 @@
+#include "storage/disk_manager.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace recdb {
+
+page_id_t DiskManager::AllocatePage() {
+  auto buf = std::make_unique<char[]>(kPageSize);
+  std::memset(buf.get(), 0, kPageSize);
+  pages_.push_back(std::move(buf));
+  return static_cast<page_id_t>(pages_.size() - 1);
+}
+
+Status DiskManager::ReadPage(page_id_t pid, char* out) {
+  if (pid < 0 || static_cast<size_t>(pid) >= pages_.size()) {
+    return Status::IOError("read of unallocated page " + std::to_string(pid));
+  }
+  ChargeLatency();
+  std::memcpy(out, pages_[pid].get(), kPageSize);
+  ++num_reads_;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(page_id_t pid, const char* src) {
+  if (pid < 0 || static_cast<size_t>(pid) >= pages_.size()) {
+    return Status::IOError("write of unallocated page " + std::to_string(pid));
+  }
+  ChargeLatency();
+  std::memcpy(pages_[pid].get(), src, kPageSize);
+  ++num_writes_;
+  return Status::OK();
+}
+
+void DiskManager::ChargeLatency() const {
+  if (page_latency_ns_ == 0) return;
+  auto end = std::chrono::steady_clock::now() +
+             std::chrono::nanoseconds(page_latency_ns_);
+  while (std::chrono::steady_clock::now() < end) {
+    // busy wait: sleep granularity is too coarse for sub-microsecond charges
+  }
+}
+
+}  // namespace recdb

@@ -1,0 +1,52 @@
+// DiskManager: the "disk" under the buffer pool.
+//
+// The paper's operators are described in terms of block-at-a-time I/O over
+// PostgreSQL heap files. We reproduce that cost model with an in-memory
+// page store that counts every read/write, so benchmarks and tests can
+// observe I/O behaviour deterministically (and optionally charge a per-page
+// latency to emulate a slow device).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace recdb {
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+
+  /// Allocate a fresh zeroed page, returning its id.
+  page_id_t AllocatePage();
+
+  /// Read page `pid` into `out` (kPageSize bytes).
+  Status ReadPage(page_id_t pid, char* out);
+
+  /// Write kPageSize bytes from `src` to page `pid`.
+  Status WritePage(page_id_t pid, const char* src);
+
+  size_t NumPages() const { return pages_.size(); }
+
+  // I/O accounting.
+  uint64_t num_reads() const { return num_reads_; }
+  uint64_t num_writes() const { return num_writes_; }
+  void ResetCounters() { num_reads_ = num_writes_ = 0; }
+
+  /// Emulated device latency charged per physical page access (busy-wait in
+  /// nanoseconds; 0 = off). Lets benchmarks model magnetic-disk behaviour.
+  void set_page_latency_ns(uint64_t ns) { page_latency_ns_ = ns; }
+
+ private:
+  void ChargeLatency() const;
+
+  std::vector<std::unique_ptr<char[]>> pages_;
+  uint64_t num_reads_ = 0;
+  uint64_t num_writes_ = 0;
+  uint64_t page_latency_ns_ = 0;
+};
+
+}  // namespace recdb

@@ -1,0 +1,43 @@
+// Page: fixed-size in-memory frame managed by the buffer pool.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace recdb {
+
+using page_id_t = int32_t;
+using frame_id_t = int32_t;
+inline constexpr page_id_t kInvalidPageId = -1;
+inline constexpr size_t kPageSize = 4096;
+
+/// A buffer-pool frame: raw bytes plus bookkeeping. The buffer pool hands out
+/// pinned Page pointers; callers must unpin via BufferPool::Unpin.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  page_id_t page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return is_dirty_; }
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    is_dirty_ = false;
+  }
+
+ private:
+  friend class BufferPool;
+
+  char data_[kPageSize];
+  page_id_t page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool is_dirty_ = false;
+};
+
+}  // namespace recdb

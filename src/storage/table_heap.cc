@@ -1,0 +1,120 @@
+#include "storage/table_heap.h"
+
+namespace recdb {
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Create(BufferPool* pool) {
+  auto heap = std::unique_ptr<TableHeap>(new TableHeap(pool));
+  page_id_t pid;
+  RECDB_ASSIGN_OR_RETURN(Page * page, pool->New(&pid));
+  TablePage tp(page);
+  tp.Init();
+  RECDB_RETURN_NOT_OK(pool->Unpin(pid, /*dirty=*/true));
+  heap->first_page_id_ = pid;
+  heap->last_page_id_ = pid;
+  return heap;
+}
+
+Result<Rid> TableHeap::Insert(const Tuple& tuple) {
+  std::vector<uint8_t> bytes;
+  tuple.SerializeTo(&bytes);
+  if (bytes.size() > kPageSize - 64) {
+    return Status::InvalidArgument("tuple larger than a page");
+  }
+  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(last_page_id_));
+  TablePage tp(page);
+  auto slot = tp.Insert(bytes);
+  if (slot.ok()) {
+    Rid rid{last_page_id_, slot.value()};
+    RECDB_RETURN_NOT_OK(pool_->Unpin(last_page_id_, /*dirty=*/true));
+    ++num_tuples_;
+    return rid;
+  }
+  // Current tail is full: chain a fresh page.
+  page_id_t new_pid;
+  auto new_page_res = pool_->New(&new_pid);
+  if (!new_page_res.ok()) {
+    (void)pool_->Unpin(last_page_id_, false);
+    return new_page_res.status();
+  }
+  TablePage new_tp(new_page_res.value());
+  new_tp.Init();
+  tp.set_next_page_id(new_pid);
+  RECDB_RETURN_NOT_OK(pool_->Unpin(last_page_id_, /*dirty=*/true));
+  last_page_id_ = new_pid;
+  auto slot2 = new_tp.Insert(bytes);
+  if (!slot2.ok()) {
+    (void)pool_->Unpin(new_pid, true);
+    return slot2.status();
+  }
+  Rid rid{new_pid, slot2.value()};
+  RECDB_RETURN_NOT_OK(pool_->Unpin(new_pid, /*dirty=*/true));
+  ++num_tuples_;
+  return rid;
+}
+
+Result<Tuple> TableHeap::Get(const Rid& rid, size_t num_values) const {
+  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page_id));
+  TablePage tp(page);
+  auto bytes = tp.Get(rid.slot);
+  if (!bytes.ok()) {
+    (void)pool_->Unpin(rid.page_id, false);
+    return bytes.status();
+  }
+  auto tuple =
+      Tuple::DeserializeFrom(bytes.value().first, bytes.value().second,
+                             num_values);
+  RECDB_RETURN_NOT_OK(pool_->Unpin(rid.page_id, false));
+  return tuple;
+}
+
+Status TableHeap::Delete(const Rid& rid) {
+  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page_id));
+  TablePage tp(page);
+  Status st = tp.Delete(rid.slot);
+  RECDB_RETURN_NOT_OK(pool_->Unpin(rid.page_id, st.ok()));
+  if (st.ok()) --num_tuples_;
+  return st;
+}
+
+Result<Rid> TableHeap::Update(const Rid& rid, const Tuple& tuple) {
+  std::vector<uint8_t> bytes;
+  tuple.SerializeTo(&bytes);
+  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page_id));
+  TablePage tp(page);
+  Status st = tp.UpdateInPlace(rid.slot, bytes);
+  RECDB_RETURN_NOT_OK(pool_->Unpin(rid.page_id, st.ok()));
+  if (st.ok()) return rid;
+  if (st.code() != StatusCode::kResourceExhausted) return st;
+  RECDB_RETURN_NOT_OK(Delete(rid));
+  return Insert(tuple);
+}
+
+Result<std::optional<std::pair<Rid, Tuple>>> TableHeap::Iterator::Next() {
+  while (page_id_ != kInvalidPageId) {
+    RECDB_ASSIGN_OR_RETURN(Page * page, heap_->pool_->Fetch(page_id_));
+    TablePage tp(page);
+    uint16_t n = tp.num_slots();
+    while (slot_ < n) {
+      uint16_t s = slot_++;
+      auto bytes = tp.Get(s);
+      if (!bytes.ok()) continue;  // deleted slot
+      auto tuple = Tuple::DeserializeFrom(bytes.value().first,
+                                          bytes.value().second, num_values_);
+      if (!tuple.ok()) {
+        (void)heap_->pool_->Unpin(page_id_, false);
+        return tuple.status();
+      }
+      Rid rid{page_id_, s};
+      RECDB_RETURN_NOT_OK(heap_->pool_->Unpin(page_id_, false));
+      return std::make_optional(
+          std::make_pair(rid, std::move(tuple).value()));
+    }
+    page_id_t next = tp.next_page_id();
+    RECDB_RETURN_NOT_OK(heap_->pool_->Unpin(page_id_, false));
+    page_id_ = next;
+    slot_ = 0;
+  }
+  return std::optional<std::pair<Rid, Tuple>>{};
+}
+
+}  // namespace recdb

@@ -1,0 +1,72 @@
+// TableHeap: a linked list of slotted pages storing one table's tuples.
+//
+// Access pattern matches the paper's operators: sequential block-at-a-time
+// scans through the buffer pool, append-mostly inserts.
+#pragma once
+
+#include <optional>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_page.h"
+#include "types/tuple.h"
+
+namespace recdb {
+
+class TableHeap {
+ public:
+  /// Create a new heap file (allocates the first page).
+  static Result<std::unique_ptr<TableHeap>> Create(BufferPool* pool);
+
+  /// Insert a tuple, returning its record id.
+  Result<Rid> Insert(const Tuple& tuple);
+
+  /// Read the tuple at `rid` (`num_values` = column count of the schema).
+  Result<Tuple> Get(const Rid& rid, size_t num_values) const;
+
+  /// Delete the tuple at `rid`.
+  Status Delete(const Rid& rid);
+
+  /// Update in place when possible; otherwise delete + re-insert.
+  /// Returns the (possibly new) rid.
+  Result<Rid> Update(const Rid& rid, const Tuple& tuple);
+
+  page_id_t first_page_id() const { return first_page_id_; }
+  size_t num_tuples() const { return num_tuples_; }
+
+  /// Forward iterator over live tuples, page by page. Usage:
+  ///   auto it = heap.Begin(ncols);
+  ///   while (true) {
+  ///     auto next = it.Next();           // Result<optional<pair<Rid,Tuple>>>
+  ///     if (!next.ok()) ...error...
+  ///     if (!next.value()) break;        // exhausted
+  ///   }
+  class Iterator {
+   public:
+    Iterator(const TableHeap* heap, size_t num_values)
+        : heap_(heap),
+          num_values_(num_values),
+          page_id_(heap->first_page_id_) {}
+
+    /// Next live tuple, or nullopt at end.
+    Result<std::optional<std::pair<Rid, Tuple>>> Next();
+
+   private:
+    const TableHeap* heap_;
+    size_t num_values_;
+    page_id_t page_id_;
+    uint16_t slot_ = 0;
+  };
+
+  Iterator Begin(size_t num_values) const { return Iterator(this, num_values); }
+
+ private:
+  explicit TableHeap(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool_;
+  page_id_t first_page_id_ = kInvalidPageId;
+  page_id_t last_page_id_ = kInvalidPageId;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace recdb

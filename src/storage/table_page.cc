@@ -1,0 +1,108 @@
+#include "storage/table_page.h"
+
+#include <cstring>
+
+namespace recdb {
+
+namespace {
+template <typename T>
+T Load(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+template <typename T>
+void Store(char* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+}  // namespace
+
+void TablePage::Init() {
+  set_next_page_id(kInvalidPageId);
+  set_num_slots(0);
+  set_free_end(static_cast<uint16_t>(kPageSize));
+}
+
+page_id_t TablePage::next_page_id() const {
+  return Load<page_id_t>(page_->data());
+}
+void TablePage::set_next_page_id(page_id_t pid) {
+  Store(page_->data(), pid);
+}
+uint16_t TablePage::num_slots() const {
+  return Load<uint16_t>(page_->data() + 4);
+}
+void TablePage::set_num_slots(uint16_t v) { Store(page_->data() + 4, v); }
+uint16_t TablePage::free_end() const {
+  uint16_t v = Load<uint16_t>(page_->data() + 6);
+  // A freshly zeroed page reads free_end == 0; treat as uninitialized full
+  // page end. Init() stores kPageSize truncated to uint16 (== 0 when
+  // kPageSize is 4096 * n... it is 4096, fits). Guard anyway.
+  return v == 0 ? static_cast<uint16_t>(kPageSize) : v;
+}
+void TablePage::set_free_end(uint16_t v) { Store(page_->data() + 6, v); }
+
+std::pair<uint16_t, uint16_t> TablePage::slot_at(uint16_t i) const {
+  const char* p = page_->data() + kHeaderSize + i * kSlotSize;
+  return {Load<uint16_t>(p), Load<uint16_t>(p + 2)};
+}
+
+void TablePage::set_slot(uint16_t i, uint16_t off, uint16_t size) {
+  char* p = page_->data() + kHeaderSize + i * kSlotSize;
+  Store(p, off);
+  Store(p + 2, size);
+}
+
+size_t TablePage::FreeSpaceForInsert() const {
+  size_t slots_end = kHeaderSize + num_slots() * kSlotSize;
+  size_t fe = free_end();
+  if (fe < slots_end + kSlotSize) return 0;
+  return fe - slots_end - kSlotSize;
+}
+
+Result<uint16_t> TablePage::Insert(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() > FreeSpaceForInsert()) {
+    return Status::ResourceExhausted("tuple does not fit in page");
+  }
+  uint16_t new_end = static_cast<uint16_t>(free_end() - bytes.size());
+  std::memcpy(page_->data() + new_end, bytes.data(), bytes.size());
+  uint16_t slot = num_slots();
+  set_num_slots(slot + 1);
+  set_slot(slot, new_end, static_cast<uint16_t>(bytes.size()));
+  set_free_end(new_end);
+  return slot;
+}
+
+Result<std::pair<const uint8_t*, size_t>> TablePage::Get(uint16_t slot) const {
+  if (slot >= num_slots()) {
+    return Status::NotFound("slot out of range");
+  }
+  auto [off, size] = slot_at(slot);
+  if (size == 0) return Status::NotFound("deleted slot");
+  return std::make_pair(
+      reinterpret_cast<const uint8_t*>(page_->data() + off),
+      static_cast<size_t>(size));
+}
+
+Status TablePage::Delete(uint16_t slot) {
+  if (slot >= num_slots()) return Status::NotFound("slot out of range");
+  auto [off, size] = slot_at(slot);
+  if (size == 0) return Status::NotFound("slot already deleted");
+  set_slot(slot, off, 0);
+  return Status::OK();
+}
+
+Status TablePage::UpdateInPlace(uint16_t slot,
+                                const std::vector<uint8_t>& bytes) {
+  if (slot >= num_slots()) return Status::NotFound("slot out of range");
+  auto [off, size] = slot_at(slot);
+  if (size == 0) return Status::NotFound("deleted slot");
+  if (bytes.size() > size) {
+    return Status::ResourceExhausted("new tuple larger than old slot");
+  }
+  std::memcpy(page_->data() + off, bytes.data(), bytes.size());
+  set_slot(slot, off, static_cast<uint16_t>(bytes.size()));
+  return Status::OK();
+}
+
+}  // namespace recdb

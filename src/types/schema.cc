@@ -1,0 +1,29 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace recdb {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (EqualsIgnoreCase(cols_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Column> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(cols_.size());
+  for (const auto& c : cols_) {
+    parts.push_back(c.name + " " + TypeIdToString(c.type));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace recdb

@@ -1,0 +1,51 @@
+// Schema: ordered list of named, typed columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace recdb {
+
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+
+  Column() = default;
+  Column(std::string n, TypeId t) : name(std::move(n)), type(t) {}
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t NumColumns() const { return cols_.size(); }
+  const Column& ColumnAt(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of a column by case-insensitive name; NotFound if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if a column with this name exists.
+  bool Has(const std::string& name) const { return IndexOf(name).ok(); }
+
+  /// Concatenate two schemas (join output).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  /// "name TYPE, name TYPE, ..."
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const { return cols_ == o.cols_; }
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace recdb

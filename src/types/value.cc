@@ -1,0 +1,148 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace recdb {
+
+const char* TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt64:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "TEXT";
+    case TypeId::kGeometry:
+      return "GEOMETRY";
+  }
+  return "?";
+}
+
+Result<TypeId> TypeIdFromName(const std::string& name) {
+  std::string n = ToUpper(name);
+  if (n == "INT" || n == "INTEGER" || n == "BIGINT") return TypeId::kInt64;
+  if (n == "DOUBLE" || n == "FLOAT" || n == "REAL") return TypeId::kDouble;
+  if (n == "TEXT" || n == "VARCHAR" || n == "STRING") return TypeId::kString;
+  if (n == "GEOMETRY" || n == "GEOM") return TypeId::kGeometry;
+  return Status::ParseError("unknown type name: " + name);
+}
+
+bool Value::SqlEquals(const Value& o) const {
+  if (is_null() || o.is_null()) return false;
+  return Compare(o) == 0;
+}
+
+namespace {
+int TypeGroup(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+      return 1;
+    case TypeId::kString:
+      return 2;
+    case TypeId::kGeometry:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& o) const {
+  int ga = TypeGroup(type_), gb = TypeGroup(o.type_);
+  if (ga != gb) return ga < gb ? -1 : 1;
+  switch (ga) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes
+    case 1: {
+      // Exact comparison when both are ints avoids double rounding.
+      if (type_ == TypeId::kInt64 && o.type_ == TypeId::kInt64) {
+        int64_t a = AsInt(), b = o.AsInt();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = AsNumeric(), b = o.AsNumeric();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case 2: {
+      int c = AsString().compare(o.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default: {
+      // Geometries order by their textual form (stable, rarely used).
+      std::string a = AsGeometry().ToString(), b = o.AsGeometry().ToString();
+      int c = a.compare(b);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case TypeId::kInt64:
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    case TypeId::kDouble:
+      return std::hash<double>()(AsDouble());
+    case TypeId::kString:
+      return std::hash<std::string>()(AsString());
+    case TypeId::kGeometry:
+      return std::hash<std::string>()(AsGeometry().ToString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt64:
+      return std::to_string(AsInt());
+    case TypeId::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case TypeId::kString:
+      return AsString();
+    case TypeId::kGeometry:
+      return AsGeometry().ToString();
+  }
+  return "?";
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (is_null()) return Null();
+  if (type_ == target) return *this;
+  switch (target) {
+    case TypeId::kInt64:
+      if (type_ == TypeId::kDouble)
+        return Int(static_cast<int64_t>(std::llround(AsDouble())));
+      break;
+    case TypeId::kDouble:
+      if (type_ == TypeId::kInt64)
+        return Double(static_cast<double>(AsInt()));
+      break;
+    case TypeId::kGeometry:
+      if (type_ == TypeId::kString) {
+        RECDB_ASSIGN_OR_RETURN(auto g,
+                               spatial::Geometry::FromString(AsString()));
+        return Geometry(std::move(g));
+      }
+      break;
+    case TypeId::kString:
+      return String(ToString());
+    default:
+      break;
+  }
+  return Status::InvalidArgument(StringFormat(
+      "cannot cast %s to %s", TypeIdToString(type_), TypeIdToString(target)));
+}
+
+}  // namespace recdb

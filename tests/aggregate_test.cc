@@ -1,0 +1,200 @@
+// Aggregation tests: COUNT/SUM/AVG/MIN/MAX, GROUP BY, NULL handling,
+// expressions over aggregates, ORDER BY aggregates, aggregation over
+// RECOMMEND output, and error paths.
+#include <gtest/gtest.h>
+
+#include "api/recdb.h"
+
+namespace recdb {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<RecDB>();
+    Exec("CREATE TABLE sales (region TEXT, product TEXT, amount DOUBLE, "
+         "qty INT)");
+    Exec("INSERT INTO sales VALUES "
+         "('west', 'apple', 10.0, 1), "
+         "('west', 'pear', 20.0, 2), "
+         "('east', 'apple', 5.0, 3), "
+         "('east', 'pear', 15.0, 4), "
+         "('east', 'plum', 25.0, 5), "
+         "('north', 'apple', NULL, 6)");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    auto r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    if (!r.ok()) return ResultSet{};
+    return std::move(r).value();
+  }
+
+  std::unique_ptr<RecDB> db_;
+};
+
+TEST_F(AggregateTest, GlobalAggregates) {
+  auto rs = Exec(
+      "SELECT count(*), count(amount), sum(amount), avg(amount), "
+      "min(amount), max(amount) FROM sales");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.At(0, 0).AsInt(), 6);        // count(*) counts NULL rows
+  EXPECT_EQ(rs.At(0, 1).AsInt(), 5);        // count(amount) skips NULL
+  EXPECT_DOUBLE_EQ(rs.At(0, 2).AsDouble(), 75.0);
+  EXPECT_DOUBLE_EQ(rs.At(0, 3).AsDouble(), 15.0);
+  EXPECT_DOUBLE_EQ(rs.At(0, 4).AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.At(0, 5).AsDouble(), 25.0);
+}
+
+TEST_F(AggregateTest, GroupBy) {
+  auto rs = Exec(
+      "SELECT region, count(*), sum(amount) FROM sales "
+      "GROUP BY region ORDER BY region");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.At(0, 0).AsString(), "east");
+  EXPECT_EQ(rs.At(0, 1).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(rs.At(0, 2).AsDouble(), 45.0);
+  EXPECT_EQ(rs.At(1, 0).AsString(), "north");
+  EXPECT_EQ(rs.At(1, 1).AsInt(), 1);
+  EXPECT_TRUE(rs.At(1, 2).is_null());  // only a NULL amount in 'north'
+  EXPECT_EQ(rs.At(2, 0).AsString(), "west");
+  EXPECT_DOUBLE_EQ(rs.At(2, 2).AsDouble(), 30.0);
+}
+
+TEST_F(AggregateTest, GroupByWithWhereAndOrderByAggregate) {
+  auto rs = Exec(
+      "SELECT product, sum(qty) FROM sales WHERE region <> 'north' "
+      "GROUP BY product ORDER BY sum(qty) DESC");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.At(0, 0).AsString(), "pear");  // 2 + 4 = 6
+  EXPECT_DOUBLE_EQ(rs.At(0, 1).AsDouble(), 6.0);
+  EXPECT_EQ(rs.At(1, 0).AsString(), "plum");  // 5
+  EXPECT_EQ(rs.At(2, 0).AsString(), "apple");  // 1 + 3 = 4
+}
+
+TEST_F(AggregateTest, ExpressionsOverAggregates) {
+  auto rs = Exec(
+      "SELECT sum(amount) / count(amount), max(qty) - min(qty) FROM sales");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(rs.At(0, 0).AsDouble(), 15.0);
+  EXPECT_EQ(rs.At(0, 1).AsInt(), 5);
+}
+
+TEST_F(AggregateTest, ComputedGroupKey) {
+  auto rs = Exec(
+      "SELECT qty / 3, count(*) FROM sales GROUP BY qty / 3 "
+      "ORDER BY qty / 3");
+  // qty/3 is double division: 1/3, 2/3, 1, 4/3, 5/3, 2 -> six groups.
+  EXPECT_EQ(rs.NumRows(), 6u);
+}
+
+TEST_F(AggregateTest, EmptyInputGlobalVsGrouped) {
+  auto global = Exec("SELECT count(*), sum(amount) FROM sales WHERE qty > 99");
+  ASSERT_EQ(global.NumRows(), 1u);
+  EXPECT_EQ(global.At(0, 0).AsInt(), 0);
+  EXPECT_TRUE(global.At(0, 1).is_null());
+  auto grouped = Exec(
+      "SELECT region, count(*) FROM sales WHERE qty > 99 GROUP BY region");
+  EXPECT_EQ(grouped.NumRows(), 0u);
+}
+
+TEST_F(AggregateTest, MinMaxOverStrings) {
+  auto rs = Exec("SELECT min(product), max(product) FROM sales");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.At(0, 0).AsString(), "apple");
+  EXPECT_EQ(rs.At(0, 1).AsString(), "plum");
+}
+
+TEST_F(AggregateTest, DuplicateAggregatesShareOneState) {
+  auto rs = Exec("SELECT sum(qty), sum(qty) + 1 FROM sales");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(rs.At(0, 0).AsDouble(), 21.0);
+  EXPECT_DOUBLE_EQ(rs.At(0, 1).AsDouble(), 22.0);
+}
+
+TEST_F(AggregateTest, Errors) {
+  // Bare column not in GROUP BY.
+  EXPECT_FALSE(
+      db_->Execute("SELECT product, count(*) FROM sales GROUP BY region")
+          .ok());
+  // Nested aggregates.
+  EXPECT_FALSE(db_->Execute("SELECT sum(count(*)) FROM sales").ok());
+  // '*' outside COUNT.
+  EXPECT_FALSE(db_->Execute("SELECT sum(*) FROM sales").ok());
+  // SELECT * with GROUP BY.
+  EXPECT_FALSE(db_->Execute("SELECT * FROM sales GROUP BY region").ok());
+  // SUM over a string column.
+  EXPECT_FALSE(db_->Execute("SELECT sum(product) FROM sales").ok());
+}
+
+TEST_F(AggregateTest, Having) {
+  auto rs = Exec(
+      "SELECT region, count(*) FROM sales GROUP BY region "
+      "HAVING count(*) > 1 ORDER BY region");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.At(0, 0).AsString(), "east");
+  EXPECT_EQ(rs.At(1, 0).AsString(), "west");
+}
+
+TEST_F(AggregateTest, HavingWithAggregateNotInSelectList) {
+  auto rs = Exec(
+      "SELECT region FROM sales GROUP BY region "
+      "HAVING sum(qty) >= 12 ORDER BY region");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.At(0, 0).AsString(), "east");  // 3+4+5 = 12
+}
+
+TEST_F(AggregateTest, HavingWithoutAggregationErrors) {
+  EXPECT_FALSE(db_->Execute("SELECT region FROM sales HAVING region = 'x'")
+                   .ok());
+}
+
+TEST_F(AggregateTest, Distinct) {
+  auto rs = Exec("SELECT DISTINCT region FROM sales ORDER BY region");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.At(0, 0).AsString(), "east");
+  EXPECT_EQ(rs.At(1, 0).AsString(), "north");
+  EXPECT_EQ(rs.At(2, 0).AsString(), "west");
+}
+
+TEST_F(AggregateTest, DistinctMultiColumnAndLimit) {
+  Exec("INSERT INTO sales VALUES ('west', 'apple', 99.0, 9)");
+  auto all = Exec(
+      "SELECT DISTINCT region, product FROM sales ORDER BY region, product");
+  EXPECT_EQ(all.NumRows(), 6u);  // (west,apple) deduplicated
+  // LIMIT applies after dedup: 3 distinct regions, not 3 raw rows.
+  auto limited =
+      Exec("SELECT DISTINCT region FROM sales ORDER BY region LIMIT 2");
+  ASSERT_EQ(limited.NumRows(), 2u);
+  EXPECT_EQ(limited.At(0, 0).AsString(), "east");
+  EXPECT_EQ(limited.At(1, 0).AsString(), "north");
+}
+
+TEST_F(AggregateTest, DistinctPreservesSortOrder) {
+  auto rs = Exec("SELECT DISTINCT qty FROM sales ORDER BY qty DESC");
+  ASSERT_EQ(rs.NumRows(), 6u);
+  for (size_t i = 1; i < rs.NumRows(); ++i) {
+    EXPECT_GT(rs.At(i - 1, 0).AsInt(), rs.At(i, 0).AsInt());
+  }
+}
+
+TEST_F(AggregateTest, AggregationOverRecommendOutput) {
+  Exec("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE)");
+  Exec("INSERT INTO Ratings VALUES (1,1,4.0), (1,2,3.0), (2,1,5.0), "
+       "(2,3,2.0), (3,2,1.0), (3,3,4.0), (3,1,2.0)");
+  Exec("CREATE RECOMMENDER r ON Ratings USERS FROM uid ITEMS FROM iid "
+       "RATINGS FROM ratingval");
+  // Average predicted score per user over all unseen items.
+  auto rs = Exec(
+      "SELECT R.uid, count(*), avg(R.ratingval) FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "GROUP BY R.uid ORDER BY R.uid");
+  // User 1 has 1 unseen item, user 2 has 1, user 3 has 0 (rated all).
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.At(0, 0).AsInt(), 1);
+  EXPECT_EQ(rs.At(0, 1).AsInt(), 1);
+  EXPECT_EQ(rs.At(1, 0).AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace recdb

@@ -1,0 +1,196 @@
+// B+-tree tests: oracle comparison against std::map across fanouts
+// (parameterized), deletion rebalancing, range scans, iterator order.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "index/bplus_tree.h"
+#include "index/rec_score_index.h"
+
+namespace recdb {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<int, int> tree(4);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Find(1).has_value());
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertFindOverwrite) {
+  BPlusTree<int, std::string> tree(4);
+  EXPECT_TRUE(tree.Insert(5, "five"));
+  EXPECT_TRUE(tree.Insert(3, "three"));
+  EXPECT_TRUE(tree.Insert(8, "eight"));
+  EXPECT_FALSE(tree.Insert(5, "FIVE"));  // overwrite, not new
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Find(5).value(), "FIVE");
+  EXPECT_EQ(tree.Find(3).value(), "three");
+  EXPECT_FALSE(tree.Find(4).has_value());
+}
+
+TEST(BPlusTreeTest, SortedIterationAfterSplits) {
+  BPlusTree<int, int> tree(3);  // tiny fanout: force many splits
+  for (int i = 100; i >= 1; --i) {
+    tree.Insert(i, i * 10);
+  }
+  EXPECT_GT(tree.Height(), 2u);
+  int expect = 1;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expect);
+    EXPECT_EQ(it.value(), expect * 10);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 101);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, LowerBoundIter) {
+  BPlusTree<int, int> tree(4);
+  for (int i = 0; i < 50; i += 5) tree.Insert(i, i);
+  auto it = tree.LowerBoundIter(12);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 15);
+  it = tree.LowerBoundIter(15);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 15);
+  it = tree.LowerBoundIter(46);
+  EXPECT_FALSE(it.Valid());
+  it = tree.LowerBoundIter(-3);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 0);
+}
+
+TEST(BPlusTreeTest, EraseDownToEmpty) {
+  BPlusTree<int, int> tree(3);
+  for (int i = 0; i < 64; ++i) tree.Insert(i, i);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(tree.Erase(i)) << i;
+    EXPECT_TRUE(tree.CheckInvariants()) << "after erasing " << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Begin().Valid());
+}
+
+class BPlusTreeFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BPlusTreeFanoutTest, RandomOpsMatchStdMapOracle) {
+  const size_t fanout = GetParam();
+  BPlusTree<int, int> tree(fanout);
+  std::map<int, int> oracle;
+  std::mt19937 rng(1234 + fanout);
+  std::uniform_int_distribution<int> key_dist(0, 500);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  for (int step = 0; step < 4000; ++step) {
+    int key = key_dist(rng);
+    int op = op_dist(rng);
+    if (op < 60) {
+      bool was_new = oracle.emplace(key, step).second;
+      if (!was_new) oracle[key] = step;
+      EXPECT_EQ(tree.Insert(key, step), was_new);
+    } else if (op < 90) {
+      bool present = oracle.erase(key) > 0;
+      EXPECT_EQ(tree.Erase(key), present);
+    } else {
+      auto found = tree.Find(key);
+      auto oit = oracle.find(key);
+      if (oit == oracle.end()) {
+        EXPECT_FALSE(found.has_value());
+      } else {
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(found.value(), oit->second);
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Full in-order comparison.
+  auto it = tree.Begin();
+  for (const auto& [k, v] : oracle) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BPlusTreeFanoutTest,
+                         ::testing::Values(3, 4, 5, 8, 16, 64, 128));
+
+TEST(RecScoreIndexTest, PutGetErase) {
+  RecScoreIndex index;
+  index.Put(1, 100, 4.5);
+  index.Put(1, 101, 3.0);
+  index.Put(2, 100, 2.0);
+  EXPECT_EQ(index.NumUsers(), 2u);
+  EXPECT_EQ(index.NumEntries(), 3u);
+  EXPECT_DOUBLE_EQ(index.GetScore(1, 100).value(), 4.5);
+  EXPECT_FALSE(index.GetScore(1, 999).has_value());
+  EXPECT_TRUE(index.Erase(1, 100));
+  EXPECT_FALSE(index.Erase(1, 100));
+  EXPECT_EQ(index.NumEntries(), 2u);
+  index.EraseUser(1);
+  EXPECT_EQ(index.NumUsers(), 1u);
+  EXPECT_EQ(index.NumEntries(), 1u);
+}
+
+TEST(RecScoreIndexTest, PutRefreshesScore) {
+  RecScoreIndex index;
+  index.Put(1, 100, 4.5);
+  index.Put(1, 100, 2.5);
+  EXPECT_EQ(index.NumEntries(), 1u);
+  EXPECT_DOUBLE_EQ(index.GetScore(1, 100).value(), 2.5);
+  auto top = index.TopK(1, 5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top[0].second, 2.5);
+}
+
+TEST(RecScoreIndexTest, ScanDescendingWithMinScore) {
+  RecScoreIndex index(/*tree_fanout=*/4);
+  for (int i = 0; i < 100; ++i) {
+    index.Put(7, i, i * 0.05);  // scores 0 .. 4.95
+  }
+  std::vector<double> seen;
+  index.Scan(7, 4.0, [&](int64_t, double score) {
+    seen.push_back(score);
+    return true;
+  });
+  // Descending, all >= 4.0: items 80..99 -> 20 entries.
+  ASSERT_EQ(seen.size(), 20u);
+  EXPECT_DOUBLE_EQ(seen.front(), 4.95);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i], seen[i - 1]);
+  EXPECT_GE(seen.back(), 4.0);
+}
+
+TEST(RecScoreIndexTest, TopKWithItemFilter) {
+  RecScoreIndex index;
+  for (int i = 0; i < 50; ++i) index.Put(3, i, i * 0.1);
+  auto top = index.TopK(3, 5, [](int64_t item) { return item % 2 == 0; });
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].first, 48);  // best even item
+  EXPECT_EQ(top[1].first, 46);
+  for (const auto& [item, score] : top) {
+    EXPECT_EQ(item % 2, 0);
+    (void)score;
+  }
+}
+
+TEST(RecScoreIndexTest, TieBreakOnEqualScores) {
+  RecScoreIndex index;
+  index.Put(1, 30, 2.0);
+  index.Put(1, 10, 2.0);
+  index.Put(1, 20, 2.0);
+  auto top = index.TopK(1, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 10);  // item id ascending on ties
+  EXPECT_EQ(top[1].first, 20);
+  EXPECT_EQ(top[2].first, 30);
+}
+
+}  // namespace
+}  // namespace recdb

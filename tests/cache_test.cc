@@ -1,0 +1,203 @@
+// Cache-manager tests: Algorithm 4 mechanics with a manual clock, the
+// paper's Table I worked example, threshold extremes, and interaction with
+// the RecScoreIndex / IndexRecommend path.
+#include <gtest/gtest.h>
+
+#include "api/recdb.h"
+#include "cache/cache_manager.h"
+#include "common/timer.h"
+
+namespace recdb {
+namespace {
+
+std::unique_ptr<Recommender> MakeRec() {
+  RecommenderConfig cfg;
+  cfg.name = "rec";
+  auto rec = std::make_unique<Recommender>(cfg);
+  // 3 users x 4 items with overlap so predictions are nonzero.
+  rec->AddRating(1, 1, 4);
+  rec->AddRating(1, 2, 3);
+  rec->AddRating(2, 1, 5);
+  rec->AddRating(2, 3, 4);
+  rec->AddRating(3, 2, 2);
+  rec->AddRating(3, 3, 3);
+  rec->AddRating(3, 4, 4);
+  RECDB_DCHECK(rec->Build().ok());
+  return rec;
+}
+
+TEST(CacheManagerTest, RatesAndMaximaAfterRun) {
+  ManualClock clock(10);
+  auto rec = MakeRec();
+  CacheManager mgr(rec.get(), &clock, 0.5);
+
+  for (int k = 0; k < 100; ++k) mgr.RecordQuery(1);
+  for (int k = 0; k < 10; ++k) mgr.RecordQuery(2);
+  for (int k = 0; k < 1000; ++k) mgr.RecordUpdate(4);
+  for (int k = 0; k < 10; ++k) mgr.RecordUpdate(2);
+
+  clock.Set(15);  // elapsed since init = 5
+  auto d = mgr.Run();
+  ASSERT_TRUE(d.ok());
+
+  EXPECT_DOUBLE_EQ(mgr.GetUserStats(1)->demand_rate, 20.0);   // 100/5
+  EXPECT_DOUBLE_EQ(mgr.GetUserStats(2)->demand_rate, 2.0);    // 10/5
+  EXPECT_DOUBLE_EQ(mgr.GetItemStats(4)->consumption_rate, 200.0);
+  EXPECT_DOUBLE_EQ(mgr.GetItemStats(2)->consumption_rate, 2.0);
+  EXPECT_DOUBLE_EQ(mgr.max_demand(), 20.0);
+  EXPECT_DOUBLE_EQ(mgr.max_consumption(), 200.0);
+}
+
+TEST(CacheManagerTest, TableIWorkedExample) {
+  // Paper Table I: Alice(QC=100) & Bob(QC=10) over Spartacus(UC=1000),
+  // Inception(UC=10), The Matrix(UC=100); threshold 0.5. Only
+  // (Alice, Spartacus) has hotness 1 >= 0.5.
+  ManualClock clock(10);
+  RecommenderConfig cfg;
+  cfg.name = "movies";
+  Recommender rec(cfg);
+  // Users 1=Alice, 2=Bob; items 1=Spartacus, 2=Inception, 3=The Matrix.
+  // Seed co-ratings through a third user so predictions exist, and keep
+  // all three movies unseen by Alice and Bob (as the example assumes).
+  rec.AddRating(9, 1, 4);
+  rec.AddRating(9, 2, 3);
+  rec.AddRating(9, 3, 5);
+  rec.AddRating(8, 1, 2);
+  rec.AddRating(8, 2, 4);
+  rec.AddRating(1, 4, 3);  // Alice rated some other movie
+  rec.AddRating(2, 4, 4);  // Bob too
+  ASSERT_TRUE(rec.Build().ok());
+
+  CacheManager mgr(&rec, &clock, 0.5);
+  for (int k = 0; k < 100; ++k) mgr.RecordQuery(1);   // Alice
+  for (int k = 0; k < 10; ++k) mgr.RecordQuery(2);    // Bob
+  for (int k = 0; k < 1000; ++k) mgr.RecordUpdate(1);  // Spartacus
+  for (int k = 0; k < 10; ++k) mgr.RecordUpdate(2);    // Inception
+  for (int k = 0; k < 100; ++k) mgr.RecordUpdate(3);   // The Matrix
+
+  clock.Set(15);
+  auto d = mgr.Run();
+  ASSERT_TRUE(d.ok());
+
+  // Hotness ratios from the paper's table.
+  EXPECT_NEAR(mgr.Hotness(1, 1), 1.0, 1e-9);     // Alice x Spartacus
+  EXPECT_NEAR(mgr.Hotness(1, 2), 0.01, 1e-9);    // Alice x Inception
+  EXPECT_NEAR(mgr.Hotness(1, 3), 0.1, 1e-9);     // Alice x The Matrix
+  EXPECT_NEAR(mgr.Hotness(2, 1), 0.1, 1e-9);     // Bob x Spartacus
+  EXPECT_NEAR(mgr.Hotness(2, 2), 0.001, 1e-9);   // Bob x Inception
+  EXPECT_NEAR(mgr.Hotness(2, 3), 0.01, 1e-9);    // Bob x The Matrix
+
+  // Only (Alice, Spartacus) crosses the 0.5 threshold.
+  ASSERT_EQ(d.value().admitted.size(), 1u);
+  EXPECT_EQ(d.value().admitted[0], (std::pair<int64_t, int64_t>{1, 1}));
+  EXPECT_TRUE(rec.score_index()->GetScore(1, 1).has_value());
+  EXPECT_FALSE(rec.score_index()->GetScore(2, 2).has_value());
+}
+
+TEST(CacheManagerTest, ThresholdZeroMaterializesAllActivePairs) {
+  ManualClock clock(0);
+  auto rec = MakeRec();
+  CacheManager mgr(rec.get(), &clock, 0.0);
+  mgr.RecordQuery(1);
+  mgr.RecordQuery(2);
+  mgr.RecordUpdate(3);
+  mgr.RecordUpdate(4);
+  clock.Advance(5);
+  auto d = mgr.Run();
+  ASSERT_TRUE(d.ok());
+  // User 1 hasn't rated 3 or 4; user 2 hasn't rated 4 (has rated 3).
+  EXPECT_EQ(d.value().admitted.size(), 3u);
+  EXPECT_TRUE(rec->score_index()->GetScore(1, 3).has_value());
+  EXPECT_TRUE(rec->score_index()->GetScore(1, 4).has_value());
+  EXPECT_TRUE(rec->score_index()->GetScore(2, 4).has_value());
+}
+
+TEST(CacheManagerTest, ThresholdOneEvictsEverything) {
+  ManualClock clock(0);
+  auto rec = MakeRec();
+  rec->score_index()->Put(1, 3, 3.3);  // pre-materialized entry
+  CacheManager mgr(rec.get(), &clock, 1.0001);
+  mgr.RecordQuery(1);
+  mgr.RecordUpdate(3);
+  clock.Advance(5);
+  auto d = mgr.Run();
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().admitted.empty());
+  ASSERT_EQ(d.value().evicted.size(), 1u);
+  EXPECT_FALSE(rec->score_index()->GetScore(1, 3).has_value());
+}
+
+TEST(CacheManagerTest, SeenItemsAreNeverMaterialized) {
+  ManualClock clock(0);
+  auto rec = MakeRec();
+  CacheManager mgr(rec.get(), &clock, 0.0);
+  mgr.RecordQuery(2);
+  mgr.RecordUpdate(1);  // user 2 HAS rated item 1
+  clock.Advance(1);
+  auto d = mgr.Run();
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(rec->score_index()->GetScore(2, 1).has_value());
+}
+
+TEST(CacheManagerTest, MaterializedScoreMatchesModel) {
+  ManualClock clock(0);
+  auto rec = MakeRec();
+  CacheManager mgr(rec.get(), &clock, 0.0);
+  mgr.RecordQuery(1);
+  mgr.RecordUpdate(3);
+  clock.Advance(1);
+  ASSERT_TRUE(mgr.Run().ok());
+  auto cached = rec->score_index()->GetScore(1, 3);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_DOUBLE_EQ(*cached, rec->model()->Predict(1, 3));
+}
+
+TEST(CacheManagerTest, EndToEndThroughRecDB) {
+  // Queries through SQL populate the demand histogram; inserts populate the
+  // consumption histogram; Run() then materializes and IndexRecommend hits.
+  ManualClock clock(0);
+  RecDB db;
+  db.set_clock(&clock);
+  ASSERT_TRUE(
+      db.Execute("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE)")
+          .ok());
+  // Deterministic ratings: user u rates items u .. u+5 (within 1..15), so
+  // user 1 rates items 1-6 and is guaranteed not to have rated item 10.
+  std::vector<std::vector<Value>> rows;
+  for (int u = 1; u <= 10; ++u) {
+    for (int k = 0; k < 6; ++k) {
+      int item = (u + k - 1) % 15 + 1;
+      rows.push_back({Value::Int(u), Value::Int(item),
+                      Value::Double((u + k) % 5 + 1)});
+    }
+  }
+  ASSERT_TRUE(db.BulkInsert("Ratings", rows).ok());
+  ASSERT_TRUE(db.Execute("CREATE RECOMMENDER r ON Ratings USERS FROM uid "
+                         "ITEMS FROM iid RATINGS FROM ratingval")
+                  .ok());
+  auto mgr = db.GetCacheManager("r", /*hotness_threshold=*/0.0);
+  ASSERT_TRUE(mgr.ok());
+
+  const std::string q =
+      "SELECT R.iid, R.ratingval FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 5";
+  auto before = db.Execute(q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().stats.index_misses, 1u);  // nothing cached yet
+  ASSERT_TRUE(db.Execute("INSERT INTO Ratings VALUES (9, 10, 4.0)").ok());
+
+  clock.Advance(10);
+  ASSERT_TRUE(mgr.value()->Run().ok());
+
+  auto rec = db.GetRecommender("r");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec.value()->score_index()->HasUser(1));
+
+  auto after = db.Execute(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().stats.index_hits, 1u);
+}
+
+}  // namespace
+}  // namespace recdb

@@ -1,0 +1,188 @@
+// Value and bound-expression semantics: cross-type numeric comparison,
+// hashing consistency, casts, NULL propagation, arithmetic, scalar
+// functions, IN lists, and binder error paths.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "planner/expression.h"
+
+namespace recdb {
+namespace {
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.1).Compare(Value::Int(4)), 0);
+  EXPECT_TRUE(Value::Int(3) == Value::Double(3.0));
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(ValueTest, TypeGroupOrdering) {
+  // NULL < numerics < strings < geometry (stable sort order across types).
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::String("zzz").Compare(
+                Value::Geometry(spatial::Geometry::MakePoint(0, 0))),
+            0);
+}
+
+TEST(ValueTest, SqlEqualsTreatsNullAsUnknown) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Int(1)));
+  EXPECT_TRUE(Value::Int(1).SqlEquals(Value::Int(1)));
+  // But Compare treats NULLs as equal for ordering purposes.
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, Casts) {
+  EXPECT_EQ(Value::Double(2.6).CastTo(TypeId::kInt64).value().AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value::Int(7).CastTo(TypeId::kDouble).value().AsDouble(),
+                   7.0);
+  auto g = Value::String("POINT(1 2)").CastTo(TypeId::kGeometry);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().AsGeometry().point().x, 1.0);
+  EXPECT_FALSE(Value::String("not wkt").CastTo(TypeId::kGeometry).ok());
+  EXPECT_FALSE(Value::String("abc").CastTo(TypeId::kInt64).ok());
+  EXPECT_EQ(Value::Int(5).CastTo(TypeId::kString).value().AsString(), "5");
+  EXPECT_TRUE(Value::Null().CastTo(TypeId::kInt64).value().is_null());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_TRUE(Value::Int(1).IsTruthy());
+  EXPECT_TRUE(Value::Double(-0.5).IsTruthy());
+  EXPECT_FALSE(Value::Int(0).IsTruthy());
+  EXPECT_FALSE(Value::Double(0.0).IsTruthy());
+  EXPECT_FALSE(Value::Null().IsTruthy());
+  EXPECT_FALSE(Value::String("true").IsTruthy());
+}
+
+/// Helper: bind and evaluate a WHERE expression against a one-row schema.
+class ExprEval {
+ public:
+  ExprEval() {
+    schema_.Add({"t", "a", TypeId::kInt64});
+    schema_.Add({"t", "b", TypeId::kDouble});
+    schema_.Add({"t", "s", TypeId::kString});
+    schema_.Add({"t", "g", TypeId::kGeometry});
+    schema_.Add({"t", "n", TypeId::kNull});
+  }
+
+  Result<Value> Eval(const std::string& expr_sql, Tuple row) {
+    auto stmt = Parser::ParseSingle("SELECT a FROM t WHERE " + expr_sql);
+    if (!stmt.ok()) return stmt.status();
+    auto* sel = static_cast<SelectStatement*>(stmt.value().get());
+    RECDB_ASSIGN_OR_RETURN(auto bound, BindExpr(*sel->where, schema_));
+    return bound->Eval(row);
+  }
+
+  Tuple Row() {
+    return Tuple({Value::Int(10), Value::Double(2.5), Value::String("hi"),
+                  Value::Geometry(spatial::Geometry::MakePolygon(
+                      {{0, 0}, {4, 0}, {4, 4}, {0, 4}})),
+                  Value::Null()});
+  }
+
+ private:
+  ExecSchema schema_;
+};
+
+TEST(BoundExprTest, ArithmeticSemantics) {
+  ExprEval e;
+  EXPECT_EQ(e.Eval("a + 5", e.Row()).value().AsInt(), 15);
+  EXPECT_EQ(e.Eval("a * 2 - 3", e.Row()).value().AsInt(), 17);
+  EXPECT_DOUBLE_EQ(e.Eval("a / 4", e.Row()).value().AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(e.Eval("b + a", e.Row()).value().AsDouble(), 12.5);
+  EXPECT_FALSE(e.Eval("a / 0", e.Row()).ok());  // division by zero errors
+  EXPECT_FALSE(e.Eval("s + 1", e.Row()).ok());  // string arithmetic errors
+}
+
+TEST(BoundExprTest, NullPropagation) {
+  ExprEval e;
+  EXPECT_TRUE(e.Eval("n + 1", e.Row()).value().is_null());
+  EXPECT_TRUE(e.Eval("n = 1", e.Row()).value().is_null());
+  EXPECT_TRUE(e.Eval("n IN (1, 2)", e.Row()).value().is_null());
+  // NULL collapses to false in predicates; AND/OR short-circuit around it.
+  EXPECT_FALSE(e.Eval("n = 1", e.Row()).value().IsTruthy());
+  EXPECT_EQ(e.Eval("n = 1 OR a = 10", e.Row()).value().AsInt(), 1);
+  EXPECT_EQ(e.Eval("n = 1 AND a = 10", e.Row()).value().AsInt(), 0);
+}
+
+TEST(BoundExprTest, ComparisonAndInList) {
+  ExprEval e;
+  EXPECT_EQ(e.Eval("a BETWEEN 5 AND 15", e.Row()).value().AsInt(), 1);
+  EXPECT_EQ(e.Eval("a <> 10", e.Row()).value().AsInt(), 0);
+  EXPECT_EQ(e.Eval("s = 'hi'", e.Row()).value().AsInt(), 1);
+  EXPECT_EQ(e.Eval("s < 'hj'", e.Row()).value().AsInt(), 1);
+  EXPECT_EQ(e.Eval("a IN (1, 10, 100)", e.Row()).value().AsInt(), 1);
+  EXPECT_EQ(e.Eval("a NOT IN (1, 10, 100)", e.Row()).value().AsInt(), 0);
+  EXPECT_EQ(e.Eval("a IN (10.0)", e.Row()).value().AsInt(), 1)
+      << "cross-type IN must match";
+  EXPECT_EQ(e.Eval("NOT (a = 10)", e.Row()).value().AsInt(), 0);
+}
+
+TEST(BoundExprTest, SpatialFunctions) {
+  ExprEval e;
+  EXPECT_EQ(e.Eval("ST_Contains(g, ST_Point(2.0, 2.0))", e.Row())
+                .value()
+                .AsInt(),
+            1);
+  EXPECT_EQ(e.Eval("ST_Contains(g, ST_Point(9.0, 9.0))", e.Row())
+                .value()
+                .AsInt(),
+            0);
+  EXPECT_DOUBLE_EQ(
+      e.Eval("ST_Distance(ST_Point(0.0,0.0), ST_Point(3.0,4.0))", e.Row())
+          .value()
+          .AsDouble(),
+      5.0);
+  EXPECT_EQ(
+      e.Eval("ST_DWithin(g, ST_Point(5.0, 2.0), 1.5)", e.Row()).value().AsInt(),
+      1);
+  // WKT string literals coerce to geometry inside spatial functions.
+  EXPECT_EQ(e.Eval("ST_Contains('POLYGON((0 0, 8 0, 8 8, 0 8))', g)",
+                   e.Row())
+                .value()
+                .AsInt(),
+            1);
+  EXPECT_DOUBLE_EQ(e.Eval("CScore(b, 4.0)", e.Row()).value().AsDouble(),
+                   0.5);  // 2.5 / (1 + 4)
+  EXPECT_FALSE(e.Eval("CScore(b, 0 - 1.0)", e.Row()).ok());
+  EXPECT_FALSE(e.Eval("ST_Contains(s, g)", e.Row()).ok());  // bad WKT string
+}
+
+TEST(BoundExprTest, BinderErrors) {
+  ExprEval e;
+  EXPECT_FALSE(e.Eval("nosuchcol = 1", e.Row()).ok());
+  EXPECT_FALSE(e.Eval("nosuchfunc(a)", e.Row()).ok());
+  EXPECT_FALSE(e.Eval("abs(a, b)", e.Row()).ok());          // arity
+  EXPECT_FALSE(e.Eval("a IN (b)", e.Row()).ok());           // non-literal IN
+  EXPECT_FALSE(e.Eval("x.a = 1", e.Row()).ok());            // bad qualifier
+}
+
+TEST(BoundExprTest, CloneAndRemap) {
+  ExprEval e;
+  auto stmt = Parser::ParseSingle("SELECT a FROM t WHERE a + b > 3");
+  ASSERT_TRUE(stmt.ok());
+  ExecSchema schema;
+  schema.Add({"t", "a", TypeId::kInt64});
+  schema.Add({"t", "b", TypeId::kDouble});
+  auto bound =
+      BindExpr(*static_cast<SelectStatement*>(stmt.value().get())->where,
+               schema);
+  ASSERT_TRUE(bound.ok());
+  auto clone = bound.value()->Clone();
+  // Remap a->1, b->0 (swapped row layout).
+  std::vector<int> mapping{1, 0};
+  ASSERT_TRUE(clone->RemapColumns(mapping).ok());
+  Tuple swapped({Value::Double(2.5), Value::Int(10)});
+  Tuple original({Value::Int(10), Value::Double(2.5)});
+  EXPECT_EQ(bound.value()->Eval(original).value().AsInt(), 1);
+  EXPECT_EQ(clone->Eval(swapped).value().AsInt(), 1);
+  // Original expression is untouched by the clone's remap.
+  std::vector<size_t> cols;
+  bound.value()->CollectColumns(&cols);
+  EXPECT_EQ(cols.size(), 2u);
+}
+
+}  // namespace
+}  // namespace recdb

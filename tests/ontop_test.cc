@@ -1,0 +1,220 @@
+// OnTopDB baseline tests: the external recommender's batch scoring matches
+// the per-pair model oracle, and the full OnTopDB workflow returns the same
+// answers as RecDB's recommendation-aware plans (only latency differs).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "api/recdb.h"
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "ontop/ontop_engine.h"
+
+namespace recdb {
+namespace {
+
+using datagen::DatasetSpec;
+using datagen::LoadDataset;
+using ontop::ExternalRecommender;
+using ontop::ExternalRecommenderOptions;
+using ontop::OnTopEngine;
+using ontop::OnTopOptions;
+
+TEST(ExternalRecommenderTest, BatchScoringMatchesPerPairOracle) {
+  for (auto algo : {RecAlgorithm::kItemCosCF, RecAlgorithm::kItemPearCF,
+                    RecAlgorithm::kUserCosCF, RecAlgorithm::kSVD}) {
+    ExternalRecommenderOptions opts;
+    opts.algorithm = algo;
+    opts.svd_opts.num_epochs = 3;
+    ExternalRecommender rec(opts);
+    Rng rng(77);
+    for (int u = 1; u <= 25; ++u) {
+      for (int k = 0; k < 10; ++k) {
+        rec.AddRating(u, rng.UniformInt(1, 30), rng.UniformInt(1, 5));
+      }
+    }
+    ASSERT_TRUE(rec.Build().ok());
+    for (int64_t u : {int64_t{1}, int64_t{7}, int64_t{25}}) {
+      auto batch = rec.ScoreAllForUser(u);
+      ASSERT_FALSE(batch.empty());
+      for (const auto& [item, score] : batch) {
+        EXPECT_NEAR(score, rec.Predict(u, item), 1e-9)
+            << RecAlgorithmToString(algo) << " u=" << u << " i=" << item;
+      }
+    }
+  }
+}
+
+TEST(ExternalRecommenderTest, ScoresOnlyUnseenItems) {
+  ExternalRecommender rec;
+  rec.AddRating(1, 1, 5);
+  rec.AddRating(1, 2, 4);
+  rec.AddRating(2, 2, 3);
+  rec.AddRating(2, 3, 2);
+  ASSERT_TRUE(rec.Build().ok());
+  auto batch = rec.ScoreAllForUser(1);
+  ASSERT_EQ(batch.size(), 1u);  // items 1,2 rated; only 3 unseen
+  EXPECT_EQ(batch[0].first, 3);
+  EXPECT_TRUE(rec.ScoreAllForUser(999).empty());
+}
+
+class OnTopParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<RecDB>();
+    auto spec = DatasetSpec::MovieLens100K().Scaled(0.05);
+    auto ds = LoadDataset(db_.get(), spec);
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ds_ = ds.value();
+    auto r = db_->Execute(
+        "CREATE RECOMMENDER mlrec ON " + ds_.ratings_table +
+        " USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval "
+        "USING ItemCosCF");
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  std::unique_ptr<RecDB> db_;
+  datagen::GeneratedDataset ds_;
+};
+
+TEST_F(OnTopParityTest, SelectionQueryParity) {
+  // RecDB path.
+  auto recdb_rs = db_->Execute(
+      "SELECT R.iid, R.ratingval FROM " + ds_.ratings_table + " AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 1 AND R.iid IN (40,41,42,43,44,45,46,47,48,49) ORDER BY R.iid");
+  ASSERT_TRUE(recdb_rs.ok()) << recdb_rs.status();
+
+  // OnTopDB path: predict everything, load back, filter in SQL.
+  OnTopEngine ontop(db_.get(), ds_.ratings_table, "uid", "iid", "ratingval");
+  ASSERT_TRUE(ontop.BuildModel().ok());
+  auto ontop_rs = ontop.Execute(
+      "SELECT iid, ratingval FROM " + ontop.predictions_table() +
+      " WHERE uid = 1 AND iid IN (40,41,42,43,44,45,46,47,48,49) ORDER BY iid");
+  ASSERT_TRUE(ontop_rs.ok()) << ontop_rs.status();
+
+  ASSERT_EQ(recdb_rs.value().NumRows(), ontop_rs.value().NumRows());
+  ASSERT_FALSE(recdb_rs.value().rows.empty());
+  for (size_t i = 0; i < recdb_rs.value().NumRows(); ++i) {
+    EXPECT_EQ(recdb_rs.value().At(i, 0).AsInt(),
+              ontop_rs.value().At(i, 0).AsInt());
+    EXPECT_NEAR(recdb_rs.value().At(i, 1).AsDouble(),
+                ontop_rs.value().At(i, 1).AsDouble(), 1e-6);
+  }
+}
+
+TEST_F(OnTopParityTest, TopKQueryParity) {
+  auto recdb_rs = db_->Execute(
+      "SELECT R.iid, R.ratingval FROM " + ds_.ratings_table + " AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 2 ORDER BY R.ratingval DESC LIMIT 10");
+  ASSERT_TRUE(recdb_rs.ok()) << recdb_rs.status();
+
+  OnTopEngine ontop(db_.get(), ds_.ratings_table, "uid", "iid", "ratingval");
+  ASSERT_TRUE(ontop.BuildModel().ok());
+  auto ontop_rs = ontop.Execute(
+      "SELECT iid, ratingval FROM " + ontop.predictions_table() +
+      " WHERE uid = 2 ORDER BY ratingval DESC LIMIT 10");
+  ASSERT_TRUE(ontop_rs.ok()) << ontop_rs.status();
+
+  // Scores must match position by position (ties may reorder items; compare
+  // the score sequence and the item *sets* of equal-score groups).
+  ASSERT_EQ(recdb_rs.value().NumRows(), ontop_rs.value().NumRows());
+  std::multimap<double, int64_t> a, b;
+  for (size_t i = 0; i < recdb_rs.value().NumRows(); ++i) {
+    EXPECT_NEAR(recdb_rs.value().At(i, 1).AsDouble(),
+                ontop_rs.value().At(i, 1).AsDouble(), 1e-6);
+    a.emplace(recdb_rs.value().At(i, 1).AsDouble(),
+              recdb_rs.value().At(i, 0).AsInt());
+    b.emplace(ontop_rs.value().At(i, 1).AsDouble(),
+              ontop_rs.value().At(i, 0).AsInt());
+  }
+}
+
+TEST_F(OnTopParityTest, OnTopPredictionsTableCoversAllUnseenPairs) {
+  OnTopEngine ontop(db_.get(), ds_.ratings_table, "uid", "iid", "ratingval");
+  ASSERT_TRUE(ontop.BuildModel().ok());
+  ASSERT_TRUE(ontop.RecomputeAndLoad().ok());
+  auto count_rs = db_->Execute("SELECT uid FROM " + ontop.predictions_table());
+  ASSERT_TRUE(count_rs.ok());
+  const auto& ratings = ontop.recommender().ratings();
+  size_t expected =
+      ratings.NumUsers() * ratings.NumItems() - ratings.NumRatings();
+  EXPECT_EQ(count_rs.value().NumRows(), expected);
+}
+
+TEST(DatagenTest, CardinalitiesAndDeterminism) {
+  RecDB db1, db2;
+  auto spec = DatasetSpec::LdosComoda();  // small enough to load fully
+  auto d1 = LoadDataset(&db1, spec);
+  auto d2 = LoadDataset(&db2, spec);
+  ASSERT_TRUE(d1.ok()) << d1.status();
+  ASSERT_TRUE(d2.ok());
+
+  auto users = db1.Execute("SELECT uid FROM ldos_users");
+  ASSERT_TRUE(users.ok());
+  EXPECT_EQ(users.value().NumRows(), 185u);
+  auto items = db1.Execute("SELECT iid FROM ldos_items");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items.value().NumRows(), 785u);
+  EXPECT_EQ(d1.value().num_ratings, 2297);
+  EXPECT_EQ(d1.value().num_ratings, d2.value().num_ratings);
+
+  // Same seed -> identical ratings.
+  auto r1 = db1.Execute("SELECT uid, iid, ratingval FROM ldos_ratings");
+  auto r2 = db2.Execute("SELECT uid, iid, ratingval FROM ldos_ratings");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1.value().NumRows(), r2.value().NumRows());
+  for (size_t i = 0; i < r1.value().NumRows(); ++i) {
+    EXPECT_EQ(r1.value().rows[i], r2.value().rows[i]);
+  }
+
+  // Rating values live on the half-star grid in [1, 5].
+  for (const auto& row : r1.value().rows) {
+    double v = row.At(2).AsDouble();
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 5.0);
+    EXPECT_NEAR(v * 2, std::round(v * 2), 1e-9);
+  }
+}
+
+TEST(DatagenTest, PopularitySkewIsZipfLike) {
+  RecDB db;
+  auto spec = DatasetSpec::MovieLens100K().Scaled(0.2);
+  auto d = LoadDataset(&db, spec);
+  ASSERT_TRUE(d.ok());
+  auto rs = db.Execute("SELECT iid FROM ml_ratings");
+  ASSERT_TRUE(rs.ok());
+  std::map<int64_t, int> counts;
+  for (const auto& row : rs.value().rows) counts[row.At(0).AsInt()]++;
+  std::vector<int> sorted;
+  for (const auto& [iid, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Head vastly outweighs the tail.
+  int head = 0, tail = 0;
+  size_t tenth = sorted.size() / 10;
+  for (size_t i = 0; i < tenth; ++i) head += sorted[i];
+  for (size_t i = sorted.size() - tenth; i < sorted.size(); ++i)
+    tail += sorted[i];
+  EXPECT_GT(head, tail * 4);
+}
+
+TEST(DatagenTest, YelpHasLocationsAndCities) {
+  RecDB db;
+  auto spec = DatasetSpec::Yelp().Scaled(0.02);
+  auto d = LoadDataset(&db, spec);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d.value().cities_table, "yelp_cities");
+  auto pois = db.Execute(
+      "SELECT I.iid FROM yelp_items I, yelp_cities C "
+      "WHERE C.name = 'Northwest' AND ST_Contains(C.geom, I.geom)");
+  ASSERT_TRUE(pois.ok()) << pois.status();
+  EXPECT_GT(pois.value().NumRows(), 0u);
+  auto all = db.Execute("SELECT iid FROM yelp_items");
+  ASSERT_TRUE(all.ok());
+  EXPECT_LT(pois.value().NumRows(), all.value().NumRows());
+}
+
+}  // namespace
+}  // namespace recdb

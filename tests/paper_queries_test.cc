@@ -1,0 +1,197 @@
+// Syntax-fidelity suite: every SQL listing printed in the paper
+// (Recommenders 1-3, Queries 1-8) runs verbatim — modulo the documented
+// substitutions: ULoc (a host variable in the paper) becomes ST_Point(...),
+// and the Yelp-style tables carry our generated names/columns.
+#include <gtest/gtest.h>
+
+#include "api/recdb.h"
+#include "common/rng.h"
+
+namespace recdb {
+namespace {
+
+class PaperQueriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<RecDB>();
+    // Figure 1 schema.
+    Exec("CREATE TABLE Users (uid INT, name TEXT, city TEXT, age INT, "
+         "gender TEXT)");
+    Exec("CREATE TABLE Movies (iid INT, name TEXT, director TEXT, "
+         "genre TEXT)");
+    Exec("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE)");
+    // Section V tables.
+    Exec("CREATE TABLE Hotels (vid INT, name TEXT, geom GEOMETRY)");
+    Exec("CREATE TABLE Restaurants (vid INT, name TEXT, address TEXT, "
+         "geom GEOMETRY)");
+    Exec("CREATE TABLE City (cid INT, name TEXT, geom GEOMETRY)");
+    Exec("CREATE TABLE HotelRatings (uid INT, iid INT, ratingval DOUBLE)");
+    Exec("CREATE TABLE RestRatings (uid INT, iid INT, ratingval DOUBLE)");
+
+    Rng rng(2017);
+    std::vector<std::vector<Value>> movies, ratings, hotels, rests, hr, rr;
+    for (int m = 1; m <= 50; ++m) {
+      movies.push_back({Value::Int(m),
+                        Value::String("movie" + std::to_string(m)),
+                        Value::String("dir" + std::to_string(m % 5)),
+                        Value::String(m % 2 ? "Action" : "Drama")});
+      hotels.push_back({Value::Int(m),
+                        Value::String("hotel" + std::to_string(m)),
+                        Value::Geometry(spatial::Geometry::MakePoint(
+                            rng.UniformDouble(0, 100),
+                            rng.UniformDouble(0, 100)))});
+      rests.push_back({Value::Int(m),
+                       Value::String("rest" + std::to_string(m)),
+                       Value::String("addr" + std::to_string(m)),
+                       Value::Geometry(spatial::Geometry::MakePoint(
+                           rng.UniformDouble(0, 100),
+                           rng.UniformDouble(0, 100)))});
+    }
+    for (int u = 1; u <= 20; ++u) {
+      for (int k = 0; k < 10; ++k) {
+        ratings.push_back({Value::Int(u), Value::Int(rng.UniformInt(1, 50)),
+                           Value::Double(rng.UniformInt(1, 5))});
+        hr.push_back({Value::Int(u), Value::Int(rng.UniformInt(1, 50)),
+                      Value::Double(rng.UniformInt(1, 5))});
+        rr.push_back({Value::Int(u), Value::Int(rng.UniformInt(1, 50)),
+                      Value::Double(rng.UniformInt(1, 5))});
+      }
+    }
+    ASSERT_TRUE(db_->BulkInsert("Movies", movies).ok());
+    ASSERT_TRUE(db_->BulkInsert("Ratings", ratings).ok());
+    ASSERT_TRUE(db_->BulkInsert("Hotels", hotels).ok());
+    ASSERT_TRUE(db_->BulkInsert("Restaurants", rests).ok());
+    ASSERT_TRUE(db_->BulkInsert("HotelRatings", hr).ok());
+    ASSERT_TRUE(db_->BulkInsert("RestRatings", rr).ok());
+    Exec("INSERT INTO City VALUES (1, 'San Diego', "
+         "'POLYGON((0 0, 60 0, 60 60, 0 60))')");
+    // SVD recommender on Ratings so Query 5's USING SVD resolves.
+    Exec("CREATE RECOMMENDER SvdOnRatings ON Ratings Users From uid "
+         "Item From iid Ratings From ratingval Using SVD");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    auto r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n -> " << r.status();
+    if (!r.ok()) return ResultSet{};
+    return std::move(r).value();
+  }
+
+  std::unique_ptr<RecDB> db_;
+};
+
+TEST_F(PaperQueriesTest, Recommender1_GeneralRec) {
+  Exec("Create Recommender GeneralRec On Ratings "
+       "Users From uid Item From iid Ratings From ratingval "
+       "Using ItemCosCF");
+  EXPECT_TRUE(db_->GetRecommender("GeneralRec").ok());
+}
+
+TEST_F(PaperQueriesTest, Query1_TopTenMovies) {
+  Exec("Create Recommender GeneralRec On Ratings Users From uid "
+       "Item From iid Ratings From ratingval Using ItemCosCF");
+  auto rs = Exec(
+      "Select R.uid, R.iid, R.ratingval From Ratings as R "
+      "Recommend R.iid To R.uid On R.ratingVal Using ItemCosCF "
+      "Where R.uid=1 "
+      "Order By R.ratingVal Desc Limit 10");
+  EXPECT_LE(rs.NumRows(), 10u);
+  EXPECT_GT(rs.NumRows(), 0u);
+}
+
+TEST_F(PaperQueriesTest, Query2_PredictAllPairs) {
+  Exec("Create Recommender GeneralRec On Ratings Users From uid "
+       "Item From iid Ratings From ratingval Using ItemCosCF");
+  auto rs = Exec(
+      "Select R.uid,R.iid, R.ratingval From Ratings as R "
+      "Recommend R.iid To R.uid On R.ratingval Using ItemCosCF");
+  // All users x unseen items.
+  EXPECT_GT(rs.NumRows(), 500u);
+}
+
+TEST_F(PaperQueriesTest, Query3_SpecificItems) {
+  Exec("Create Recommender GeneralRec On Ratings Users From uid "
+       "Item From iid Ratings From ratingval Using ItemCosCF");
+  auto rs = Exec(
+      "Select R.iid, R.ratingval From Ratings as R "
+      "Recommend R.iid To R.uid On R.ratingval Using ItemCosCF "
+      "Where R.uid=1 And R.iid In (1,2,3,4,5)");
+  EXPECT_LE(rs.NumRows(), 5u);
+}
+
+TEST_F(PaperQueriesTest, Query4_ActionMovies) {
+  Exec("Create Recommender GeneralRec On Ratings Users From uid "
+       "Item From iid Ratings From ratingval Using ItemCosCF");
+  auto rs = Exec(
+      "Select R.uid, M.name, R.ratingval From Ratings as R, Movies as M "
+      "Recommend R.iid To R.uid On R.ratingval Using ItemCosCF "
+      "Where R.uid=1 And M.iid = R.iid And M.genre='Action'");
+  for (const auto& row : rs.rows) {
+    EXPECT_EQ(row.At(0).AsInt(), 1);
+  }
+}
+
+TEST_F(PaperQueriesTest, Query5_Top5ActionViaSvd) {
+  auto rs = Exec(
+      "Select M.name, R.ratingval From Ratings as R, Movies M "
+      "Recommend R.iid To R.uid On R.ratingval Using SVD "
+      "Where R.uid=1 And M.iid=R.iid And M.genre='Action' "
+      "Order By R.ratingval Desc Limit 5");
+  EXPECT_LE(rs.NumRows(), 5u);
+  for (size_t i = 1; i < rs.NumRows(); ++i) {
+    EXPECT_GE(rs.At(i - 1, 1).AsDouble(), rs.At(i, 1).AsDouble());
+  }
+}
+
+TEST_F(PaperQueriesTest, Recommenders2And3_PoiRecs) {
+  Exec("Create Recommender POI_ItemCosCF_Rec On HotelRatings "
+       "Users From uid Item From iid Ratings From ratingval Using ItemCosCF");
+  // Paper Recommender 3 says "UserPearCF recommender" but its SQL reads
+  // "Using SVD"; we follow the SQL.
+  Exec("Create Recommender POI_UserPearCF_Rec On RestRatings "
+       "Users From uid Item From iid Ratings From ratingval Using SVD");
+  EXPECT_TRUE(db_->GetRecommender("POI_ItemCosCF_Rec").ok());
+  EXPECT_TRUE(db_->GetRecommender("POI_UserPearCF_Rec").ok());
+}
+
+TEST_F(PaperQueriesTest, Query6_HotelsInSanDiego) {
+  Exec("Create Recommender PoiRec On HotelRatings Users From uid "
+       "Item From iid Ratings From ratingval Using ItemCosCF");
+  auto rs = Exec(
+      "Select H.name, R.ratingval "
+      "From HotelRatings as R, Hotels as H, City as C "
+      "Recommend R.iid To R.uid On R.ratingVal Using ItemCosCF "
+      "Where R.uid=1 AND R.iid=H.vid AND C.name = 'San Diego' "
+      "AND ST_Contains(C.geom, H.geom)");
+  // All returned hotels must lie inside the city polygon.
+  auto all = Exec("Select vid From Hotels");
+  EXPECT_LT(rs.NumRows(), all.NumRows());
+}
+
+TEST_F(PaperQueriesTest, Query7_RestaurantsWithinRange) {
+  Exec("Create Recommender RestRec On RestRatings Users From uid "
+       "Item From iid Ratings From ratingval Using UserPearCF");
+  auto rs = Exec(
+      "Select V.name, V.address From RestRatings as R, Restaurants as V "
+      "Recommend R.iid To R.uid On R.ratingVal Using UserPearCF "
+      "Where R.uid=1 AND R.iid=V.vid "
+      "AND ST_DWithin(ST_Point(50.0, 50.0), V.geom, 40.0) "
+      "Order By R.ratingVal Desc Limit 10");
+  EXPECT_LE(rs.NumRows(), 10u);
+}
+
+TEST_F(PaperQueriesTest, Query8_CombinedScoreTop3) {
+  Exec("Create Recommender RestRec On RestRatings Users From uid "
+       "Item From iid Ratings From ratingval Using UserPearCF");
+  auto rs = Exec(
+      "Select V.name, V.address From RestRatings as R, Restaurants as V "
+      "Recommend R.iid To R.uid On R.ratingVal Using UserPearCF "
+      "Where R.uid=1 AND R.iid=V.vid "
+      "Order By CScore(R.ratingVal, ST_Distance(V.geom, "
+      "ST_Point(50.0, 50.0))) Desc Limit 3");
+  EXPECT_LE(rs.NumRows(), 3u);
+  EXPECT_GT(rs.NumRows(), 0u);
+}
+
+}  // namespace
+}  // namespace recdb

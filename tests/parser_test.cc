@@ -1,0 +1,259 @@
+// Parser tests: every statement form in the paper's SQL listings
+// (Recommenders 1-3, Queries 1-8), expression precedence, error paths.
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace recdb {
+namespace {
+
+SelectStatement* AsSelect(const StatementPtr& s) {
+  EXPECT_EQ(s->kind, StatementKind::kSelect);
+  return static_cast<SelectStatement*>(s.get());
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto r = Tokenize("SELECT a.b, 'hi ''you''' FROM t WHERE x >= 1.5e2");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.value();
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_EQ(toks[1].text, "a");
+  EXPECT_EQ(toks[2].type, TokenType::kDot);
+  EXPECT_EQ(toks[4].type, TokenType::kComma);
+  EXPECT_EQ(toks[5].type, TokenType::kStringLiteral);
+  EXPECT_EQ(toks[5].text, "hi 'you'");
+  EXPECT_TRUE(toks[6].IsKeyword("FROM"));
+  EXPECT_EQ(toks[10].type, TokenType::kGe);
+  EXPECT_EQ(toks[11].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(toks[11].double_val, 150.0);
+}
+
+TEST(LexerTest, CommentsAndCaseInsensitiveKeywords) {
+  auto r = Tokenize("select -- a comment\n1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[0].IsKeyword("SELECT"));
+  EXPECT_EQ(r.value()[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("select 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("select #").ok());
+  EXPECT_FALSE(Tokenize("select !x").ok());
+}
+
+TEST(ParserTest, Query1TopTenMovies) {
+  // Paper Query 1.
+  auto r = Parser::ParseSingle(
+      "Select R.uid, R.iid, R.ratingval From Ratings as R "
+      "Recommend R.iid To R.uid On R.ratingVal Using ItemCosCF "
+      "Where R.uid=1 Order By R.ratingVal Desc Limit 10");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* sel = AsSelect(r.value());
+  ASSERT_EQ(sel->items.size(), 3u);
+  EXPECT_EQ(sel->items[0].expr->qualifier, "R");
+  EXPECT_EQ(sel->items[0].expr->column, "uid");
+  ASSERT_EQ(sel->from.size(), 1u);
+  EXPECT_EQ(sel->from[0].table_name, "Ratings");
+  EXPECT_EQ(sel->from[0].EffectiveAlias(), "R");
+  ASSERT_TRUE(sel->recommend.has_value());
+  EXPECT_EQ(sel->recommend->item_col->column, "iid");
+  EXPECT_EQ(sel->recommend->user_col->column, "uid");
+  EXPECT_EQ(sel->recommend->rating_col->column, "ratingVal");
+  EXPECT_EQ(sel->recommend->algorithm.value(), "ItemCosCF");
+  ASSERT_NE(sel->where, nullptr);
+  ASSERT_EQ(sel->order_by.size(), 1u);
+  EXPECT_TRUE(sel->order_by[0].desc);
+  EXPECT_EQ(sel->limit.value(), 10);
+}
+
+TEST(ParserTest, Query3SelectionWithInList) {
+  // Paper Query 3.
+  auto r = Parser::ParseSingle(
+      "Select R.iid, R.ratingval From Ratings as R "
+      "Recommend R.iid To R.uid On R.ratingval Using ItemCosCF "
+      "Where R.uid=1 And R.iid In (1,2,3,4,5)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* sel = AsSelect(r.value());
+  ASSERT_NE(sel->where, nullptr);
+  EXPECT_EQ(sel->where->kind, ExprKind::kBinary);
+  EXPECT_EQ(sel->where->op, BinaryOp::kAnd);
+  EXPECT_EQ(sel->where->right->kind, ExprKind::kInList);
+  EXPECT_EQ(sel->where->right->args.size(), 5u);
+}
+
+TEST(ParserTest, Query4JoinWithGenreFilter) {
+  // Paper Query 4.
+  auto r = Parser::ParseSingle(
+      "Select R.uid, M.name, R.ratingval From Ratings as R, Movies as M "
+      "Recommend R.iid To R.uid On R.ratingval Using ItemCosCF "
+      "Where R.uid=1 And M.iid = R.iid And M.genre='Action'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* sel = AsSelect(r.value());
+  ASSERT_EQ(sel->from.size(), 2u);
+  EXPECT_EQ(sel->from[1].EffectiveAlias(), "M");
+}
+
+TEST(ParserTest, Query6SpatialContains) {
+  // Paper Query 6 (ULoc replaced by a WKT literal; see DESIGN.md).
+  auto r = Parser::ParseSingle(
+      "Select H.name, R.ratingval "
+      "From HotelRatings as R, Hotels as H, City as C "
+      "Recommend R.iid To R.uid On R.ratingVal Using ItemCosCF "
+      "Where R.uid=1 AND R.iid=H.vid AND C.name = 'San Diego' "
+      "AND ST_Contains(C.geom, H.geom)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* sel = AsSelect(r.value());
+  ASSERT_EQ(sel->from.size(), 3u);
+  // Find the function call in the AND chain.
+  const Expr* e = sel->where.get();
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->right->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(e->right->func_name, "st_contains");
+  EXPECT_EQ(e->right->args.size(), 2u);
+}
+
+TEST(ParserTest, Query8CScoreRanking) {
+  // Paper Query 8.
+  auto r = Parser::ParseSingle(
+      "Select V.name, V.address From Ratings as R, Restaurants as V "
+      "Recommend R.iid To R.uid On R.ratingVal Using UserPearCF "
+      "Where R.uid=1 AND R.iid=V.vid "
+      "Order By CScore(R.ratingVal, ST_Distance(V.geom, ST_Point(3.0, 4.0))) "
+      "Desc Limit 3");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* sel = AsSelect(r.value());
+  ASSERT_EQ(sel->order_by.size(), 1u);
+  EXPECT_EQ(sel->order_by[0].expr->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(sel->order_by[0].expr->func_name, "cscore");
+  EXPECT_TRUE(sel->order_by[0].desc);
+  EXPECT_EQ(sel->limit.value(), 3);
+}
+
+TEST(ParserTest, CreateRecommenderFullForm) {
+  // Paper Recommender 1 (note the paper's singular "Item From").
+  auto r = Parser::ParseSingle(
+      "Create Recommender GeneralRec On Ratings "
+      "Users From uid Item From iid Ratings From ratingval Using ItemCosCF");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r.value()->kind, StatementKind::kCreateRecommender);
+  auto* stmt = static_cast<CreateRecommenderStatement*>(r.value().get());
+  EXPECT_EQ(stmt->name, "GeneralRec");
+  EXPECT_EQ(stmt->ratings_table, "Ratings");
+  EXPECT_EQ(stmt->user_col, "uid");
+  EXPECT_EQ(stmt->item_col, "iid");
+  EXPECT_EQ(stmt->rating_col, "ratingval");
+  EXPECT_EQ(stmt->algorithm.value(), "ItemCosCF");
+}
+
+TEST(ParserTest, CreateRecommenderPluralItemsAndDefaultAlgo) {
+  auto r = Parser::ParseSingle(
+      "CREATE RECOMMENDER r ON t USERS FROM u ITEMS FROM i RATINGS FROM v");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* stmt = static_cast<CreateRecommenderStatement*>(r.value().get());
+  EXPECT_FALSE(stmt->algorithm.has_value());  // defaults to ItemCosCF later
+}
+
+TEST(ParserTest, DropStatements) {
+  auto r1 = Parser::ParseSingle("DROP RECOMMENDER GeneralRec");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value()->kind, StatementKind::kDropRecommender);
+  auto r2 = Parser::ParseSingle("DROP TABLE movies");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value()->kind, StatementKind::kDropTable);
+}
+
+TEST(ParserTest, CreateTableAndInsert) {
+  auto r = Parser::ParseSingle(
+      "CREATE TABLE Movies (mid INT, name TEXT, score DOUBLE, loc GEOMETRY)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* ct = static_cast<CreateTableStatement*>(r.value().get());
+  ASSERT_EQ(ct->columns.size(), 4u);
+  EXPECT_EQ(ct->columns[0].first, "mid");
+  EXPECT_EQ(ct->columns[3].second, "GEOMETRY");
+
+  auto ri = Parser::ParseSingle(
+      "INSERT INTO Movies VALUES (1, 'Spartacus', 4.5, 'POINT(1 2)'), "
+      "(2, 'Inception', -3.5, 'POINT(0 0)')");
+  ASSERT_TRUE(ri.ok()) << ri.status();
+  auto* ins = static_cast<InsertStatement*>(ri.value().get());
+  ASSERT_EQ(ins->rows.size(), 2u);
+  ASSERT_EQ(ins->rows[0].size(), 4u);
+  EXPECT_EQ(ins->rows[1][2]->literal.AsDouble(), -3.5);  // folded negation
+}
+
+TEST(ParserTest, MultiStatementScript) {
+  auto r = Parser::Parse(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto r = Parser::ParseSingle("SELECT a FROM t WHERE a + 2 * 3 = 7 OR "
+                               "b = 1 AND c = 2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto* sel = AsSelect(r.value());
+  const Expr* w = sel->where.get();
+  // OR at the top; AND binds tighter.
+  EXPECT_EQ(w->op, BinaryOp::kOr);
+  EXPECT_EQ(w->right->op, BinaryOp::kAnd);
+  // a + (2*3) on the left of '='.
+  const Expr* eq = w->left.get();
+  EXPECT_EQ(eq->op, BinaryOp::kEq);
+  EXPECT_EQ(eq->left->op, BinaryOp::kAdd);
+  EXPECT_EQ(eq->left->right->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto r = Parser::ParseSingle("SELECT a FROM t WHERE a BETWEEN 2 AND 5");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Expr* w = AsSelect(r.value())->where.get();
+  EXPECT_EQ(w->op, BinaryOp::kAnd);
+  EXPECT_EQ(w->left->op, BinaryOp::kGe);
+  EXPECT_EQ(w->right->op, BinaryOp::kLe);
+}
+
+TEST(ParserTest, NotInList) {
+  auto r = Parser::ParseSingle("SELECT a FROM t WHERE a NOT IN (1, 2)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Expr* w = AsSelect(r.value())->where.get();
+  EXPECT_EQ(w->kind, ExprKind::kInList);
+  EXPECT_TRUE(w->negated);
+}
+
+TEST(ParserTest, StarSelect) {
+  auto r = Parser::ParseSingle("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AsSelect(r.value())->items[0].is_star);
+}
+
+TEST(ParserTest, ErrorPaths) {
+  EXPECT_FALSE(Parser::ParseSingle("SELECT").ok());
+  EXPECT_FALSE(Parser::ParseSingle("SELECT a").ok());          // missing FROM
+  EXPECT_FALSE(Parser::ParseSingle("SELECT a FROM").ok());
+  EXPECT_FALSE(Parser::ParseSingle("BANANA").ok());
+  EXPECT_FALSE(Parser::ParseSingle("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(Parser::ParseSingle("CREATE VIEW v").ok());
+  EXPECT_FALSE(Parser::ParseSingle("SELECT a FROM t WHERE a IN ()").ok());
+  EXPECT_FALSE(
+      Parser::ParseSingle("SELECT a FROM t RECOMMEND a TO b").ok());  // no ON
+  EXPECT_FALSE(Parser::ParseSingle("").ok());
+  EXPECT_FALSE(Parser::ParseSingle(";;").ok());
+  // Two statements through ParseSingle must fail.
+  EXPECT_FALSE(Parser::ParseSingle("SELECT a FROM t; SELECT b FROM t").ok());
+}
+
+TEST(ParserTest, ExprCloneAndToString) {
+  auto r = Parser::ParseSingle(
+      "SELECT a FROM t WHERE NOT (a.x IN (1, 2)) AND f(y, 'z') > -1.5");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Expr* w = AsSelect(r.value())->where.get();
+  auto clone = w->Clone();
+  EXPECT_EQ(clone->ToString(), w->ToString());
+  EXPECT_NE(clone->ToString().find("IN"), std::string::npos);
+  EXPECT_NE(clone->ToString().find("f(y, 'z')"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recdb

@@ -1,0 +1,135 @@
+// Planner/binder unit tests: ExecSchema resolution rules, RECOMMEND clause
+// target resolution, plan rendering, and planner error paths not covered by
+// the end-to-end suites.
+#include <gtest/gtest.h>
+
+#include "api/recdb.h"
+#include "planner/exec_schema.h"
+
+namespace recdb {
+namespace {
+
+TEST(ExecSchemaTest, QualifiedAndUnqualifiedResolution) {
+  ExecSchema s;
+  s.Add({"R", "uid", TypeId::kInt64});
+  s.Add({"R", "iid", TypeId::kInt64});
+  s.Add({"M", "iid", TypeId::kInt64});
+  s.Add({"M", "name", TypeId::kString});
+
+  EXPECT_EQ(s.Resolve("R", "uid").value(), 0u);
+  EXPECT_EQ(s.Resolve("M", "iid").value(), 2u);
+  EXPECT_EQ(s.Resolve("", "name").value(), 3u);  // unique unqualified
+  EXPECT_EQ(s.Resolve("", "uid").value(), 0u);
+  // Ambiguous unqualified name.
+  auto amb = s.Resolve("", "iid");
+  ASSERT_FALSE(amb.ok());
+  EXPECT_NE(amb.status().message().find("ambiguous"), std::string::npos);
+  // Unknown.
+  EXPECT_FALSE(s.Resolve("R", "nope").ok());
+  EXPECT_FALSE(s.Resolve("X", "uid").ok());
+  // Case-insensitive.
+  EXPECT_EQ(s.Resolve("r", "UID").value(), 0u);
+}
+
+TEST(ExecSchemaTest, ConcatAndToString) {
+  ExecSchema a({{"A", "x", TypeId::kInt64}});
+  ExecSchema b({{"B", "y", TypeId::kString}});
+  ExecSchema c = ExecSchema::Concat(a, b);
+  ASSERT_EQ(c.NumColumns(), 2u);
+  EXPECT_EQ(c.Resolve("B", "y").value(), 1u);
+  EXPECT_NE(c.ToString().find("A.x INT"), std::string::npos);
+}
+
+class PlannerErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<RecDB>();
+    auto ok = db_->Execute(
+        "CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE);"
+        "CREATE TABLE Aux (uid INT, v DOUBLE);"
+        "INSERT INTO Ratings VALUES (1,1,4.0), (1,2,3.0), (2,1,5.0);"
+        "CREATE RECOMMENDER r ON Ratings USERS FROM uid ITEMS FROM iid "
+        "RATINGS FROM ratingval");
+    ASSERT_TRUE(ok.ok()) << ok.status();
+  }
+  std::unique_ptr<RecDB> db_;
+};
+
+TEST_F(PlannerErrorTest, RecommendColumnsMustShareQualifier) {
+  auto r = db_->Execute(
+      "SELECT R.iid FROM Ratings AS R, Aux AS A "
+      "RECOMMEND R.iid TO A.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = A.uid");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(PlannerErrorTest, RecommendUnknownAlias) {
+  auto r = db_->Execute(
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND Z.iid TO Z.uid ON Z.ratingval USING ItemCosCF");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(PlannerErrorTest, RecommendUnqualifiedAmbiguousWithTwoTables) {
+  auto r = db_->Execute(
+      "SELECT iid FROM Ratings, Aux "
+      "RECOMMEND iid TO uid ON ratingval USING ItemCosCF");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(PlannerErrorTest, RecommendUnqualifiedSingleTableWorks) {
+  auto r = db_->Execute(
+      "SELECT iid, ratingval FROM Ratings "
+      "RECOMMEND iid TO uid ON ratingval USING ItemCosCF WHERE uid = 2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r.value().NumRows(), 0u);
+}
+
+TEST_F(PlannerErrorTest, RecommendColumnNotInTable) {
+  auto r = db_->Execute(
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.bogus ON R.ratingval USING ItemCosCF");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(PlannerErrorTest, DuplicateAliasRejected) {
+  auto r = db_->Execute("SELECT 1 FROM Ratings R, Aux R");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(PlannerErrorTest, UnknownAlgorithmInUsing) {
+  auto r = db_->Execute(
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING TensorFactorization");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(PlannerErrorTest, DefaultAlgorithmIsItemCosCF) {
+  // Omitting USING resolves to the ItemCosCF recommender (paper default).
+  auto r = db_->Execute(
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.uid = 1");
+  ASSERT_TRUE(r.ok()) << r.status();
+}
+
+TEST_F(PlannerErrorTest, PlanRenderingShowsTree) {
+  auto plan = db_->Explain(
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval "
+      "WHERE R.uid = 1 AND R.ratingval > 1.0 "
+      "ORDER BY R.ratingval DESC LIMIT 3");
+  ASSERT_TRUE(plan.ok());
+  const std::string& p = plan.value();
+  // Indentation encodes the tree: Project > TopN > Filter > FilterRecommend.
+  EXPECT_NE(p.find("Project"), std::string::npos) << p;
+  EXPECT_NE(p.find("  TopN"), std::string::npos) << p;
+  EXPECT_NE(p.find("FilterRecommend"), std::string::npos) << p;
+  EXPECT_LT(p.find("Project"), p.find("TopN"));
+}
+
+}  // namespace
+}  // namespace recdb

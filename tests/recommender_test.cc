@@ -1,0 +1,403 @@
+// Recommendation-model tests: similarity math against hand-computed Eq. (1)
+// fixtures, Eq. (2) prediction, Pearson centering, SVD training behaviour,
+// and the maintenance (rebuild-threshold) policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "recommender/cf_model.h"
+#include "recommender/recommender.h"
+#include "recommender/similarity.h"
+#include "recommender/svd_model.h"
+
+namespace recdb {
+namespace {
+
+// The paper's Figure 1 running example ratings (uid, iid, ratingval).
+std::shared_ptr<RatingMatrix> Figure1Ratings() {
+  auto m = std::make_shared<RatingMatrix>();
+  m->Add(1, 1, 1.5);
+  m->Add(2, 2, 3.5);
+  m->Add(2, 1, 4.5);
+  m->Add(2, 3, 2.0);
+  m->Add(3, 2, 1.0);
+  m->Add(3, 1, 2.0);
+  m->Add(4, 2, 1.0);
+  return m;
+}
+
+TEST(RatingMatrixTest, BasicAccounting) {
+  auto m = Figure1Ratings();
+  EXPECT_EQ(m->NumUsers(), 4u);
+  EXPECT_EQ(m->NumItems(), 3u);
+  EXPECT_EQ(m->NumRatings(), 7u);
+  EXPECT_DOUBLE_EQ(m->Get(2, 1).value(), 4.5);
+  EXPECT_FALSE(m->Get(1, 2).has_value());
+  EXPECT_FALSE(m->Get(99, 1).has_value());
+  EXPECT_NEAR(m->GlobalMean(), (1.5 + 3.5 + 4.5 + 2.0 + 1.0 + 2.0 + 1.0) / 7,
+              1e-12);
+}
+
+TEST(RatingMatrixTest, OverwriteDoesNotDuplicate) {
+  RatingMatrix m;
+  m.Add(1, 10, 3.0);
+  m.Add(1, 10, 5.0);
+  EXPECT_EQ(m.NumRatings(), 1u);
+  EXPECT_DOUBLE_EQ(m.Get(1, 10).value(), 5.0);
+  EXPECT_DOUBLE_EQ(m.GlobalMean(), 5.0);
+}
+
+TEST(RatingMatrixTest, VectorsAreSortedByDenseIndex) {
+  RatingMatrix m;
+  m.Add(5, 30, 1);
+  m.Add(5, 10, 2);
+  m.Add(5, 20, 3);
+  auto u = m.UserIndex(5).value();
+  const auto& vec = m.UserVector(u);
+  ASSERT_EQ(vec.size(), 3u);
+  EXPECT_LT(vec[0].idx, vec[1].idx);
+  EXPECT_LT(vec[1].idx, vec[2].idx);
+}
+
+TEST(SimilarityTest, PairwiseCosineMatchesHandComputation) {
+  // a = (1, 2, 0), b = (2, 0, 3) over dims {0,1,2}: dot = 2,
+  // |a| = sqrt(5), |b| = sqrt(13).
+  std::vector<RatingEntry> a{{0, 1}, {1, 2}};
+  std::vector<RatingEntry> b{{0, 2}, {2, 3}};
+  EXPECT_NEAR(PairwiseCosine(a, b), 2.0 / (std::sqrt(5.0) * std::sqrt(13.0)),
+              1e-12);
+}
+
+TEST(SimilarityTest, DisjointVectorsHaveZeroSimilarity) {
+  std::vector<RatingEntry> a{{0, 1}, {1, 2}};
+  std::vector<RatingEntry> b{{2, 2}, {3, 3}};
+  EXPECT_DOUBLE_EQ(PairwiseCosine(a, b), 0.0);
+}
+
+TEST(SimilarityTest, ItemNeighborhoodsMatchPairwiseOracle) {
+  auto m = Figure1Ratings();
+  auto nb = BuildItemNeighborhoods(*m, SimilarityOptions{});
+  ASSERT_EQ(nb.size(), m->NumItems());
+  for (size_t p = 0; p < m->NumItems(); ++p) {
+    for (const auto& n : nb[p]) {
+      double oracle = PairwiseCosine(m->ItemVector(static_cast<int32_t>(p)),
+                                     m->ItemVector(n.idx));
+      EXPECT_NEAR(n.sim, oracle, 1e-6);
+      EXPECT_NE(n.idx, static_cast<int32_t>(p)) << "self-similarity stored";
+    }
+    // Sorted descending.
+    for (size_t k = 1; k < nb[p].size(); ++k) {
+      EXPECT_GE(nb[p][k - 1].sim, nb[p][k].sim);
+    }
+  }
+}
+
+TEST(SimilarityTest, SymmetricSimilarity) {
+  auto m = Figure1Ratings();
+  auto model = ItemCFModel::Build(m, /*centered=*/false);
+  EXPECT_NEAR(model->Similarity(1, 2), model->Similarity(2, 1), 1e-9);
+  EXPECT_NEAR(model->Similarity(1, 3), model->Similarity(3, 1), 1e-9);
+}
+
+TEST(SimilarityTest, CosineRangeIsBounded) {
+  RatingMatrix m;
+  Rng rng(99);
+  for (int u = 0; u < 40; ++u) {
+    for (int k = 0; k < 12; ++k) {
+      m.Add(u, rng.UniformInt(0, 30), rng.UniformDouble(1, 5));
+    }
+  }
+  auto nb = BuildItemNeighborhoods(m, SimilarityOptions{});
+  for (const auto& row : nb) {
+    for (const auto& n : row) {
+      EXPECT_LE(n.sim, 1.0 + 1e-5);
+      EXPECT_GE(n.sim, -1.0 - 1e-5);
+    }
+  }
+}
+
+TEST(SimilarityTest, TopKTruncationKeepsStrongest) {
+  RatingMatrix m;
+  Rng rng(7);
+  for (int u = 0; u < 30; ++u) {
+    for (int k = 0; k < 10; ++k) {
+      m.Add(u, rng.UniformInt(0, 20), rng.UniformDouble(1, 5));
+    }
+  }
+  SimilarityOptions full, truncated;
+  truncated.top_k = 3;
+  auto nb_full = BuildItemNeighborhoods(m, full);
+  auto nb_k = BuildItemNeighborhoods(m, truncated);
+  for (size_t i = 0; i < nb_k.size(); ++i) {
+    EXPECT_LE(nb_k[i].size(), 3u);
+    if (nb_full[i].size() >= 3) {
+      // The strongest |sim| in the full list must appear in the truncated.
+      float best = 0;
+      for (const auto& n : nb_full[i]) best = std::max(best, std::fabs(n.sim));
+      bool found = false;
+      for (const auto& n : nb_k[i]) {
+        if (std::fabs(std::fabs(n.sim) - best) < 1e-7) found = true;
+      }
+      EXPECT_TRUE(found) << "item " << i;
+    }
+  }
+}
+
+TEST(SimilarityTest, MinOverlapFiltersThinPairs) {
+  // Items 0,1 share two raters; items 0,2 share one.
+  RatingMatrix m;
+  m.Add(1, 0, 4);
+  m.Add(1, 1, 3);
+  m.Add(2, 0, 5);
+  m.Add(2, 1, 4);
+  m.Add(3, 0, 2);
+  m.Add(3, 2, 2);
+  SimilarityOptions opts;
+  opts.min_overlap = 2;
+  auto nb = BuildItemNeighborhoods(m, opts);
+  auto i0 = m.ItemIndex(0).value();
+  auto i2 = m.ItemIndex(2).value();
+  for (const auto& n : nb[i0]) EXPECT_NE(n.idx, i2);
+}
+
+TEST(ItemCFTest, PredictionMatchesEquation2ByHand) {
+  // Two items, one target. User 10 rated item 1 (4.0) and item 2 (2.0);
+  // sims to item 3 computed from the co-rating structure below.
+  RatingMatrix m;
+  // Users 20, 21 create co-ratings between items so sims are nonzero.
+  m.Add(20, 1, 3);
+  m.Add(20, 2, 3);
+  m.Add(20, 3, 3);
+  m.Add(21, 1, 5);
+  m.Add(21, 3, 4);
+  m.Add(10, 1, 4);
+  m.Add(10, 2, 2);
+  auto mp = std::make_shared<RatingMatrix>(m);
+  auto model = ItemCFModel::Build(mp, /*centered=*/false);
+  double s13 = model->Similarity(1, 3);
+  double s23 = model->Similarity(2, 3);
+  ASSERT_NE(s13, 0);
+  ASSERT_NE(s23, 0);
+  double expected =
+      (s13 * 4.0 + s23 * 2.0) / (std::fabs(s13) + std::fabs(s23));
+  EXPECT_NEAR(model->Predict(10, 3), expected, 1e-9);
+}
+
+TEST(ItemCFTest, NoOverlapPredictsZero) {
+  RatingMatrix m;
+  m.Add(1, 1, 5);  // user 1 rated only item 1
+  m.Add(2, 2, 4);  // item 2 rated only by user 2 -> no co-rating with item 1
+  auto mp = std::make_shared<RatingMatrix>(m);
+  auto model = ItemCFModel::Build(mp, false);
+  EXPECT_DOUBLE_EQ(model->Predict(1, 2), 0.0);  // Algorithm 1 line 14
+}
+
+TEST(ItemCFTest, UnknownUserOrItemPredictsZero) {
+  auto m = Figure1Ratings();
+  auto model = ItemCFModel::Build(m, false);
+  EXPECT_DOUBLE_EQ(model->Predict(999, 1), 0.0);
+  EXPECT_DOUBLE_EQ(model->Predict(1, 999), 0.0);
+}
+
+TEST(ItemCFTest, PredictionsBoundedByUserRatingRange) {
+  // Eq. (2) with all-positive sims is a convex combination of the user's own
+  // ratings, hence bounded by the user's min/max rating.
+  RatingMatrix m;
+  Rng rng(5);
+  for (int u = 0; u < 50; ++u) {
+    for (int k = 0; k < 15; ++k) {
+      m.Add(u, rng.UniformInt(0, 40), rng.UniformInt(1, 5));
+    }
+  }
+  auto mp = std::make_shared<RatingMatrix>(m);
+  auto model = ItemCFModel::Build(mp, /*centered=*/false);  // sims >= 0
+  for (int u = 0; u < 50; ++u) {
+    auto uidx = mp->UserIndex(u);
+    if (!uidx) continue;
+    double lo = 1e9, hi = -1e9;
+    for (const auto& e : mp->UserVector(*uidx)) {
+      lo = std::min(lo, e.rating);
+      hi = std::max(hi, e.rating);
+    }
+    for (int i = 0; i < 40; ++i) {
+      if (mp->Get(u, i).has_value()) continue;
+      double p = model->Predict(u, i);
+      if (p == 0) continue;  // no-overlap sentinel
+      EXPECT_GE(p, lo - 1e-9);
+      EXPECT_LE(p, hi + 1e-9);
+    }
+  }
+}
+
+TEST(UserCFTest, SymmetricToItemCFOnTransposedData) {
+  // UserCF on (u, i) must equal ItemCF on the transposed matrix (i, u).
+  RatingMatrix m, mt;
+  Rng rng(11);
+  for (int k = 0; k < 200; ++k) {
+    int64_t u = rng.UniformInt(0, 19);
+    int64_t i = rng.UniformInt(0, 24);
+    double r = rng.UniformInt(1, 5);
+    m.Add(u, i, r);
+    mt.Add(i, u, r);
+  }
+  auto usercf = UserCFModel::Build(std::make_shared<RatingMatrix>(m), false);
+  auto itemcf = ItemCFModel::Build(std::make_shared<RatingMatrix>(mt), false);
+  for (int u = 0; u < 20; ++u) {
+    for (int i = 0; i < 25; ++i) {
+      EXPECT_NEAR(usercf->Predict(u, i), itemcf->Predict(i, u), 1e-6)
+          << "u=" << u << " i=" << i;
+    }
+  }
+}
+
+TEST(PearsonTest, CenteringChangesSimilaritySign) {
+  // Two items with anti-correlated ratings around their means: raw cosine is
+  // positive (all ratings positive), Pearson must be negative.
+  RatingMatrix m;
+  m.Add(1, 1, 5);
+  m.Add(1, 2, 1);
+  m.Add(2, 1, 1);
+  m.Add(2, 2, 5);
+  m.Add(3, 1, 3);
+  m.Add(3, 2, 3);
+  auto mp = std::make_shared<RatingMatrix>(m);
+  auto cos_model = ItemCFModel::Build(mp, /*centered=*/false);
+  auto pear_model = ItemCFModel::Build(mp, /*centered=*/true);
+  EXPECT_GT(cos_model->Similarity(1, 2), 0);
+  EXPECT_LT(pear_model->Similarity(1, 2), 0);
+}
+
+TEST(SvdTest, TrainingRmseDecreases) {
+  RatingMatrix m;
+  Rng rng(3);
+  for (int u = 0; u < 60; ++u) {
+    for (int k = 0; k < 20; ++k) {
+      m.Add(u, rng.UniformInt(0, 50), rng.UniformInt(1, 5));
+    }
+  }
+  SvdOptions opts;
+  opts.num_epochs = 15;
+  auto model = SvdModel::Build(std::make_shared<RatingMatrix>(m), opts);
+  const auto& rmse = model->epoch_rmse();
+  ASSERT_EQ(rmse.size(), 15u);
+  EXPECT_LT(rmse.back(), rmse.front());
+  // Loose monotonicity: each epoch no worse than 5% above the previous.
+  for (size_t e = 1; e < rmse.size(); ++e) {
+    EXPECT_LT(rmse[e], rmse[e - 1] * 1.05) << "epoch " << e;
+  }
+}
+
+TEST(SvdTest, FitsStructuredDataBetterThanGlobalMean) {
+  // Planted low-rank structure: r(u,i) = clamp(3 + sign pattern).
+  RatingMatrix m;
+  Rng rng(17);
+  std::vector<double> ufac(80), ifac(60);
+  for (auto& v : ufac) v = rng.Gaussian(0, 1);
+  for (auto& v : ifac) v = rng.Gaussian(0, 1);
+  for (int u = 0; u < 80; ++u) {
+    for (int k = 0; k < 25; ++k) {
+      int i = static_cast<int>(rng.UniformInt(0, 59));
+      double r = std::clamp(3.0 + ufac[u] * ifac[i], 1.0, 5.0);
+      m.Add(u, i, r);
+    }
+  }
+  SvdOptions opts;
+  opts.num_factors = 8;
+  opts.num_epochs = 40;
+  opts.use_biases = true;
+  auto mp = std::make_shared<RatingMatrix>(m);
+  auto model = SvdModel::BuildWithHoldout(mp, opts, /*holdout_mod=*/10);
+  // Global-mean baseline RMSE on the same holdout.
+  double mean = mp->GlobalMean();
+  double se = 0;
+  size_t n = 0;
+  // Recompute holdout via the same hash the model used is internal, so use
+  // total RMSE on all ratings as a conservative baseline comparison.
+  for (size_t u = 0; u < mp->NumUsers(); ++u) {
+    for (const auto& e : mp->UserVector(static_cast<int32_t>(u))) {
+      se += (e.rating - mean) * (e.rating - mean);
+      ++n;
+    }
+  }
+  double baseline_rmse = std::sqrt(se / n);
+  EXPECT_GT(model->holdout_rmse(), 0);
+  EXPECT_LT(model->holdout_rmse(), baseline_rmse);
+}
+
+TEST(SvdTest, DeterministicWithSameSeed) {
+  auto m = Figure1Ratings();
+  SvdOptions opts;
+  opts.num_epochs = 5;
+  auto a = SvdModel::Build(m, opts);
+  auto b = SvdModel::Build(m, opts);
+  EXPECT_DOUBLE_EQ(a->Predict(1, 2), b->Predict(1, 2));
+  EXPECT_DOUBLE_EQ(a->Predict(4, 1), b->Predict(4, 1));
+}
+
+TEST(RecommenderTest, BuildSelectsConfiguredAlgorithm) {
+  for (auto algo :
+       {RecAlgorithm::kItemCosCF, RecAlgorithm::kItemPearCF,
+        RecAlgorithm::kUserCosCF, RecAlgorithm::kUserPearCF,
+        RecAlgorithm::kSVD}) {
+    RecommenderConfig cfg;
+    cfg.name = "r";
+    cfg.algorithm = algo;
+    cfg.svd_opts.num_epochs = 2;
+    Recommender rec(cfg);
+    rec.AddRating(1, 1, 3);
+    rec.AddRating(1, 2, 4);
+    rec.AddRating(2, 1, 2);
+    auto t = rec.Build();
+    ASSERT_TRUE(t.ok());
+    ASSERT_NE(rec.model(), nullptr);
+    EXPECT_EQ(rec.model()->algorithm(), algo);
+  }
+}
+
+TEST(RecommenderTest, MaintenanceThresholdPolicy) {
+  RecommenderConfig cfg;
+  cfg.name = "r";
+  cfg.rebuild_threshold = 0.10;  // rebuild at 10% new ratings
+  Recommender rec(cfg);
+  EXPECT_TRUE(rec.NeedsRebuild());  // no model yet
+  for (int u = 0; u < 4; ++u) {
+    for (int i = 0; i < 5; ++i) rec.AddRating(u, i, 3.0);
+  }
+  ASSERT_TRUE(rec.Build().ok());
+  EXPECT_EQ(rec.base_size(), 20u);
+  EXPECT_EQ(rec.pending_updates(), 0u);
+  EXPECT_FALSE(rec.NeedsRebuild());
+
+  rec.AddRating(9, 9, 2.0);  // 1 new < 10% of 20
+  EXPECT_FALSE(rec.NeedsRebuild());
+  auto r1 = rec.MaintainIfNeeded();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.value());
+
+  rec.AddRating(9, 8, 2.0);  // 2 new == 10% of 20 -> rebuild
+  EXPECT_TRUE(rec.NeedsRebuild());
+  auto r2 = rec.MaintainIfNeeded();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.value());
+  EXPECT_EQ(rec.base_size(), 22u);
+  EXPECT_EQ(rec.pending_updates(), 0u);
+}
+
+TEST(RecommenderTest, SnapshotIsolatesModelFromNewRatings) {
+  RecommenderConfig cfg;
+  cfg.name = "r";
+  Recommender rec(cfg);
+  rec.AddRating(1, 1, 5);
+  rec.AddRating(2, 1, 4);
+  rec.AddRating(2, 2, 3);
+  ASSERT_TRUE(rec.Build().ok());
+  size_t snap_n = rec.snapshot()->NumRatings();
+  rec.AddRating(3, 2, 1);
+  EXPECT_EQ(rec.snapshot()->NumRatings(), snap_n);
+  EXPECT_EQ(rec.live().NumRatings(), snap_n + 1);
+  EXPECT_EQ(rec.pending_updates(), 1u);
+}
+
+}  // namespace
+}  // namespace recdb

@@ -1,0 +1,162 @@
+// Snapshot persistence tests: save/load round trips for tables (all value
+// types), recommenders (models retrain deterministically), and corruption
+// handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "api/recdb.h"
+#include "api/snapshot.h"
+#include "common/rng.h"
+
+namespace recdb {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string(::testing::TempDir()) + "/recdb_snapshot_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, TablesRoundTripAllTypes) {
+  RecDB db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b DOUBLE, c TEXT, "
+                         "g GEOMETRY)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES "
+                         "(1, 1.5, 'hello', 'POINT(1 2)'), "
+                         "(2, NULL, '', 'POLYGON((0 0, 1 0, 0 1))'), "
+                         "(NULL, -2.25, 'quote''d', 'POINT(-3 4)')")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE empty_table (x INT)").ok());
+
+  ASSERT_TRUE(SaveDatabase(&db, path_).ok());
+  auto loaded = LoadDatabase(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  auto orig = db.Execute("SELECT * FROM t ORDER BY c");
+  auto back = loaded.value()->Execute("SELECT * FROM t ORDER BY c");
+  ASSERT_TRUE(orig.ok());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(orig.value().NumRows(), back.value().NumRows());
+  for (size_t i = 0; i < orig.value().NumRows(); ++i) {
+    EXPECT_EQ(orig.value().rows[i], back.value().rows[i]) << "row " << i;
+  }
+  auto empty = loaded.value()->Execute("SELECT x FROM empty_table");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().NumRows(), 0u);
+}
+
+TEST_F(SnapshotTest, RecommendersRetrainToIdenticalAnswers) {
+  RecDB db;
+  ASSERT_TRUE(
+      db.Execute("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE)")
+          .ok());
+  Rng rng(64);
+  std::vector<std::vector<Value>> rows;
+  for (int u = 1; u <= 20; ++u) {
+    for (int k = 0; k < 8; ++k) {
+      rows.push_back({Value::Int(u), Value::Int(rng.UniformInt(1, 25)),
+                      Value::Double(rng.UniformInt(1, 5))});
+    }
+  }
+  ASSERT_TRUE(db.BulkInsert("Ratings", rows).ok());
+  ASSERT_TRUE(db.Execute("CREATE RECOMMENDER a ON Ratings USERS FROM uid "
+                         "ITEMS FROM iid RATINGS FROM ratingval "
+                         "USING ItemCosCF")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE RECOMMENDER b ON Ratings USERS FROM uid "
+                         "ITEMS FROM iid RATINGS FROM ratingval USING SVD")
+                  .ok());
+
+  ASSERT_TRUE(SaveDatabase(&db, path_).ok());
+  auto loaded = LoadDatabase(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value()->registry()->Count(), 2u);
+
+  for (const char* algo : {"ItemCosCF", "SVD"}) {
+    std::string sql = std::string(
+        "SELECT R.iid, R.ratingval FROM Ratings AS R "
+        "RECOMMEND R.iid TO R.uid ON R.ratingval USING ") + algo +
+        " WHERE R.uid = 3 ORDER BY R.ratingval DESC, R.iid LIMIT 10";
+    auto orig = db.Execute(sql);
+    auto back = loaded.value()->Execute(sql);
+    ASSERT_TRUE(orig.ok());
+    ASSERT_TRUE(back.ok()) << back.status();
+    ASSERT_EQ(orig.value().NumRows(), back.value().NumRows()) << algo;
+    for (size_t i = 0; i < orig.value().NumRows(); ++i) {
+      EXPECT_EQ(orig.value().At(i, 0).AsInt(), back.value().At(i, 0).AsInt());
+      EXPECT_DOUBLE_EQ(orig.value().At(i, 1).AsDouble(),
+                       back.value().At(i, 1).AsDouble())
+          << algo << " row " << i;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, CustomHyperparametersSurvive) {
+  RecDB db;
+  ASSERT_TRUE(
+      db.Execute("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE);"
+                 "INSERT INTO Ratings VALUES (1,1,4.0), (1,2,3.0), "
+                 "(2,1,5.0), (2,3,2.0)")
+          .ok());
+  RecommenderConfig cfg;
+  cfg.name = "tuned";
+  cfg.ratings_table = "Ratings";
+  cfg.user_col = "uid";
+  cfg.item_col = "iid";
+  cfg.rating_col = "ratingval";
+  cfg.algorithm = RecAlgorithm::kSVD;
+  cfg.rebuild_threshold = 0.42;
+  cfg.sim_opts.top_k = 17;
+  cfg.svd_opts.num_factors = 9;
+  cfg.svd_opts.num_epochs = 4;
+  cfg.svd_opts.seed = 123;
+  cfg.svd_opts.use_biases = true;
+  ASSERT_TRUE(db.CreateRecommender(cfg).ok());
+
+  ASSERT_TRUE(SaveDatabase(&db, path_).ok());
+  auto loaded = LoadDatabase(path_);
+  ASSERT_TRUE(loaded.ok());
+  auto rec = loaded.value()->GetRecommender("tuned");
+  ASSERT_TRUE(rec.ok());
+  const auto& got = rec.value()->config();
+  EXPECT_EQ(got.rebuild_threshold, 0.42);
+  EXPECT_EQ(got.sim_opts.top_k, 17);
+  EXPECT_EQ(got.svd_opts.num_factors, 9);
+  EXPECT_EQ(got.svd_opts.num_epochs, 4);
+  EXPECT_EQ(got.svd_opts.seed, 123u);
+  EXPECT_TRUE(got.svd_opts.use_biases);
+}
+
+TEST_F(SnapshotTest, CorruptionAndMissingFile) {
+  EXPECT_FALSE(LoadDatabase("/nonexistent/path.bin").ok());
+
+  // Garbage magic.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTASNAPSHOT", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadDatabase(path_).ok());
+
+  // Truncated but valid prefix.
+  RecDB db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT);"
+                         "INSERT INTO t VALUES (1), (2), (3)")
+                  .ok());
+  ASSERT_TRUE(SaveDatabase(&db, path_).ok());
+  auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  EXPECT_FALSE(LoadDatabase(path_).ok());
+}
+
+}  // namespace
+}  // namespace recdb
