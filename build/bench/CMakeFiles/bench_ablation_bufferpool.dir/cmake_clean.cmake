@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bufferpool.dir/bench_ablation_bufferpool.cc.o"
+  "CMakeFiles/bench_ablation_bufferpool.dir/bench_ablation_bufferpool.cc.o.d"
+  "bench_ablation_bufferpool"
+  "bench_ablation_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_neighborhood.dir/bench_ablation_neighborhood.cc.o"
+  "CMakeFiles/bench_ablation_neighborhood.dir/bench_ablation_neighborhood.cc.o.d"
+  "bench_ablation_neighborhood"
+  "bench_ablation_neighborhood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pushdown.dir/bench_ablation_pushdown.cc.o"
+  "CMakeFiles/bench_ablation_pushdown.dir/bench_ablation_pushdown.cc.o.d"
+  "bench_ablation_pushdown"
+  "bench_ablation_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_topk_ldos.dir/bench_fig11_topk_ldos.cc.o"
+  "CMakeFiles/bench_fig11_topk_ldos.dir/bench_fig11_topk_ldos.cc.o.d"
+  "bench_fig11_topk_ldos"
+  "bench_fig11_topk_ldos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_topk_ldos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_topk_yelp.dir/bench_fig12_topk_yelp.cc.o"
+  "CMakeFiles/bench_fig12_topk_yelp.dir/bench_fig12_topk_yelp.cc.o.d"
+  "bench_fig12_topk_yelp"
+  "bench_fig12_topk_yelp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_topk_yelp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_selectivity_yelp.dir/bench_fig7_selectivity_yelp.cc.o"
+  "CMakeFiles/bench_fig7_selectivity_yelp.dir/bench_fig7_selectivity_yelp.cc.o.d"
+  "bench_fig7_selectivity_yelp"
+  "bench_fig7_selectivity_yelp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_selectivity_yelp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

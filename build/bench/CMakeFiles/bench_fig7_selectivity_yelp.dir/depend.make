@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_selectivity_yelp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_join_ldos.dir/bench_fig9_join_ldos.cc.o"
+  "CMakeFiles/bench_fig9_join_ldos.dir/bench_fig9_join_ldos.cc.o.d"
+  "bench_fig9_join_ldos"
+  "bench_fig9_join_ldos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_join_ldos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_model_build.dir/bench_table2_model_build.cc.o"
+  "CMakeFiles/bench_table2_model_build.dir/bench_table2_model_build.cc.o.d"
+  "bench_table2_model_build"
+  "bench_table2_model_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_model_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_maintenance.dir/online_maintenance.cpp.o"
+  "CMakeFiles/online_maintenance.dir/online_maintenance.cpp.o.d"
+  "online_maintenance"
+  "online_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

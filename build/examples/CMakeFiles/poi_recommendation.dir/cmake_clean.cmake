@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_recommendation.dir/poi_recommendation.cpp.o"
+  "CMakeFiles/poi_recommendation.dir/poi_recommendation.cpp.o.d"
+  "poi_recommendation"
+  "poi_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recdb_shell.dir/recdb_shell.cpp.o"
+  "CMakeFiles/recdb_shell.dir/recdb_shell.cpp.o.d"
+  "recdb_shell"
+  "recdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/recdb.cc" "src/CMakeFiles/recdb.dir/api/recdb.cc.o" "gcc" "src/CMakeFiles/recdb.dir/api/recdb.cc.o.d"
+  "/root/repo/src/api/recommender_registry.cc" "src/CMakeFiles/recdb.dir/api/recommender_registry.cc.o" "gcc" "src/CMakeFiles/recdb.dir/api/recommender_registry.cc.o.d"
+  "/root/repo/src/api/snapshot.cc" "src/CMakeFiles/recdb.dir/api/snapshot.cc.o" "gcc" "src/CMakeFiles/recdb.dir/api/snapshot.cc.o.d"
+  "/root/repo/src/cache/cache_manager.cc" "src/CMakeFiles/recdb.dir/cache/cache_manager.cc.o" "gcc" "src/CMakeFiles/recdb.dir/cache/cache_manager.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/recdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/recdb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/recdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/recdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/recdb.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/recdb.dir/common/string_util.cc.o.d"
+  "/root/repo/src/datagen/datagen.cc" "src/CMakeFiles/recdb.dir/datagen/datagen.cc.o" "gcc" "src/CMakeFiles/recdb.dir/datagen/datagen.cc.o.d"
+  "/root/repo/src/execution/aggregate_executor.cc" "src/CMakeFiles/recdb.dir/execution/aggregate_executor.cc.o" "gcc" "src/CMakeFiles/recdb.dir/execution/aggregate_executor.cc.o.d"
+  "/root/repo/src/execution/basic_executors.cc" "src/CMakeFiles/recdb.dir/execution/basic_executors.cc.o" "gcc" "src/CMakeFiles/recdb.dir/execution/basic_executors.cc.o.d"
+  "/root/repo/src/execution/executor_factory.cc" "src/CMakeFiles/recdb.dir/execution/executor_factory.cc.o" "gcc" "src/CMakeFiles/recdb.dir/execution/executor_factory.cc.o.d"
+  "/root/repo/src/execution/recommend_executors.cc" "src/CMakeFiles/recdb.dir/execution/recommend_executors.cc.o" "gcc" "src/CMakeFiles/recdb.dir/execution/recommend_executors.cc.o.d"
+  "/root/repo/src/index/rec_score_index.cc" "src/CMakeFiles/recdb.dir/index/rec_score_index.cc.o" "gcc" "src/CMakeFiles/recdb.dir/index/rec_score_index.cc.o.d"
+  "/root/repo/src/ontop/external_recommender.cc" "src/CMakeFiles/recdb.dir/ontop/external_recommender.cc.o" "gcc" "src/CMakeFiles/recdb.dir/ontop/external_recommender.cc.o.d"
+  "/root/repo/src/ontop/ontop_engine.cc" "src/CMakeFiles/recdb.dir/ontop/ontop_engine.cc.o" "gcc" "src/CMakeFiles/recdb.dir/ontop/ontop_engine.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/recdb.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/recdb.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/recdb.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/recdb.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/recdb.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/recdb.dir/parser/parser.cc.o.d"
+  "/root/repo/src/planner/exec_schema.cc" "src/CMakeFiles/recdb.dir/planner/exec_schema.cc.o" "gcc" "src/CMakeFiles/recdb.dir/planner/exec_schema.cc.o.d"
+  "/root/repo/src/planner/expression.cc" "src/CMakeFiles/recdb.dir/planner/expression.cc.o" "gcc" "src/CMakeFiles/recdb.dir/planner/expression.cc.o.d"
+  "/root/repo/src/planner/optimizer.cc" "src/CMakeFiles/recdb.dir/planner/optimizer.cc.o" "gcc" "src/CMakeFiles/recdb.dir/planner/optimizer.cc.o.d"
+  "/root/repo/src/planner/plan_node.cc" "src/CMakeFiles/recdb.dir/planner/plan_node.cc.o" "gcc" "src/CMakeFiles/recdb.dir/planner/plan_node.cc.o.d"
+  "/root/repo/src/planner/planner.cc" "src/CMakeFiles/recdb.dir/planner/planner.cc.o" "gcc" "src/CMakeFiles/recdb.dir/planner/planner.cc.o.d"
+  "/root/repo/src/recommender/algorithm.cc" "src/CMakeFiles/recdb.dir/recommender/algorithm.cc.o" "gcc" "src/CMakeFiles/recdb.dir/recommender/algorithm.cc.o.d"
+  "/root/repo/src/recommender/cf_model.cc" "src/CMakeFiles/recdb.dir/recommender/cf_model.cc.o" "gcc" "src/CMakeFiles/recdb.dir/recommender/cf_model.cc.o.d"
+  "/root/repo/src/recommender/evaluation.cc" "src/CMakeFiles/recdb.dir/recommender/evaluation.cc.o" "gcc" "src/CMakeFiles/recdb.dir/recommender/evaluation.cc.o.d"
+  "/root/repo/src/recommender/rating_matrix.cc" "src/CMakeFiles/recdb.dir/recommender/rating_matrix.cc.o" "gcc" "src/CMakeFiles/recdb.dir/recommender/rating_matrix.cc.o.d"
+  "/root/repo/src/recommender/recommender.cc" "src/CMakeFiles/recdb.dir/recommender/recommender.cc.o" "gcc" "src/CMakeFiles/recdb.dir/recommender/recommender.cc.o.d"
+  "/root/repo/src/recommender/similarity.cc" "src/CMakeFiles/recdb.dir/recommender/similarity.cc.o" "gcc" "src/CMakeFiles/recdb.dir/recommender/similarity.cc.o.d"
+  "/root/repo/src/recommender/svd_model.cc" "src/CMakeFiles/recdb.dir/recommender/svd_model.cc.o" "gcc" "src/CMakeFiles/recdb.dir/recommender/svd_model.cc.o.d"
+  "/root/repo/src/spatial/geometry.cc" "src/CMakeFiles/recdb.dir/spatial/geometry.cc.o" "gcc" "src/CMakeFiles/recdb.dir/spatial/geometry.cc.o.d"
+  "/root/repo/src/spatial/rtree.cc" "src/CMakeFiles/recdb.dir/spatial/rtree.cc.o" "gcc" "src/CMakeFiles/recdb.dir/spatial/rtree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/recdb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/recdb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/recdb.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/recdb.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/recdb.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/recdb.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/table_heap.cc" "src/CMakeFiles/recdb.dir/storage/table_heap.cc.o" "gcc" "src/CMakeFiles/recdb.dir/storage/table_heap.cc.o.d"
+  "/root/repo/src/storage/table_page.cc" "src/CMakeFiles/recdb.dir/storage/table_page.cc.o" "gcc" "src/CMakeFiles/recdb.dir/storage/table_page.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/recdb.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/recdb.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "src/CMakeFiles/recdb.dir/types/tuple.cc.o" "gcc" "src/CMakeFiles/recdb.dir/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/recdb.dir/types/value.cc.o" "gcc" "src/CMakeFiles/recdb.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

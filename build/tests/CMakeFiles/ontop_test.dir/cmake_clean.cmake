@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontop_test.dir/ontop_test.cc.o"
+  "CMakeFiles/ontop_test.dir/ontop_test.cc.o.d"
+  "ontop_test"
+  "ontop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
