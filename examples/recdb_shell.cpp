@@ -105,6 +105,14 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(db.buffer_pool()->hits()),
                     static_cast<unsigned long long>(
                         db.buffer_pool()->misses()));
+        std::printf(
+            "  io faults: %llu read failures, %llu write failures, "
+            "%llu retries, %llu checksum failures\n",
+            static_cast<unsigned long long>(db.disk()->num_read_failures()),
+            static_cast<unsigned long long>(db.disk()->num_write_failures()),
+            static_cast<unsigned long long>(db.disk()->num_retries()),
+            static_cast<unsigned long long>(
+                db.disk()->num_checksum_failures()));
       } else if (trimmed == "\\timing") {
         timing = !timing;
         std::printf("timing %s\n", timing ? "on" : "off");

@@ -1,25 +1,318 @@
 #include "api/recdb.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "parser/parser.h"
 
 namespace recdb {
 
-RecDB::RecDB(RecDBOptions options)
-    : options_(options), clock_(&default_clock_) {
-  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, &disk_);
+namespace {
+
+// --- catalog meta-page serialization ----------------------------------------
+//
+// File-backed databases persist the catalog (tables + recommender configs)
+// in a chain of meta pages rooted at page 0, so Open(path) can re-attach
+// heaps and deterministically re-train recommenders. Each meta page:
+//   u32 magic "ATEM" | i32 next_page_id (kInvalidPageId ends the chain) |
+//   u32 chunk_len | u32 reserved | chunk bytes
+// The concatenated chunks form one payload:
+//   magic "RECDBMETA1" | u32 table_count | tables | u32 rec_count | recs
+
+constexpr uint32_t kMetaPageMagic = 0x4154454Du;  // "META" little-endian
+constexpr size_t kMetaPageHeader = 16;
+constexpr size_t kMetaPageCapacity = kPageSize - kMetaPageHeader;
+constexpr char kMetaMagic[] = "RECDBMETA1";
+constexpr size_t kMetaMagicLen = sizeof(kMetaMagic) - 1;
+
+class ByteWriter {
+ public:
+  void Raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  template <typename T>
+  void Num(T v) {
+    Raw(&v, sizeof(T));
+  }
+  void Str(const std::string& s) {
+    Num(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  Status Raw(void* out, size_t n) {
+    if (pos_ + n > buf_.size()) {
+      return Status::DataLoss("catalog metadata truncated");
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  template <typename T>
+  Result<T> Num() {
+    T v{};
+    RECDB_RETURN_NOT_OK(Raw(&v, sizeof(T)));
+    return v;
+  }
+  Result<std::string> Str() {
+    RECDB_ASSIGN_OR_RETURN(uint32_t n, Num<uint32_t>());
+    if (n > (1u << 20)) return Status::DataLoss("catalog string too large");
+    std::string s(n, '\0');
+    RECDB_RETURN_NOT_OK(Raw(s.data(), n));
+    return s;
+  }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+RecDB::RecDB(RecDBOptions options, std::unique_ptr<DiskManager> disk)
+    : options_(options),
+      disk_(disk != nullptr ? std::move(disk)
+                            : std::make_unique<InMemoryDiskManager>()),
+      clock_(&default_clock_) {
+  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, disk_.get());
   catalog_ = std::make_unique<Catalog>(pool_.get());
+  if (disk_->persistent() && disk_->NumPages() == 0) {
+    // Reserve page 0 as the meta-chain root of a fresh database.
+    page_id_t pid;
+    auto guard = pool_->NewGuard(&pid);
+    if (guard.ok() && pid == 0) {
+      meta_pages_.push_back(pid);
+      (void)guard.value().Drop();
+    }
+  }
 }
 
-RecDB::~RecDB() = default;
+RecDB::~RecDB() {
+  if (disk_ != nullptr && disk_->persistent() && !closed_) (void)Close();
+}
+
+Result<std::unique_ptr<RecDB>> RecDB::Open(const std::string& path,
+                                           RecDBOptions options) {
+  RECDB_ASSIGN_OR_RETURN(auto disk, FileDiskManager::Open(path));
+  bool existing = disk->NumPages() > 0;
+  auto db = std::unique_ptr<RecDB>(new RecDB(options, std::move(disk)));
+  if (existing) {
+    Status st = db->LoadMeta();
+    if (!st.ok()) {
+      // A half-loaded database must never checkpoint: the destructor would
+      // overwrite the on-disk catalog with the partial in-memory state.
+      db->closed_ = true;
+      return st;
+    }
+  }
+  return db;
+}
+
+Status RecDB::Checkpoint() {
+  if (!disk_->persistent() || closed_) return Status::OK();
+  RECDB_RETURN_NOT_OK(PersistMeta());
+  return pool_->FlushAll();
+}
+
+Status RecDB::Close() {
+  if (closed_) return Status::OK();
+  Status st = Checkpoint();
+  closed_ = true;
+  return st;
+}
+
+Status RecDB::PersistMeta() {
+  ByteWriter w;
+  w.Raw(kMetaMagic, kMetaMagicLen);
+
+  auto table_names = catalog_->TableNames();
+  w.Num(static_cast<uint32_t>(table_names.size()));
+  for (const auto& name : table_names) {
+    RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(name));
+    w.Str(table->name);
+    w.Num(static_cast<uint32_t>(table->schema.NumColumns()));
+    for (const auto& col : table->schema.columns()) {
+      w.Str(col.name);
+      w.Num(static_cast<uint8_t>(col.type));
+    }
+    w.Num(static_cast<int32_t>(table->heap->first_page_id()));
+    w.Num(static_cast<int32_t>(table->heap->last_page_id()));
+    w.Num(static_cast<uint64_t>(table->heap->num_tuples()));
+  }
+
+  auto rec_names = registry_.Names();
+  w.Num(static_cast<uint32_t>(rec_names.size()));
+  for (const auto& name : rec_names) {
+    RECDB_ASSIGN_OR_RETURN(Recommender * rec, registry_.Get(name));
+    const RecommenderConfig& cfg = rec->config();
+    w.Str(cfg.name);
+    w.Str(cfg.ratings_table);
+    w.Str(cfg.user_col);
+    w.Str(cfg.item_col);
+    w.Str(cfg.rating_col);
+    w.Num(static_cast<uint8_t>(cfg.algorithm));
+    w.Num(cfg.rebuild_threshold);
+    w.Num(cfg.sim_opts.top_k);
+    w.Num(cfg.sim_opts.min_overlap);
+    w.Num(cfg.svd_opts.num_factors);
+    w.Num(cfg.svd_opts.num_epochs);
+    w.Num(cfg.svd_opts.learning_rate);
+    w.Num(cfg.svd_opts.regularization);
+    w.Num(cfg.svd_opts.seed);
+    w.Num(static_cast<uint8_t>(cfg.svd_opts.use_biases ? 1 : 0));
+  }
+
+  const std::vector<uint8_t>& payload = w.bytes();
+  size_t num_chunks =
+      payload.empty() ? 1 : (payload.size() + kMetaPageCapacity - 1) /
+                                kMetaPageCapacity;
+  // Extend the chain if the catalog outgrew it (orphaned tail pages from a
+  // shrinking catalog stay allocated; they are unreachable and harmless).
+  while (meta_pages_.size() < num_chunks) {
+    page_id_t pid;
+    RECDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewGuard(&pid));
+    RECDB_RETURN_NOT_OK(guard.Drop());
+    meta_pages_.push_back(pid);
+  }
+  for (size_t i = 0; i < num_chunks; ++i) {
+    size_t off = i * kMetaPageCapacity;
+    size_t len = std::min(kMetaPageCapacity,
+                          payload.size() > off ? payload.size() - off : 0);
+    page_id_t next =
+        i + 1 < num_chunks ? meta_pages_[i + 1] : kInvalidPageId;
+    RECDB_ASSIGN_OR_RETURN(PageGuard guard,
+                           pool_->FetchGuard(meta_pages_[i]));
+    char* data = guard.data();
+    std::memset(data, 0, kPageSize);
+    std::memcpy(data, &kMetaPageMagic, sizeof(kMetaPageMagic));
+    std::memcpy(data + 4, &next, sizeof(next));
+    uint32_t len32 = static_cast<uint32_t>(len);
+    std::memcpy(data + 8, &len32, sizeof(len32));
+    if (len > 0) std::memcpy(data + kMetaPageHeader, payload.data() + off, len);
+    guard.MarkDirty();
+    RECDB_RETURN_NOT_OK(guard.Drop());
+  }
+  return Status::OK();
+}
+
+Status RecDB::LoadMeta() {
+  std::vector<uint8_t> payload;
+  meta_pages_.clear();
+  page_id_t pid = 0;
+  while (pid != kInvalidPageId) {
+    RECDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchGuard(pid));
+    const char* data = guard.data();
+    uint32_t magic;
+    std::memcpy(&magic, data, sizeof(magic));
+    if (magic != kMetaPageMagic) {
+      return Status::DataLoss("page " + std::to_string(pid) +
+                              " is not a catalog meta page");
+    }
+    meta_pages_.push_back(pid);
+    page_id_t next;
+    uint32_t len;
+    std::memcpy(&next, data + 4, sizeof(next));
+    std::memcpy(&len, data + 8, sizeof(len));
+    if (len > kMetaPageCapacity) {
+      return Status::DataLoss("corrupt meta page length");
+    }
+    const auto* chunk =
+        reinterpret_cast<const uint8_t*>(data + kMetaPageHeader);
+    payload.insert(payload.end(), chunk, chunk + len);
+    RECDB_RETURN_NOT_OK(guard.Drop());
+    if (next != kInvalidPageId && meta_pages_.size() > disk_->NumPages()) {
+      return Status::DataLoss("catalog meta chain forms a cycle");
+    }
+    pid = next;
+  }
+  if (payload.empty()) return Status::OK();  // fresh database, empty catalog
+
+  ByteReader r(payload);
+  char magic[kMetaMagicLen];
+  RECDB_RETURN_NOT_OK(r.Raw(magic, kMetaMagicLen));
+  if (std::memcmp(magic, kMetaMagic, kMetaMagicLen) != 0) {
+    return Status::DataLoss("bad catalog metadata magic");
+  }
+
+  RECDB_ASSIGN_OR_RETURN(uint32_t num_tables, r.Num<uint32_t>());
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    RECDB_ASSIGN_OR_RETURN(std::string name, r.Str());
+    RECDB_ASSIGN_OR_RETURN(uint32_t ncols, r.Num<uint32_t>());
+    std::vector<Column> cols;
+    for (uint32_t c = 0; c < ncols; ++c) {
+      RECDB_ASSIGN_OR_RETURN(std::string col_name, r.Str());
+      RECDB_ASSIGN_OR_RETURN(uint8_t type, r.Num<uint8_t>());
+      if (type > static_cast<uint8_t>(TypeId::kGeometry)) {
+        return Status::DataLoss("catalog has unknown column type");
+      }
+      cols.emplace_back(std::move(col_name), static_cast<TypeId>(type));
+    }
+    RECDB_ASSIGN_OR_RETURN(int32_t first_pid, r.Num<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(int32_t last_pid, r.Num<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(uint64_t num_tuples, r.Num<uint64_t>());
+    RECDB_RETURN_NOT_OK(
+        catalog_
+            ->AttachTable(name, Schema(std::move(cols)),
+                          TableHeap::Attach(pool_.get(), first_pid, last_pid,
+                                            static_cast<size_t>(num_tuples)))
+            .status());
+  }
+
+  RECDB_ASSIGN_OR_RETURN(uint32_t num_recs, r.Num<uint32_t>());
+  for (uint32_t i = 0; i < num_recs; ++i) {
+    RecommenderConfig cfg;
+    RECDB_ASSIGN_OR_RETURN(cfg.name, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.ratings_table, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.user_col, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.item_col, r.Str());
+    RECDB_ASSIGN_OR_RETURN(cfg.rating_col, r.Str());
+    RECDB_ASSIGN_OR_RETURN(uint8_t algo, r.Num<uint8_t>());
+    if (algo > static_cast<uint8_t>(RecAlgorithm::kSVD)) {
+      return Status::DataLoss("catalog has unknown algorithm");
+    }
+    cfg.algorithm = static_cast<RecAlgorithm>(algo);
+    RECDB_ASSIGN_OR_RETURN(cfg.rebuild_threshold, r.Num<double>());
+    RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.top_k, r.Num<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.min_overlap, r.Num<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_factors, r.Num<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_epochs, r.Num<int32_t>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.learning_rate, r.Num<double>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.regularization, r.Num<double>());
+    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.seed, r.Num<uint64_t>());
+    RECDB_ASSIGN_OR_RETURN(uint8_t biases, r.Num<uint8_t>());
+    cfg.svd_opts.use_biases = biases != 0;
+    RECDB_RETURN_NOT_OK(CreateRecommender(std::move(cfg)).status());
+  }
+  return Status::OK();
+}
 
 Result<ResultSet> RecDB::Execute(const std::string& sql) {
+  if (closed_) return Status::InvalidArgument("database is closed");
   RECDB_ASSIGN_OR_RETURN(auto stmts, Parser::Parse(sql));
+  uint64_t read_failures = disk_->num_read_failures();
+  uint64_t write_failures = disk_->num_write_failures();
+  uint64_t retries = disk_->num_retries();
+  uint64_t checksum_failures = disk_->num_checksum_failures();
   ResultSet last;
   for (const auto& stmt : stmts) {
     RECDB_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
   }
+  last.stats.io_read_failures += disk_->num_read_failures() - read_failures;
+  last.stats.io_write_failures += disk_->num_write_failures() - write_failures;
+  last.stats.io_retries += disk_->num_retries() - retries;
+  last.stats.io_checksum_failures +=
+      disk_->num_checksum_failures() - checksum_failures;
   return last;
 }
 
@@ -148,9 +441,20 @@ Result<ResultSet> RecDB::ExecuteInsert(const InsertStatement& stmt) {
       vals.push_back(std::move(v));
     }
     Tuple tuple(std::move(vals));
-    RECDB_RETURN_NOT_OK(table->heap->Insert(tuple).status());
-    RECDB_RETURN_NOT_OK(NotifyInsert(table->name, schema, tuple));
-    ++inserted;
+    Status st = table->heap->Insert(tuple).status();
+    if (st.ok()) {
+      ++inserted;  // the row is in the table even if a later step fails
+      st = NotifyInsert(table->name, schema, tuple);
+    }
+    if (!st.ok()) {
+      // Partial failure: report how many rows actually reached the table so
+      // the caller knows the statement's observable effect.
+      return Status(st.code(),
+                    StringFormat("%s (INSERT aborted: %zu of %zu rows "
+                                 "applied to %s)",
+                                 st.message().c_str(), inserted,
+                                 stmt.rows.size(), table->name.c_str()));
+    }
   }
   ResultSet rs;
   rs.message = StringFormat("inserted %zu rows into %s", inserted,
@@ -447,6 +751,16 @@ std::string ResultSet::ToString(size_t max_rows) const {
   if (!message.empty()) {
     out += message;
     out += "\n";
+  }
+  if (stats.io_read_failures > 0 || stats.io_write_failures > 0 ||
+      stats.io_retries > 0 || stats.io_checksum_failures > 0) {
+    out += StringFormat(
+        "io faults: %llu read failures, %llu write failures, %llu retries, "
+        "%llu checksum failures\n",
+        static_cast<unsigned long long>(stats.io_read_failures),
+        static_cast<unsigned long long>(stats.io_write_failures),
+        static_cast<unsigned long long>(stats.io_retries),
+        static_cast<unsigned long long>(stats.io_checksum_failures));
   }
   return out;
 }

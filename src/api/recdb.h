@@ -58,11 +58,31 @@ struct ResultSet {
 
 class RecDB {
  public:
-  explicit RecDB(RecDBOptions options = {});
+  /// In-memory database by default; pass a DiskManager (e.g. a
+  /// FileDiskManager or a FaultInjectingDiskManager) to run over a
+  /// different device.
+  explicit RecDB(RecDBOptions options = {},
+                 std::unique_ptr<DiskManager> disk = nullptr);
   ~RecDB();
 
   RecDB(const RecDB&) = delete;
   RecDB& operator=(const RecDB&) = delete;
+
+  /// Open (or create) a file-backed database at `path`. Reopening a file
+  /// restores every table and re-trains every recommender from its
+  /// persisted catalog (training is deterministic, so a reopened database
+  /// answers RECOMMEND queries identically). Corrupt pages surface as
+  /// kDataLoss.
+  static Result<std::unique_ptr<RecDB>> Open(const std::string& path,
+                                             RecDBOptions options = {});
+
+  /// Flush dirty pages, persist the catalog + recommender registry, and
+  /// issue the durability barrier. No-op for in-memory databases.
+  Status Checkpoint();
+
+  /// Checkpoint and release the storage file. The destructor calls this
+  /// best-effort; call it explicitly to observe failures.
+  Status Close();
 
   /// Parse and execute a script; returns the last statement's result.
   Result<ResultSet> Execute(const std::string& sql);
@@ -74,7 +94,7 @@ class RecDB {
   Catalog* catalog() { return catalog_.get(); }
   RecommenderRegistry* registry() { return &registry_; }
   BufferPool* buffer_pool() { return pool_.get(); }
-  DiskManager* disk() { return &disk_; }
+  DiskManager* disk() { return disk_.get(); }
   PlannerOptions* mutable_planner_options() { return &options_.planner; }
   const RecDBOptions& options() const { return options_; }
 
@@ -127,8 +147,17 @@ class RecDB {
   /// Record query demand (user histogram) for a RECOMMEND query.
   void NotifyRecommendQuery(const PlanNode& plan);
 
+  /// Serialize the catalog + recommender configs into the meta-page chain
+  /// rooted at page 0 (file-backed databases only).
+  Status PersistMeta();
+
+  /// Rebuild catalog and recommenders from the meta-page chain.
+  Status LoadMeta();
+
   RecDBOptions options_;
-  DiskManager disk_;
+  std::unique_ptr<DiskManager> disk_;
+  std::vector<page_id_t> meta_pages_;
+  bool closed_ = false;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   RecommenderRegistry registry_;

@@ -29,6 +29,8 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kResourceExhausted,
+  kUnavailable,  // transient fault; retrying the operation may succeed
+  kDataLoss,     // unrecoverable corruption (e.g. page checksum mismatch)
 };
 
 /// Human-readable name of a StatusCode ("Ok", "ParseError", ...).
@@ -78,8 +80,16 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// Transient condition: the same operation may succeed if retried.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 

@@ -22,6 +22,11 @@ struct ExecStats {
   uint64_t index_hits = 0;          // users served from RecScoreIndex
   uint64_t index_misses = 0;        // users that fell back to the model
   uint64_t join_probes = 0;
+  // I/O fault behaviour observed during the statement (DiskManager deltas).
+  uint64_t io_read_failures = 0;    // reads that failed after retries
+  uint64_t io_write_failures = 0;   // writes that failed after retries
+  uint64_t io_retries = 0;          // transient-fault retries performed
+  uint64_t io_checksum_failures = 0;  // pages that failed CRC verification
 };
 
 struct ExecContext {

@@ -31,18 +31,27 @@ Result<frame_id_t> BufferPool::GetVictim() {
     free_list_.pop_back();
     return fid;
   }
-  for (frame_id_t fid : lru_) {
-    if (frames_[fid]->pin_count() == 0) {
-      Page* victim = frames_[fid].get();
-      if (victim->is_dirty()) {
-        RECDB_RETURN_NOT_OK(disk_->WritePage(victim->page_id(), victim->data()));
+  Status write_back_error;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    frame_id_t fid = *it;
+    if (frames_[fid]->pin_count() != 0) continue;
+    Page* victim = frames_[fid].get();
+    if (victim->is_dirty()) {
+      Status st = disk_->WritePage(victim->page_id(), victim->data());
+      if (!st.ok()) {
+        // The victim keeps its (dirty, resident, consistent) frame; try the
+        // next candidate so one bad write-back doesn't wedge the pool.
+        write_back_error = st;
+        continue;
       }
-      page_table_.erase(victim->page_id());
-      EraseLru(fid);
-      victim->Reset();
-      return fid;
+      victim->is_dirty_ = false;
     }
+    page_table_.erase(victim->page_id());
+    EraseLru(fid);
+    victim->Reset();
+    return fid;
   }
+  if (!write_back_error.ok()) return write_back_error;
   return Status::ResourceExhausted("all buffer-pool frames are pinned");
 }
 
@@ -85,6 +94,18 @@ Result<Page*> BufferPool::New(page_id_t* pid_out) {
   return page;
 }
 
+Result<PageGuard> BufferPool::FetchGuard(page_id_t pid) {
+  RECDB_ASSIGN_OR_RETURN(Page * page, Fetch(pid));
+  return PageGuard(this, page);
+}
+
+Result<PageGuard> BufferPool::NewGuard(page_id_t* pid_out) {
+  RECDB_ASSIGN_OR_RETURN(Page * page, New(pid_out));
+  PageGuard guard(this, page);
+  guard.MarkDirty();
+  return guard;
+}
+
 Status BufferPool::Unpin(page_id_t pid, bool dirty) {
   auto it = page_table_.find(pid);
   if (it == page_table_.end()) {
@@ -116,7 +137,7 @@ Status BufferPool::FlushAll() {
     (void)fid;
     RECDB_RETURN_NOT_OK(Flush(pid));
   }
-  return Status::OK();
+  return disk_->Sync();
 }
 
 size_t BufferPool::NumPinned() const {

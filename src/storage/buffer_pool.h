@@ -1,8 +1,15 @@
 // BufferPool: fixed set of frames over the DiskManager with LRU replacement.
 //
 // Pin/unpin discipline: Fetch/New return a pinned page; callers must Unpin
-// (marking dirty when they wrote). Pinned pages are never evicted; evicting
-// a dirty page writes it back.
+// (marking dirty when they wrote). Prefer FetchGuard/NewGuard, whose RAII
+// PageGuard makes a leaked pin impossible on error paths. Pinned pages are
+// never evicted; evicting a dirty page writes it back.
+//
+// Failure model: a failed write-back during eviction leaves the victim
+// resident and dirty (no data is lost) and the pool tries the next LRU
+// candidate; a failed read into a victim frame returns the frame to the
+// free list. Either way the pool stays internally consistent and a later
+// retry can succeed.
 #pragma once
 
 #include <list>
@@ -13,6 +20,7 @@
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "storage/page_guard.h"
 
 namespace recdb {
 
@@ -20,12 +28,19 @@ class BufferPool {
  public:
   BufferPool(size_t pool_size, DiskManager* disk);
 
-  /// Fetch an existing page, pinning it. IOError if unallocated;
-  /// ResourceExhausted if every frame is pinned.
+  /// Fetch an existing page, pinning it. IOError if unallocated; kDataLoss
+  /// if corrupt on disk; ResourceExhausted if every frame is pinned.
   Result<Page*> Fetch(page_id_t pid);
 
   /// Allocate a new page on disk and pin a zeroed frame for it.
   Result<Page*> New(page_id_t* pid_out);
+
+  /// Fetch, wrapped in an RAII guard that unpins on scope exit.
+  Result<PageGuard> FetchGuard(page_id_t pid);
+
+  /// New, wrapped in an RAII guard (already marked dirty: a new page must
+  /// reach disk even if untouched).
+  Result<PageGuard> NewGuard(page_id_t* pid_out);
 
   /// Drop a pin; `dirty` ORs into the frame's dirty bit.
   Status Unpin(page_id_t pid, bool dirty);
@@ -33,7 +48,8 @@ class BufferPool {
   /// Write a page back to disk if present (clears dirty bit).
   Status Flush(page_id_t pid);
 
-  /// Flush every resident dirty page.
+  /// Flush every resident dirty page, then issue the disk's durability
+  /// barrier (fsync for file-backed devices).
   Status FlushAll();
 
   size_t pool_size() const { return frames_.size(); }

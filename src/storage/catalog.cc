@@ -20,6 +20,22 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name,
   return raw;
 }
 
+Result<TableInfo*> Catalog::AttachTable(const std::string& name, Schema schema,
+                                        std::unique_ptr<TableHeap> heap) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  info->schema = std::move(schema);
+  info->table_id = next_table_id_++;
+  info->heap = std::move(heap);
+  TableInfo* raw = info.get();
+  tables_[key] = std::move(info);
+  return raw;
+}
+
 Result<TableInfo*> Catalog::GetTable(const std::string& name) const {
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {

@@ -26,6 +26,10 @@ class Catalog {
   /// Create a table; AlreadyExists if the (case-insensitive) name is taken.
   Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
 
+  /// Register a table over an already-existing heap (database reopen path).
+  Result<TableInfo*> AttachTable(const std::string& name, Schema schema,
+                                 std::unique_ptr<TableHeap> heap);
+
   /// Look up by case-insensitive name.
   Result<TableInfo*> GetTable(const std::string& name) const;
 

@@ -1,0 +1,18 @@
+#include "storage/page_guard.h"
+
+#include "storage/buffer_pool.h"
+
+namespace recdb {
+
+Status PageGuard::Drop() {
+  if (page_ == nullptr) return Status::OK();
+  Status st = pool_->Unpin(page_->page_id(), dirty_);
+  pool_ = nullptr;
+  page_ = nullptr;
+  dirty_ = false;
+  return st;
+}
+
+void PageGuard::Release() { (void)Drop(); }
+
+}  // namespace recdb

@@ -1,0 +1,71 @@
+// PageGuard: RAII pin ownership for buffer-pool pages.
+//
+// BufferPool::FetchGuard/NewGuard return a move-only guard that unpins its
+// page on destruction, so an early error return can never leak a pin — the
+// invariant the fault-injection tests assert (NumPinned() == 0 after every
+// engine operation). Callers mark the guard dirty when they wrote through it;
+// the dirty bit is handed to Unpin exactly once, whether the guard is dropped
+// explicitly or goes out of scope.
+#pragma once
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace recdb {
+
+class BufferPool;
+
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  PageGuard(PageGuard&& other) noexcept
+      : pool_(other.pool_), page_(other.page_), dirty_(other.dirty_) {
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    other.dirty_ = false;
+  }
+
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      page_ = other.page_;
+      dirty_ = other.dirty_;
+      other.pool_ = nullptr;
+      other.page_ = nullptr;
+      other.dirty_ = false;
+    }
+    return *this;
+  }
+
+  /// Guard holds a pinned page.
+  explicit operator bool() const { return page_ != nullptr; }
+
+  Page* page() const { return page_; }
+  char* data() const { return page_->data(); }
+  page_id_t page_id() const { return page_->page_id(); }
+
+  /// Record that the caller wrote through this guard; the frame's dirty bit
+  /// is set when the pin is released.
+  void MarkDirty() { dirty_ = true; }
+  bool is_dirty() const { return dirty_; }
+
+  /// Explicitly unpin now, surfacing the Unpin status (the destructor path
+  /// drops it). Guard is empty afterwards; safe to call on an empty guard.
+  Status Drop();
+
+ private:
+  void Release();
+
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace recdb

@@ -5,12 +5,23 @@ namespace recdb {
 Result<std::unique_ptr<TableHeap>> TableHeap::Create(BufferPool* pool) {
   auto heap = std::unique_ptr<TableHeap>(new TableHeap(pool));
   page_id_t pid;
-  RECDB_ASSIGN_OR_RETURN(Page * page, pool->New(&pid));
-  TablePage tp(page);
+  RECDB_ASSIGN_OR_RETURN(PageGuard guard, pool->NewGuard(&pid));
+  TablePage tp(guard.page());
   tp.Init();
-  RECDB_RETURN_NOT_OK(pool->Unpin(pid, /*dirty=*/true));
+  RECDB_RETURN_NOT_OK(guard.Drop());
   heap->first_page_id_ = pid;
   heap->last_page_id_ = pid;
+  return heap;
+}
+
+std::unique_ptr<TableHeap> TableHeap::Attach(BufferPool* pool,
+                                             page_id_t first_page_id,
+                                             page_id_t last_page_id,
+                                             size_t num_tuples) {
+  auto heap = std::unique_ptr<TableHeap>(new TableHeap(pool));
+  heap->first_page_id_ = first_page_id;
+  heap->last_page_id_ = last_page_id;
+  heap->num_tuples_ = num_tuples;
   return heap;
 }
 
@@ -20,97 +31,91 @@ Result<Rid> TableHeap::Insert(const Tuple& tuple) {
   if (bytes.size() > kPageSize - 64) {
     return Status::InvalidArgument("tuple larger than a page");
   }
-  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(last_page_id_));
-  TablePage tp(page);
+  RECDB_ASSIGN_OR_RETURN(PageGuard tail, pool_->FetchGuard(last_page_id_));
+  TablePage tp(tail.page());
   auto slot = tp.Insert(bytes);
   if (slot.ok()) {
+    tail.MarkDirty();
     Rid rid{last_page_id_, slot.value()};
-    RECDB_RETURN_NOT_OK(pool_->Unpin(last_page_id_, /*dirty=*/true));
+    RECDB_RETURN_NOT_OK(tail.Drop());
     ++num_tuples_;
     return rid;
   }
   // Current tail is full: chain a fresh page.
   page_id_t new_pid;
-  auto new_page_res = pool_->New(&new_pid);
-  if (!new_page_res.ok()) {
-    (void)pool_->Unpin(last_page_id_, false);
-    return new_page_res.status();
-  }
-  TablePage new_tp(new_page_res.value());
+  RECDB_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewGuard(&new_pid));
+  TablePage new_tp(fresh.page());
   new_tp.Init();
   tp.set_next_page_id(new_pid);
-  RECDB_RETURN_NOT_OK(pool_->Unpin(last_page_id_, /*dirty=*/true));
+  tail.MarkDirty();
+  RECDB_RETURN_NOT_OK(tail.Drop());
   last_page_id_ = new_pid;
-  auto slot2 = new_tp.Insert(bytes);
-  if (!slot2.ok()) {
-    (void)pool_->Unpin(new_pid, true);
-    return slot2.status();
-  }
-  Rid rid{new_pid, slot2.value()};
-  RECDB_RETURN_NOT_OK(pool_->Unpin(new_pid, /*dirty=*/true));
+  RECDB_ASSIGN_OR_RETURN(uint16_t slot2, new_tp.Insert(bytes));
+  Rid rid{new_pid, slot2};
+  RECDB_RETURN_NOT_OK(fresh.Drop());
   ++num_tuples_;
   return rid;
 }
 
 Result<Tuple> TableHeap::Get(const Rid& rid, size_t num_values) const {
-  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page_id));
-  TablePage tp(page);
-  auto bytes = tp.Get(rid.slot);
-  if (!bytes.ok()) {
-    (void)pool_->Unpin(rid.page_id, false);
-    return bytes.status();
-  }
-  auto tuple =
-      Tuple::DeserializeFrom(bytes.value().first, bytes.value().second,
-                             num_values);
-  RECDB_RETURN_NOT_OK(pool_->Unpin(rid.page_id, false));
+  RECDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchGuard(rid.page_id));
+  TablePage tp(guard.page());
+  RECDB_ASSIGN_OR_RETURN(auto bytes, tp.Get(rid.slot));
+  RECDB_ASSIGN_OR_RETURN(
+      Tuple tuple,
+      Tuple::DeserializeFrom(bytes.first, bytes.second, num_values));
+  RECDB_RETURN_NOT_OK(guard.Drop());
   return tuple;
 }
 
 Status TableHeap::Delete(const Rid& rid) {
-  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page_id));
-  TablePage tp(page);
-  Status st = tp.Delete(rid.slot);
-  RECDB_RETURN_NOT_OK(pool_->Unpin(rid.page_id, st.ok()));
-  if (st.ok()) --num_tuples_;
-  return st;
+  RECDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchGuard(rid.page_id));
+  TablePage tp(guard.page());
+  RECDB_RETURN_NOT_OK(tp.Delete(rid.slot));
+  guard.MarkDirty();
+  RECDB_RETURN_NOT_OK(guard.Drop());
+  --num_tuples_;
+  return Status::OK();
 }
 
 Result<Rid> TableHeap::Update(const Rid& rid, const Tuple& tuple) {
   std::vector<uint8_t> bytes;
   tuple.SerializeTo(&bytes);
-  RECDB_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page_id));
-  TablePage tp(page);
-  Status st = tp.UpdateInPlace(rid.slot, bytes);
-  RECDB_RETURN_NOT_OK(pool_->Unpin(rid.page_id, st.ok()));
-  if (st.ok()) return rid;
-  if (st.code() != StatusCode::kResourceExhausted) return st;
+  {
+    RECDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchGuard(rid.page_id));
+    TablePage tp(guard.page());
+    Status st = tp.UpdateInPlace(rid.slot, bytes);
+    if (st.ok()) {
+      guard.MarkDirty();
+      RECDB_RETURN_NOT_OK(guard.Drop());
+      return rid;
+    }
+    if (st.code() != StatusCode::kResourceExhausted) return st;
+  }
   RECDB_RETURN_NOT_OK(Delete(rid));
   return Insert(tuple);
 }
 
 Result<std::optional<std::pair<Rid, Tuple>>> TableHeap::Iterator::Next() {
   while (page_id_ != kInvalidPageId) {
-    RECDB_ASSIGN_OR_RETURN(Page * page, heap_->pool_->Fetch(page_id_));
-    TablePage tp(page);
+    RECDB_ASSIGN_OR_RETURN(PageGuard guard,
+                           heap_->pool_->FetchGuard(page_id_));
+    TablePage tp(guard.page());
     uint16_t n = tp.num_slots();
     while (slot_ < n) {
       uint16_t s = slot_++;
       auto bytes = tp.Get(s);
       if (!bytes.ok()) continue;  // deleted slot
-      auto tuple = Tuple::DeserializeFrom(bytes.value().first,
-                                          bytes.value().second, num_values_);
-      if (!tuple.ok()) {
-        (void)heap_->pool_->Unpin(page_id_, false);
-        return tuple.status();
-      }
+      RECDB_ASSIGN_OR_RETURN(
+          Tuple tuple,
+          Tuple::DeserializeFrom(bytes.value().first, bytes.value().second,
+                                 num_values_));
       Rid rid{page_id_, s};
-      RECDB_RETURN_NOT_OK(heap_->pool_->Unpin(page_id_, false));
-      return std::make_optional(
-          std::make_pair(rid, std::move(tuple).value()));
+      RECDB_RETURN_NOT_OK(guard.Drop());
+      return std::make_optional(std::make_pair(rid, std::move(tuple)));
     }
     page_id_t next = tp.next_page_id();
-    RECDB_RETURN_NOT_OK(heap_->pool_->Unpin(page_id_, false));
+    RECDB_RETURN_NOT_OK(guard.Drop());
     page_id_ = next;
     slot_ = 0;
   }

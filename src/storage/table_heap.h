@@ -18,6 +18,13 @@ class TableHeap {
   /// Create a new heap file (allocates the first page).
   static Result<std::unique_ptr<TableHeap>> Create(BufferPool* pool);
 
+  /// Re-attach to a heap whose pages already exist on disk (used when a
+  /// file-backed database is reopened from its persisted catalog).
+  static std::unique_ptr<TableHeap> Attach(BufferPool* pool,
+                                           page_id_t first_page_id,
+                                           page_id_t last_page_id,
+                                           size_t num_tuples);
+
   /// Insert a tuple, returning its record id.
   Result<Rid> Insert(const Tuple& tuple);
 
@@ -32,6 +39,7 @@ class TableHeap {
   Result<Rid> Update(const Rid& rid, const Tuple& tuple);
 
   page_id_t first_page_id() const { return first_page_id_; }
+  page_id_t last_page_id() const { return last_page_id_; }
   size_t num_tuples() const { return num_tuples_; }
 
   /// Forward iterator over live tuples, page by page. Usage:

@@ -1,0 +1,152 @@
+// Unit tests for the Status / Result primitives and their macros: error
+// propagation through RECDB_RETURN_NOT_OK / RECDB_ASSIGN_OR_RETURN, Result
+// move semantics with move-only payloads, and the fault-related codes
+// (kUnavailable / kDataLoss) added with the storage failure model.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace recdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "Ok");
+  EXPECT_FALSE(st.IsTransient());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status io = Status::IOError("pread failed");
+  EXPECT_FALSE(io.ok());
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_EQ(io.message(), "pread failed");
+  EXPECT_EQ(io.ToString(), "IOError: pread failed");
+
+  Status transient = Status::Unavailable("device busy");
+  EXPECT_EQ(transient.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(transient.IsTransient());
+
+  Status corrupt = Status::DataLoss("checksum mismatch");
+  EXPECT_EQ(corrupt.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(corrupt.IsTransient());
+}
+
+TEST(StatusTest, CodeNamesIncludeFaultCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+Status FailWhen(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return Status::OK();
+}
+
+Status Propagates(bool fail, bool* reached_end) {
+  RECDB_RETURN_NOT_OK(FailWhen(fail));
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesAndShortCircuits) {
+  bool reached = false;
+  Status ok = Propagates(false, &reached);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(reached);
+
+  reached = false;
+  Status err = Propagates(true, &reached);
+  EXPECT_EQ(err.code(), StatusCode::kInternal);
+  EXPECT_EQ(err.message(), "boom");
+  EXPECT_FALSE(reached);  // macro returned before the tail of the function
+}
+
+Result<int> IntOrError(bool fail) {
+  if (fail) return Status::NotFound("no int");
+  return 42;
+}
+
+Result<int> AssignExisting(bool fail) {
+  int v = 0;
+  RECDB_ASSIGN_OR_RETURN(v, IntOrError(fail));
+  return v + 1;
+}
+
+Result<int> AssignNewVariable(bool fail) {
+  RECDB_ASSIGN_OR_RETURN(int v, IntOrError(fail));
+  return v + 2;
+}
+
+TEST(StatusTest, AssignOrReturnBindsValueOrPropagates) {
+  auto ok = AssignExisting(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 43);
+
+  auto err = AssignExisting(true);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, AssignOrReturnDeclaresNewVariable) {
+  auto ok = AssignNewVariable(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 44);
+
+  auto err = AssignNewVariable(true);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+Result<std::unique_ptr<std::string>> MakeUnique(bool fail) {
+  if (fail) return Status::IOError("nope");
+  return std::make_unique<std::string>("payload");
+}
+
+Result<std::unique_ptr<std::string>> ForwardUnique(bool fail) {
+  RECDB_ASSIGN_OR_RETURN(auto p, MakeUnique(fail));
+  return p;  // moves the non-copyable value out through the Result
+}
+
+TEST(StatusTest, ResultMovesNonCopyableValues) {
+  auto direct = MakeUnique(false);
+  ASSERT_TRUE(direct.ok());
+  std::unique_ptr<std::string> owned = std::move(direct).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, "payload");
+
+  auto forwarded = ForwardUnique(false);
+  ASSERT_TRUE(forwarded.ok());
+  EXPECT_EQ(*forwarded.value(), "payload");
+
+  auto err = ForwardUnique(true);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, ResultValueOrAndAccessors) {
+  auto ok = IntOrError(false);
+  EXPECT_EQ(ok.value_or(-1), 42);
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  auto err = IntOrError(true);
+  EXPECT_EQ(err.value_or(-1), -1);
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::DataLoss("x"));
+}
+
+}  // namespace
+}  // namespace recdb

@@ -88,7 +88,7 @@ class HeapTortureTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(HeapTortureTest, RandomOpsMatchOracle) {
   const size_t pool_pages = GetParam();
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(pool_pages, &disk);
   auto heap_res = TableHeap::Create(&pool);
   ASSERT_TRUE(heap_res.ok());

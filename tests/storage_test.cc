@@ -13,7 +13,7 @@ namespace recdb {
 namespace {
 
 TEST(DiskManagerTest, AllocateReadWrite) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   page_id_t p0 = disk.AllocatePage();
   page_id_t p1 = disk.AllocatePage();
   EXPECT_EQ(p0, 0);
@@ -32,14 +32,14 @@ TEST(DiskManagerTest, AllocateReadWrite) {
 }
 
 TEST(DiskManagerTest, ReadUnallocatedFails) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   char out[kPageSize];
   EXPECT_EQ(disk.ReadPage(7, out).code(), StatusCode::kIOError);
   EXPECT_EQ(disk.WritePage(-1, out).code(), StatusCode::kIOError);
 }
 
 TEST(BufferPoolTest, NewFetchUnpin) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(4, &disk);
   page_id_t pid;
   auto page = pool.New(&pid);
@@ -55,7 +55,7 @@ TEST(BufferPoolTest, NewFetchUnpin) {
 }
 
 TEST(BufferPoolTest, EvictionWritesDirtyPagesBack) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(2, &disk);
   std::vector<page_id_t> pids;
   for (int i = 0; i < 5; ++i) {
@@ -76,7 +76,7 @@ TEST(BufferPoolTest, EvictionWritesDirtyPagesBack) {
 }
 
 TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(2, &disk);
   page_id_t a, b;
   auto pa = pool.New(&a);
@@ -96,7 +96,7 @@ TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
 }
 
 TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(2, &disk);
   page_id_t a, b;
   auto pa = pool.New(&a);
@@ -122,7 +122,7 @@ TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
 }
 
 TEST(BufferPoolTest, DoubleUnpinIsAnError) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(2, &disk);
   page_id_t a;
   ASSERT_TRUE(pool.New(&a).ok());
@@ -135,7 +135,7 @@ Tuple MakeRow(int64_t id, const std::string& name, double score) {
 }
 
 TEST(TableHeapTest, InsertAndGet) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(8, &disk);
   auto heap_res = TableHeap::Create(&pool);
   ASSERT_TRUE(heap_res.ok());
@@ -151,7 +151,7 @@ TEST(TableHeapTest, InsertAndGet) {
 }
 
 TEST(TableHeapTest, ManyInsertsSpanPagesAndScanSeesAll) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(4, &disk);
   auto heap_res = TableHeap::Create(&pool);
   ASSERT_TRUE(heap_res.ok());
@@ -180,7 +180,7 @@ TEST(TableHeapTest, ManyInsertsSpanPagesAndScanSeesAll) {
 }
 
 TEST(TableHeapTest, DeleteHidesTupleFromScan) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(8, &disk);
   auto heap_res = TableHeap::Create(&pool);
   ASSERT_TRUE(heap_res.ok());
@@ -209,7 +209,7 @@ TEST(TableHeapTest, DeleteHidesTupleFromScan) {
 }
 
 TEST(TableHeapTest, UpdateInPlaceAndRelocating) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(8, &disk);
   auto heap_res = TableHeap::Create(&pool);
   ASSERT_TRUE(heap_res.ok());
@@ -232,7 +232,7 @@ TEST(TableHeapTest, UpdateInPlaceAndRelocating) {
 }
 
 TEST(TableHeapTest, GeometryRoundTrip) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(8, &disk);
   auto heap_res = TableHeap::Create(&pool);
   ASSERT_TRUE(heap_res.ok());
@@ -251,7 +251,7 @@ TEST(TableHeapTest, GeometryRoundTrip) {
 }
 
 TEST(CatalogTest, CreateGetDrop) {
-  DiskManager disk;
+  InMemoryDiskManager disk;
   BufferPool pool(8, &disk);
   Catalog catalog(&pool);
   Schema schema({{"uid", TypeId::kInt64}, {"name", TypeId::kString}});

@@ -1,0 +1,20 @@
+// Shared test helpers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+
+namespace recdb {
+
+/// Asserts the pin discipline: after a statement (or any engine operation)
+/// completes — successfully or not — no frame may remain pinned. A leaked
+/// pin would eventually wedge the pool (ResourceExhausted on every Fetch).
+inline ::testing::AssertionResult NoPinsLeaked(BufferPool* pool) {
+  size_t pinned = pool->NumPinned();
+  if (pinned == 0) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << pinned << " buffer-pool frame(s) still pinned";
+}
+
+}  // namespace recdb
