@@ -11,6 +11,7 @@
 #include <string>
 
 #include "api/recdb.h"
+#include "common/task_scheduler.h"
 #include "common/string_util.h"
 #include "datagen/datagen.h"
 
@@ -31,6 +32,7 @@ void PrintHelp() {
       "      RECOMMEND R.iid TO R.uid ON R.ratingval USING <algo>\n"
       "      [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n]\n"
       "  EXPLAIN SELECT ...\n"
+      "  SET parallelism = N          (worker threads for scoring/builds)\n"
       "meta: \\tables \\recommenders \\stats \\timing \\help \\q\n");
 }
 
@@ -113,6 +115,13 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(db.disk()->num_retries()),
             static_cast<unsigned long long>(
                 db.disk()->num_checksum_failures()));
+        recdb::TaskScheduler& sched = recdb::TaskScheduler::Global();
+        std::printf(
+            "  scheduler: %zu threads, %llu morsels run, %.2f ms worker "
+            "time\n",
+            sched.num_threads(),
+            static_cast<unsigned long long>(sched.total_tasks()),
+            sched.total_worker_ms());
       } else if (trimmed == "\\timing") {
         timing = !timing;
         std::printf("timing %s\n", timing ? "on" : "off");

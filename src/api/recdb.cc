@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "parser/parser.h"
 
@@ -85,6 +86,9 @@ RecDB::RecDB(RecDBOptions options, std::unique_ptr<DiskManager> disk)
       disk_(disk != nullptr ? std::move(disk)
                             : std::make_unique<InMemoryDiskManager>()),
       clock_(&default_clock_) {
+  if (options_.parallelism > 0) {
+    TaskScheduler::SetGlobalParallelism(options_.parallelism);
+  }
   pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, disk_.get());
   catalog_ = std::make_unique<Catalog>(pool_.get());
   if (disk_->persistent() && disk_->NumPages() == 0) {
@@ -376,8 +380,31 @@ Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
       rs.message = "dropped recommender " + drop.name;
       return rs;
     }
+    case StatementKind::kSet:
+      return ExecuteSet(static_cast<const SetStatement&>(stmt));
   }
   return Status::Internal("unhandled statement kind");
+}
+
+Result<ResultSet> RecDB::ExecuteSet(const SetStatement& stmt) {
+  if (stmt.option == "parallelism") {
+    if (stmt.value.type() != TypeId::kInt64) {
+      return Status::InvalidArgument(
+          "SET parallelism expects an integer thread count");
+    }
+    int64_t n = stmt.value.AsInt();
+    if (n < 1) {
+      return Status::InvalidArgument(
+          "SET parallelism requires a value >= 1, got " + std::to_string(n));
+    }
+    constexpr int64_t kMaxParallelism = 256;
+    n = std::min(n, kMaxParallelism);
+    TaskScheduler::SetGlobalParallelism(static_cast<size_t>(n));
+    ResultSet rs;
+    rs.message = "parallelism set to " + std::to_string(n);
+    return rs;
+  }
+  return Status::InvalidArgument("unknown option in SET: " + stmt.option);
 }
 
 Result<ResultSet> RecDB::ExecuteSelect(const SelectStatement& stmt) {
@@ -751,6 +778,12 @@ std::string ResultSet::ToString(size_t max_rows) const {
   if (!message.empty()) {
     out += message;
     out += "\n";
+  }
+  if (stats.tasks_spawned > 0) {
+    out += StringFormat(
+        "parallel: %llu morsels, %.2f ms worker time\n",
+        static_cast<unsigned long long>(stats.tasks_spawned),
+        stats.worker_time_ms);
   }
   if (stats.io_read_failures > 0 || stats.io_write_failures > 0 ||
       stats.io_retries > 0 || stats.io_checksum_failures > 0) {

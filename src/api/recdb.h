@@ -37,6 +37,10 @@ struct RecDBOptions {
   SvdOptions svd_opts;
   /// Check the rebuild threshold after every ratings insert.
   bool auto_maintain = false;
+  /// Worker threads for morsel-parallel scoring and model builds; 0 leaves
+  /// the process-wide scheduler unchanged (it defaults to 1 = serial).
+  /// Runtime-adjustable via `SET parallelism = N`.
+  size_t parallelism = 0;
 };
 
 /// Result of one executed statement.
@@ -130,6 +134,7 @@ class RecDB {
       const CreateRecommenderStatement& stmt);
   Result<ResultSet> ExecuteDelete(const DeleteStatement& stmt);
   Result<ResultSet> ExecuteUpdate(const UpdateStatement& stmt);
+  Result<ResultSet> ExecuteSet(const SetStatement& stmt);
 
   /// Rows of a table matching an optional WHERE (shared by DELETE/UPDATE).
   Result<std::vector<std::pair<Rid, Tuple>>> CollectMatching(

@@ -1,18 +1,23 @@
 #include "cache/cache_manager.h"
 
 #include <algorithm>
+#include <set>
+
+#include "common/task_scheduler.h"
 
 namespace recdb {
 
 void CacheManager::RecordQuery(int64_t user_id) {
   auto& s = users_[user_id];
   ++s.query_count;
+  ++s.window_query_count;
   s.last_query_ts = clock_->Now();
 }
 
 void CacheManager::RecordUpdate(int64_t item_id) {
   auto& s = items_[item_id];
   ++s.update_count;
+  ++s.window_update_count;
   s.last_update_ts = clock_->Now();
 }
 
@@ -41,43 +46,84 @@ Result<CacheDecision> CacheManager::Run() {
         "cache manager requires an initialized recommender");
   }
   const double now = clock_->Now();
-  const double elapsed = std::max(now - init_ts_, 1e-9);
+  const double window = std::max(now - last_run_ts_, 1e-9);
 
-  // STEP 1: refresh rates for users/items active since the last run
-  // (U' and I' in Algorithm 4), and maintain the maxima.
+  // STEP 1: windowed rates. Every tracked user/item gets its rate
+  // recomputed from this window's activity alone — a quiet window drives
+  // the rate to zero instead of letting a stale lifetime average linger —
+  // and the maxima are recomputed from scratch so they can decrease when
+  // the former peak user or item cools off.
   std::vector<int64_t> active_users, active_items;
+  max_demand_ = 0;
   for (auto& [uid, s] : users_) {
-    if (s.last_query_ts >= last_run_ts_) {
-      s.demand_rate = static_cast<double>(s.query_count) / elapsed;
-      active_users.push_back(uid);
-    }
+    s.demand_rate = static_cast<double>(s.window_query_count) / window;
+    if (s.window_query_count > 0) active_users.push_back(uid);
+    s.window_query_count = 0;
     max_demand_ = std::max(max_demand_, s.demand_rate);
   }
+  max_consumption_ = 0;
   for (auto& [iid, s] : items_) {
-    if (s.last_update_ts >= last_run_ts_) {
-      s.consumption_rate = static_cast<double>(s.update_count) / elapsed;
-      active_items.push_back(iid);
-    }
+    s.consumption_rate = static_cast<double>(s.window_update_count) / window;
+    if (s.window_update_count > 0) active_items.push_back(iid);
+    s.window_update_count = 0;
     max_consumption_ = std::max(max_consumption_, s.consumption_rate);
   }
   last_run_ts_ = now;
+  // Sorted so admission/eviction order (and Predict batching) is stable
+  // regardless of hash-map iteration order.
+  std::sort(active_users.begin(), active_users.end());
+  std::sort(active_items.begin(), active_items.end());
 
   // STEP 2: hotness decision for every (active user, active item) pair.
+  // Admissions are collected first, their scores predicted as one parallel
+  // batch (Predict is a const read of the model), then inserted serially.
   CacheDecision decision;
   const RecModel* model = rec_->model();
   const RatingMatrix& snapshot = model->ratings();
   RecScoreIndex* index = rec_->score_index();
+  std::set<std::pair<int64_t, int64_t>> examined;
   for (int64_t uid : active_users) {
     for (int64_t iid : active_items) {
       if (snapshot.Get(uid, iid).has_value()) continue;  // seen items skip
+      examined.emplace(uid, iid);
       double hot = Hotness(uid, iid);
       if (hot >= threshold_) {
-        index->Put(uid, iid, model->Predict(uid, iid));
         decision.admitted.emplace_back(uid, iid);
       } else if (index->GetScore(uid, iid).has_value()) {
         index->Erase(uid, iid);
         decision.evicted.emplace_back(uid, iid);
       }
+    }
+  }
+  std::vector<double> scores(decision.admitted.size(), 0.0);
+  TaskScheduler& sched = TaskScheduler::Global();
+  const size_t morsel = std::clamp<size_t>(
+      scores.size() / (sched.num_threads() * 4), 16, 4096);
+  sched.ParallelFor(scores.size(), morsel, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto& [uid, iid] = decision.admitted[i];
+      scores[i] = model->Predict(uid, iid);
+    }
+  });
+  for (size_t i = 0; i < decision.admitted.size(); ++i) {
+    const auto& [uid, iid] = decision.admitted[i];
+    index->Put(uid, iid, scores[i]);
+  }
+
+  // STEP 3: stale sweep. Materialized entries whose user or item went
+  // quiet are invisible to the active×active pass above, so their hotness
+  // is re-evaluated here under the fresh windowed rates. A fully idle
+  // window is skipped: it carries no evidence about any pair.
+  if (!active_users.empty() || !active_items.empty()) {
+    std::vector<std::pair<int64_t, int64_t>> stale;
+    index->ForEach([&](int64_t uid, int64_t iid, double /*score*/) {
+      if (examined.count({uid, iid}) > 0) return;  // decided in STEP 2
+      if (Hotness(uid, iid) < threshold_) stale.emplace_back(uid, iid);
+    });
+    std::sort(stale.begin(), stale.end());
+    for (const auto& [uid, iid] : stale) {
+      index->Erase(uid, iid);
+      decision.evicted.emplace_back(uid, iid);
     }
   }
   return decision;

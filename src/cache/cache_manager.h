@@ -8,6 +8,14 @@
 //     Hot(u,i) = (D_u / D_max) * (P_i / P_max)
 // against HOTNESS-THRESHOLD. Threshold 0 => full materialization;
 // threshold 1 (or above any observed hotness) => no materialization.
+//
+// Rates are *windowed*: each Run() computes D_u and P_i from the activity
+// inside [last_run_ts_, now] and recomputes D_MAX / P_MAX from scratch, so
+// both rates and maxima track the current workload instead of decaying
+// monotonically from lifetime counters. A final sweep re-examines entries
+// already materialized in the RecScoreIndex, so pairs that have cooled
+// below the threshold are evicted even when neither side was active in the
+// window (skipped on fully idle windows, which carry no evidence).
 #pragma once
 
 #include <cstdint>
@@ -21,15 +29,17 @@
 namespace recdb {
 
 struct UserStats {
-  uint64_t query_count = 0;   // QC_u
+  uint64_t query_count = 0;   // QC_u (lifetime)
+  uint64_t window_query_count = 0;  // queries since the last Run()
   double last_query_ts = 0;   // TS_u
-  double demand_rate = 0;     // D_u
+  double demand_rate = 0;     // D_u, over the last window
 };
 
 struct ItemStats {
-  uint64_t update_count = 0;  // UC_i
+  uint64_t update_count = 0;  // UC_i (lifetime)
+  uint64_t window_update_count = 0;  // updates since the last Run()
   double last_update_ts = 0;  // TS_i
-  double consumption_rate = 0;  // P_i
+  double consumption_rate = 0;  // P_i, over the last window
 };
 
 struct CacheDecision {
@@ -43,7 +53,7 @@ class CacheManager {
   CacheManager(Recommender* rec, const Clock* clock,
                double hotness_threshold = 0.5)
       : rec_(rec), clock_(clock), threshold_(hotness_threshold),
-        init_ts_(clock->Now()), last_run_ts_(clock->Now()) {}
+        last_run_ts_(clock->Now()) {}
 
   /// A user issued a recommendation query (updates QC_u, TS_u).
   void RecordQuery(int64_t user_id);
@@ -51,10 +61,12 @@ class CacheManager {
   /// A rating was inserted for an item (updates UC_i, TS_i).
   void RecordUpdate(int64_t item_id);
 
-  /// Algorithm 4: refresh rates for users/items touched since the last run,
-  /// then admit/evict (user, item) pairs in the recommender's RecScoreIndex.
-  /// Admitted pairs get their score computed through the model and inserted;
-  /// evicted pairs are batch-deleted. Returns what changed.
+  /// Algorithm 4: recompute windowed rates and maxima, then admit/evict
+  /// (user, item) pairs in the recommender's RecScoreIndex. Admitted pairs
+  /// get their score predicted through the model (batched in parallel via
+  /// the TaskScheduler) and inserted; pairs below the threshold — including
+  /// already-materialized entries whose user or item went quiet — are
+  /// evicted. Returns what changed.
   Result<CacheDecision> Run();
 
   /// Inspection (tests reproduce the paper's Table I worked example).
@@ -73,7 +85,6 @@ class CacheManager {
   Recommender* rec_;
   const Clock* clock_;
   double threshold_;
-  double init_ts_;      // TS_init
   double last_run_ts_;  // TS_mat: last cache-manager invocation
   std::unordered_map<int64_t, UserStats> users_;
   std::unordered_map<int64_t, ItemStats> items_;

@@ -1,0 +1,134 @@
+#include "common/task_scheduler.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace recdb {
+
+TaskScheduler::TaskScheduler(size_t num_threads)
+    : num_threads_(std::max<size_t>(num_threads, 1)) {
+  StartWorkers();
+}
+
+TaskScheduler::~TaskScheduler() { StopWorkers(); }
+
+void TaskScheduler::StartWorkers() {
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TaskScheduler::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = false;
+  }
+}
+
+void TaskScheduler::Resize(size_t num_threads) {
+  num_threads = std::max<size_t>(num_threads, 1);
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  if (num_threads == num_threads_) return;
+  StopWorkers();
+  num_threads_ = num_threads;
+  StartWorkers();
+}
+
+void TaskScheduler::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      if (job == nullptr) continue;  // woke after the job already drained
+      ++workers_active_;
+    }
+    RunMorsels(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_active_;
+      if (workers_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void TaskScheduler::RunMorsels(Job* job) {
+  Stopwatch watch;
+  uint64_t tasks = 0;
+  while (true) {
+    size_t begin = job->next.fetch_add(job->morsel, std::memory_order_relaxed);
+    if (begin >= job->n) break;
+    size_t end = std::min(begin + job->morsel, job->n);
+    (*job->fn)(begin, end);
+    ++tasks;
+  }
+  if (tasks > 0) {
+    job->tasks.fetch_add(tasks, std::memory_order_relaxed);
+    job->worker_nanos.fetch_add(
+        static_cast<uint64_t>(watch.ElapsedSeconds() * 1e9),
+        std::memory_order_relaxed);
+  }
+}
+
+TaskRunStats TaskScheduler::ParallelFor(
+    size_t n, size_t morsel, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return {};
+  if (morsel == 0) morsel = 1;
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  Job job;
+  job.n = n;
+  job.morsel = morsel;
+  job.fn = &fn;
+  if (workers_.empty() || n <= morsel) {
+    // Serial (or single-morsel) fast path: run on the caller, no wakeups.
+    RunMorsels(&job);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    RunMorsels(&job);  // the caller is a worker too
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = nullptr;  // late wakers must not touch the (stack) job
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  }
+  TaskRunStats out;
+  out.tasks_spawned = job.tasks.load(std::memory_order_relaxed);
+  out.worker_time_ms =
+      static_cast<double>(job.worker_nanos.load(std::memory_order_relaxed)) /
+      1e6;
+  total_tasks_.fetch_add(out.tasks_spawned, std::memory_order_relaxed);
+  total_worker_nanos_.fetch_add(
+      job.worker_nanos.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return out;
+}
+
+TaskScheduler& TaskScheduler::Global() {
+  // Intentionally leaked: pool threads must never outlive the scheduler, and
+  // static destruction order across translation units cannot guarantee that.
+  static TaskScheduler* global = new TaskScheduler(1);
+  return *global;
+}
+
+void TaskScheduler::SetGlobalParallelism(size_t num_threads) {
+  Global().Resize(num_threads);
+}
+
+}  // namespace recdb

@@ -175,6 +175,11 @@ namespace {
 
 struct KeyedRow {
   std::vector<Value> keys;
+  // Arrival order, used as the final comparator key: pruning with
+  // nth_element shuffles rows, so a trailing stable_sort alone cannot
+  // restore arrival order among key ties — the tie-break must be explicit
+  // for Top-N output to be deterministic regardless of pruning.
+  uint64_t seq = 0;
   Tuple tuple;
 };
 
@@ -182,24 +187,26 @@ Result<std::vector<Tuple>> DrainSorted(Executor* child,
                                        const std::vector<SortKey>& keys,
                                        size_t bound) {
   std::vector<KeyedRow> rows;
+  // Total order: sort keys first, arrival order as tie-break.
+  auto less = [&](const KeyedRow& x, const KeyedRow& y) {
+    if (SortKeyVectorLess(keys, x.keys, y.keys)) return true;
+    if (SortKeyVectorLess(keys, y.keys, x.keys)) return false;
+    return x.seq < y.seq;
+  };
+  uint64_t seq = 0;
   while (true) {
     RECDB_ASSIGN_OR_RETURN(auto next, child->Next());
     if (!next.has_value()) break;
     RECDB_ASSIGN_OR_RETURN(auto kv, EvalSortKeys(keys, *next));
-    rows.push_back(KeyedRow{std::move(kv), std::move(*next)});
+    rows.push_back(KeyedRow{std::move(kv), seq++, std::move(*next)});
     // Bounded selection: when far past the bound, prune to the best `bound`.
     if (bound > 0 && rows.size() >= bound * 2 + 16) {
       std::nth_element(rows.begin(), rows.begin() + bound - 1, rows.end(),
-                       [&](const KeyedRow& x, const KeyedRow& y) {
-                         return SortKeyVectorLess(keys, x.keys, y.keys);
-                       });
+                       less);
       rows.resize(bound);
     }
   }
-  std::stable_sort(rows.begin(), rows.end(),
-                   [&](const KeyedRow& x, const KeyedRow& y) {
-                     return SortKeyVectorLess(keys, x.keys, y.keys);
-                   });
+  std::sort(rows.begin(), rows.end(), less);
   if (bound > 0 && rows.size() > bound) rows.resize(bound);
   std::vector<Tuple> out;
   out.reserve(rows.size());

@@ -22,6 +22,9 @@ struct ExecStats {
   uint64_t index_hits = 0;          // users served from RecScoreIndex
   uint64_t index_misses = 0;        // users that fell back to the model
   uint64_t join_probes = 0;
+  // Morsel-parallel execution (TaskScheduler) during the statement.
+  uint64_t tasks_spawned = 0;  // morsels executed by the scheduler
+  double worker_time_ms = 0;   // summed worker busy time across morsels
   // I/O fault behaviour observed during the statement (DiskManager deltas).
   uint64_t io_read_failures = 0;    // reads that failed after retries
   uint64_t io_write_failures = 0;   // writes that failed after retries

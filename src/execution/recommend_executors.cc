@@ -1,6 +1,9 @@
 #include "execution/recommend_executors.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/task_scheduler.h"
 
 namespace recdb {
 
@@ -44,6 +47,10 @@ std::vector<int64_t> ResolveItems(
   return out;
 }
 
+/// Below this many candidate pairs a parallel fan-out costs more than it
+/// saves; stay on the streaming serial path.
+constexpr size_t kMinPairsForParallel = 256;
+
 }  // namespace
 
 // -------------------------------------------------- Recommend / FilterRec
@@ -58,10 +65,71 @@ Status RecommendExecutor::Init() {
   items_ = ResolveItems(snapshot, plan_.item_ids);
   user_pos_ = 0;
   item_pos_ = 0;
+  buffered_ = false;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  if (TaskScheduler::Global().num_threads() > 1 &&
+      users_.size() * items_.size() >= kMinPairsForParallel) {
+    RECDB_RETURN_NOT_OK(ScoreAllParallel());
+    buffered_ = true;
+  }
+  return Status::OK();
+}
+
+Status RecommendExecutor::ScoreAllParallel() {
+  const RecModel* model = plan_.rec->model();
+  const RatingMatrix& snapshot = model->ratings();
+  TaskScheduler& sched = TaskScheduler::Global();
+  const size_t num_items = items_.size();
+  const size_t num_pairs = users_.size() * num_items;
+  // Morsel size balances claim overhead against tail imbalance; correctness
+  // does not depend on it (per-pair output is order-preserving).
+  const size_t morsel = std::clamp<size_t>(
+      num_pairs / (sched.num_threads() * 8), 64, 8192);
+  const size_t num_slots = (num_pairs + morsel - 1) / morsel;
+  std::vector<std::vector<Tuple>> slots(num_slots);
+  std::atomic<uint64_t> predictions{0};
+  TaskRunStats run = sched.ParallelFor(
+      num_pairs, morsel, [&](size_t begin, size_t end) {
+        std::vector<Tuple>& out = slots[begin / morsel];
+        uint64_t local_predictions = 0;
+        for (size_t p = begin; p < end; ++p) {
+          int64_t user_id = users_[p / num_items];
+          int64_t item_id = items_[p % num_items];
+          auto rated = snapshot.Get(user_id, item_id);
+          double score;
+          if (rated.has_value()) {
+            if (!plan_.include_rated) continue;
+            score = *rated;
+          } else {
+            score = model->Predict(user_id, item_id);
+            ++local_predictions;
+          }
+          out.push_back(
+              MakeRecTuple(plan_.schema, plan_.user_col_idx,
+                           plan_.item_col_idx, plan_.rating_col_idx, user_id,
+                           item_id, score));
+        }
+        predictions.fetch_add(local_predictions, std::memory_order_relaxed);
+      });
+  size_t total = 0;
+  for (const auto& s : slots) total += s.size();
+  buffer_.reserve(total);
+  // Slot order == ascending pair order == the serial emission order.
+  for (auto& s : slots) {
+    for (auto& t : s) buffer_.push_back(std::move(t));
+  }
+  ctx_->stats.predictions += predictions.load(std::memory_order_relaxed);
+  ctx_->stats.tasks_spawned += run.tasks_spawned;
+  ctx_->stats.worker_time_ms += run.worker_time_ms;
   return Status::OK();
 }
 
 Result<std::optional<Tuple>> RecommendExecutor::Next() {
+  if (buffered_) {
+    if (buffer_pos_ >= buffer_.size()) return std::optional<Tuple>{};
+    return std::make_optional(std::move(buffer_[buffer_pos_++]));
+  }
   const RecModel* model = plan_.rec->model();
   const RatingMatrix& snapshot = model->ratings();
   while (user_pos_ < users_.size()) {
@@ -167,6 +235,19 @@ Status IndexRecommendExecutor::Init() {
       if (snapshot.UserIndex(id).has_value()) users_.push_back(id);
     }
   }
+  // Hash the pushed-down item ids once (the per-candidate std::find was
+  // O(|items|^2) across a user's scan) and keep a deduplicated list so a
+  // duplicated IN-list entry cannot emit the same tuple twice on the
+  // cache-miss path.
+  item_filter_.reset();
+  item_list_.clear();
+  if (plan_.item_ids.has_value()) {
+    item_filter_.emplace();
+    item_filter_->reserve(plan_.item_ids->size());
+    for (int64_t id : *plan_.item_ids) {
+      if (item_filter_->insert(id).second) item_list_.push_back(id);
+    }
+  }
   user_pos_ = 0;
   current_.clear();
   current_pos_ = 0;
@@ -182,9 +263,7 @@ Status IndexRecommendExecutor::LoadCurrentUser() {
   const RecScoreIndex& index = *plan_.rec->score_index();
 
   auto item_ok = [&](int64_t item) {
-    if (!plan_.item_ids.has_value()) return true;
-    return std::find(plan_.item_ids->begin(), plan_.item_ids->end(), item) !=
-           plan_.item_ids->end();
+    return !item_filter_.has_value() || item_filter_->count(item) > 0;
   };
 
   if (index.HasUser(user_id)) {
@@ -203,8 +282,8 @@ Status IndexRecommendExecutor::LoadCurrentUser() {
   ++ctx_->stats.index_misses;
   const RecModel* model = plan_.rec->model();
   const RatingMatrix& snapshot = model->ratings();
-  std::vector<int64_t> items =
-      plan_.item_ids.has_value() ? *plan_.item_ids : snapshot.item_ids();
+  const std::vector<int64_t>& items =
+      item_filter_.has_value() ? item_list_ : snapshot.item_ids();
   for (int64_t item : items) {
     if (!snapshot.ItemIndex(item).has_value()) continue;
     if (snapshot.Get(user_id, item).has_value()) continue;  // unseen only

@@ -6,6 +6,8 @@
 //                             with model fallback on cache miss)
 #pragma once
 
+#include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "execution/executor.h"
@@ -20,10 +22,11 @@ class RecommendExecutor : public Executor {
   Result<std::optional<Tuple>> Next() override;
 
  private:
-  /// Advance (user_pos_, item_pos_) to the next candidate pair; fills the
-  /// output fields. Returns false when exhausted.
-  Result<std::optional<Tuple>> Emit(int64_t user_id, int64_t item_id,
-                                    double score) const;
+  /// Morsel-parallel scoring over the flattened (user, item) candidate
+  /// space: workers claim pair ranges, emit into per-morsel slots, and the
+  /// slots are concatenated in range order — bit-identical to the serial
+  /// emission order under any thread count.
+  Status ScoreAllParallel();
 
   const RecommendPlan& plan_;
   ExecContext* ctx_;
@@ -32,6 +35,10 @@ class RecommendExecutor : public Executor {
   std::vector<int64_t> items_;
   size_t user_pos_ = 0;
   size_t item_pos_ = 0;
+  // Parallel mode: results materialized at Init, drained by Next.
+  bool buffered_ = false;
+  std::vector<Tuple> buffer_;
+  size_t buffer_pos_ = 0;
 };
 
 class JoinRecommendExecutor : public Executor {
@@ -64,6 +71,11 @@ class IndexRecommendExecutor : public Executor {
 
   const IndexRecommendPlan& plan_;
   ExecContext* ctx_;
+  // Pushed-down item ids as a hash set (O(1) membership instead of a per-
+  // candidate std::find) plus a deduplicated list for the cache-miss scan,
+  // so duplicated IN-list entries cannot emit duplicate tuples.
+  std::optional<std::unordered_set<int64_t>> item_filter_;
+  std::vector<int64_t> item_list_;
   std::vector<int64_t> users_;
   size_t user_pos_ = 0;
   std::vector<std::pair<int64_t, double>> current_;  // best-first

@@ -81,6 +81,15 @@ std::vector<std::pair<int64_t, double>> RecScoreIndex::TopK(
   return out;
 }
 
+void RecScoreIndex::ForEach(
+    const std::function<void(int64_t, int64_t, double)>& fn) const {
+  for (const auto& [user_id, entry] : users_) {
+    for (const auto& [item_id, score] : entry.item_scores) {
+      fn(user_id, item_id, score);
+    }
+  }
+}
+
 size_t RecScoreIndex::ApproxBytes() const {
   // Per entry: tree key (16B) + leaf overhead (~8B) + hash map node (~48B).
   constexpr size_t kPerEntry = 16 + 8 + 48;

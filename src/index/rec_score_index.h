@@ -69,6 +69,12 @@ class RecScoreIndex {
       int64_t user_id, size_t k,
       const std::function<bool(int64_t)>& item_filter = nullptr) const;
 
+  /// Visit every materialized (user, item, score) entry, e.g. for the cache
+  /// manager's stale-entry sweep. Iteration order is unspecified.
+  void ForEach(
+      const std::function<void(int64_t user_id, int64_t item_id, double score)>&
+          fn) const;
+
   /// Rough memory footprint in bytes (for the scalability ablation).
   size_t ApproxBytes() const;
 

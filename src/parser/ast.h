@@ -98,6 +98,7 @@ enum class StatementKind {
   kCreateRecommender,
   kDropRecommender,
   kExplain,
+  kSet,
 };
 
 struct Statement {
@@ -201,6 +202,13 @@ struct CreateRecommenderStatement : Statement {
 struct DropRecommenderStatement : Statement {
   DropRecommenderStatement() : Statement(StatementKind::kDropRecommender) {}
   std::string name;
+};
+
+/// SET <option> = <literal>  (session options, e.g. SET parallelism = 4).
+struct SetStatement : Statement {
+  SetStatement() : Statement(StatementKind::kSet) {}
+  std::string option;  // lower-cased option name
+  Value value;
 };
 
 }  // namespace recdb

@@ -90,8 +90,10 @@ Result<StatementPtr> Parser::ParseStatement() {
   if (t.IsKeyword("DELETE")) return ParseDelete();
   if (t.IsKeyword("UPDATE")) return ParseUpdate();
   if (t.IsKeyword("EXPLAIN")) return ParseExplain();
+  if (t.IsKeyword("SET")) return ParseSet();
   return Error(
-      "expected SELECT, CREATE, DROP, INSERT, DELETE, UPDATE or EXPLAIN");
+      "expected SELECT, CREATE, DROP, INSERT, DELETE, UPDATE, EXPLAIN or "
+      "SET");
 }
 
 Result<StatementPtr> Parser::ParseSelect() {
@@ -311,6 +313,29 @@ Result<StatementPtr> Parser::ParseExplain() {
     return Error("EXPLAIN supports SELECT only");
   }
   RECDB_ASSIGN_OR_RETURN(stmt->inner, ParseSelect());
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseSet() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("SET"));
+  auto stmt = std::make_unique<SetStatement>();
+  RECDB_ASSIGN_OR_RETURN(auto name, ExpectIdentifier("option name"));
+  stmt->option = ToLower(name);
+  RECDB_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+  bool negative = Match(TokenType::kMinus);
+  const Token& t = Peek();
+  if (t.type == TokenType::kIntLiteral) {
+    int64_t v = Advance().int_val;
+    stmt->value = Value::Int(negative ? -v : v);
+  } else if (t.type == TokenType::kDoubleLiteral) {
+    double v = Advance().double_val;
+    stmt->value = Value::Double(negative ? -v : v);
+  } else if (t.type == TokenType::kStringLiteral && !negative) {
+    stmt->value = Value::String(Advance().text);
+  } else {
+    return Error("expected a number or string after SET " + stmt->option +
+                 " =");
+  }
   return StatementPtr(std::move(stmt));
 }
 

@@ -41,6 +41,7 @@ class Parser {
   Result<StatementPtr> ParseDelete();
   Result<StatementPtr> ParseUpdate();
   Result<StatementPtr> ParseExplain();
+  Result<StatementPtr> ParseSet();
 
   Result<RecommendClause> ParseRecommendClause();
 

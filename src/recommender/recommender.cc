@@ -1,5 +1,8 @@
 #include "recommender/recommender.h"
 
+#include <algorithm>
+
+#include "common/task_scheduler.h"
 #include "common/timer.h"
 
 namespace recdb {
@@ -50,6 +53,11 @@ Status Recommender::MaterializeUser(int64_t user_id) {
   auto uopt = r.UserIndex(user_id);
   if (!uopt) return Status::NotFound("unknown user");
   const auto& rated = r.UserVector(*uopt);
+  // Collect the user's unseen items, predict their scores in parallel
+  // (Predict is a const read of the model), then insert serially — the
+  // score index is not thread-safe and insertion order is kept stable.
+  std::vector<int64_t> unseen;
+  unseen.reserve(r.NumItems() - rated.size());
   size_t rated_pos = 0;
   for (size_t i = 0; i < r.NumItems(); ++i) {
     // Skip items the user already rated (both lists are idx-sorted).
@@ -61,8 +69,19 @@ Status Recommender::MaterializeUser(int64_t user_id) {
         rated[rated_pos].idx == static_cast<int32_t>(i)) {
       continue;
     }
-    int64_t item_id = r.ItemIdAt(static_cast<int32_t>(i));
-    score_index_.Put(user_id, item_id, model_->Predict(user_id, item_id));
+    unseen.push_back(r.ItemIdAt(static_cast<int32_t>(i)));
+  }
+  std::vector<double> scores(unseen.size(), 0.0);
+  TaskScheduler& sched = TaskScheduler::Global();
+  const size_t morsel =
+      std::clamp<size_t>(unseen.size() / (sched.num_threads() * 4), 32, 4096);
+  sched.ParallelFor(unseen.size(), morsel, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      scores[i] = model_->Predict(user_id, unseen[i]);
+    }
+  });
+  for (size_t i = 0; i < unseen.size(); ++i) {
+    score_index_.Put(user_id, unseen[i], scores[i]);
   }
   return Status::OK();
 }

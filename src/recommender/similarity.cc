@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "common/task_scheduler.h"
 
 namespace recdb {
 
@@ -17,6 +18,14 @@ namespace {
 /// accumulate all pairwise products into a dense dot-product matrix, then
 /// normalize by vector norms — one pass over Σ_d nnz(d)² products, the
 /// standard way to build full similarity lists.
+///
+/// The Σ_d nnz(d)² pass is morsel-parallel over *output rows*: entries
+/// within a dimension are idx-sorted, so every product of dimension d lands
+/// in row min(ea.idx, eb.idx) and each worker owns a disjoint row range —
+/// no write conflicts. A serial prologue builds the per-row occurrence
+/// lists in ascending dimension order, so each cell accumulates its float
+/// products in exactly the serial order and the result is bit-identical
+/// under any thread count.
 std::vector<std::vector<Neighbor>> BuildNeighborhoods(
     size_t num_vectors, const std::vector<std::vector<RatingEntry>>& dims,
     const std::vector<double>& means, const SimilarityOptions& opts) {
@@ -29,64 +38,88 @@ std::vector<std::vector<Neighbor>> BuildNeighborhoods(
   const bool need_overlap = opts.min_overlap > 1;
   if (need_overlap) overlap.assign(n * n, 0);
 
-  std::vector<RatingEntry> centered;
-  for (const auto& dim : dims) {
-    centered.clear();
-    centered.reserve(dim.size());
-    for (const auto& e : dim) {
+  // Serial prologue: center each dimension, accumulate norms, and record
+  // where each row occurs — occ[r] lists (dim, position) pairs in ascending
+  // dimension order, the order the serial accumulation visits them.
+  struct Occurrence {
+    uint32_t dim;
+    uint32_t pos;
+  };
+  std::vector<std::vector<RatingEntry>> centered_dims(dims.size());
+  std::vector<std::vector<Occurrence>> occ(n);
+  for (size_t d = 0; d < dims.size(); ++d) {
+    auto& centered = centered_dims[d];
+    centered.reserve(dims[d].size());
+    for (const auto& e : dims[d]) {
       double v = e.rating - (opts.centered ? means[e.idx] : 0.0);
+      occ[e.idx].push_back(Occurrence{static_cast<uint32_t>(d),
+                                      static_cast<uint32_t>(centered.size())});
       centered.push_back(RatingEntry{e.idx, v});
       norms[e.idx] += v * v;
-    }
-    for (size_t a = 0; a < centered.size(); ++a) {
-      const auto& ea = centered[a];
-      float* row = dot.data() + static_cast<size_t>(ea.idx) * n;
-      for (size_t b = a + 1; b < centered.size(); ++b) {
-        const auto& eb = centered[b];
-        row[eb.idx] += static_cast<float>(ea.rating * eb.rating);
-        if (need_overlap) overlap[static_cast<size_t>(ea.idx) * n + eb.idx]++;
-      }
     }
   }
   for (auto& v : norms) v = std::sqrt(v);
 
-  std::vector<std::vector<Neighbor>> result(n);
-  std::vector<Neighbor> row;
-  for (size_t p = 0; p < n; ++p) {
-    row.clear();
-    for (size_t q = 0; q < n; ++q) {
-      if (p == q) continue;
-      size_t idx = p < q ? p * n + q : q * n + p;
-      float d = dot[idx];
-      if (d == 0.0f) continue;
-      if (need_overlap && overlap[idx] < opts.min_overlap) continue;
-      double denom = norms[p] * norms[q];
-      if (denom <= 0) continue;
-      float sim = static_cast<float>(d / denom);
-      if (sim == 0.0f) continue;
-      row.push_back(Neighbor{static_cast<int32_t>(q), sim});
+  TaskScheduler& sched = TaskScheduler::Global();
+  const size_t row_morsel =
+      std::clamp<size_t>(n / (sched.num_threads() * 8), 8, 1024);
+  sched.ParallelFor(n, row_morsel, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      float* row = dot.data() + r * n;
+      for (const Occurrence& o : occ[r]) {
+        const auto& centered = centered_dims[o.dim];
+        const double va = centered[o.pos].rating;
+        for (size_t b = o.pos + 1; b < centered.size(); ++b) {
+          const auto& eb = centered[b];
+          row[eb.idx] += static_cast<float>(va * eb.rating);
+          if (need_overlap) overlap[r * n + eb.idx]++;
+        }
+      }
     }
-    std::sort(row.begin(), row.end(), [](const Neighbor& a, const Neighbor& b) {
-      if (a.sim != b.sim) return a.sim > b.sim;
-      return a.idx < b.idx;
-    });
-    if (opts.top_k > 0 && row.size() > static_cast<size_t>(opts.top_k)) {
-      // Keep the k strongest by |sim| (negative correlations carry signal
-      // for Pearson), then restore descending-sim order.
-      std::partial_sort(
-          row.begin(), row.begin() + opts.top_k, row.end(),
-          [](const Neighbor& a, const Neighbor& b) {
-            return std::fabs(a.sim) > std::fabs(b.sim);
-          });
-      row.resize(opts.top_k);
+  });
+
+  // Per-row neighbor lists are independent: parallel over rows, each row's
+  // sort and top-k trim identical to the serial computation.
+  std::vector<std::vector<Neighbor>> result(n);
+  sched.ParallelFor(n, row_morsel, [&](size_t begin, size_t end) {
+    std::vector<Neighbor> row;
+    for (size_t p = begin; p < end; ++p) {
+      row.clear();
+      for (size_t q = 0; q < n; ++q) {
+        if (p == q) continue;
+        size_t idx = p < q ? p * n + q : q * n + p;
+        float d = dot[idx];
+        if (d == 0.0f) continue;
+        if (need_overlap && overlap[idx] < opts.min_overlap) continue;
+        double denom = norms[p] * norms[q];
+        if (denom <= 0) continue;
+        float sim = static_cast<float>(d / denom);
+        if (sim == 0.0f) continue;
+        row.push_back(Neighbor{static_cast<int32_t>(q), sim});
+      }
       std::sort(row.begin(), row.end(),
                 [](const Neighbor& a, const Neighbor& b) {
                   if (a.sim != b.sim) return a.sim > b.sim;
                   return a.idx < b.idx;
                 });
+      if (opts.top_k > 0 && row.size() > static_cast<size_t>(opts.top_k)) {
+        // Keep the k strongest by |sim| (negative correlations carry signal
+        // for Pearson), then restore descending-sim order.
+        std::partial_sort(
+            row.begin(), row.begin() + opts.top_k, row.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return std::fabs(a.sim) > std::fabs(b.sim);
+            });
+        row.resize(opts.top_k);
+        std::sort(row.begin(), row.end(),
+                  [](const Neighbor& a, const Neighbor& b) {
+                    if (a.sim != b.sim) return a.sim > b.sim;
+                    return a.idx < b.idx;
+                  });
+      }
+      result[p] = row;
     }
-    result[p] = row;
-  }
+  });
   return result;
 }
 

@@ -152,6 +152,68 @@ TEST(CacheManagerTest, MaterializedScoreMatchesModel) {
   EXPECT_DOUBLE_EQ(*cached, rec->model()->Predict(1, 3));
 }
 
+TEST(CacheManagerTest, FormerlyHotPairCoolsBelowThresholdAndIsEvicted) {
+  // Lifetime-counter rates could only decay while maxima never decreased,
+  // so a pair that was hot once stayed materialized forever. With windowed
+  // rates a quiet user drops to zero demand and the stale sweep evicts the
+  // pair, while the maxima track the *current* peak.
+  ManualClock clock(0);
+  auto rec = MakeRec();
+  CacheManager mgr(rec.get(), &clock, 0.5);
+
+  // Window 1: user 1 and item 4 are the only activity — hotness(1,4) = 1.
+  for (int k = 0; k < 100; ++k) mgr.RecordQuery(1);
+  for (int k = 0; k < 50; ++k) mgr.RecordUpdate(4);
+  clock.Advance(5);
+  auto d1 = mgr.Run();
+  ASSERT_TRUE(d1.ok());
+  ASSERT_EQ(d1.value().admitted.size(), 1u);
+  EXPECT_EQ(d1.value().admitted[0], (std::pair<int64_t, int64_t>{1, 4}));
+  ASSERT_TRUE(rec->score_index()->GetScore(1, 4).has_value());
+  EXPECT_DOUBLE_EQ(mgr.max_demand(), 20.0);       // 100 / 5
+  EXPECT_DOUBLE_EQ(mgr.max_consumption(), 10.0);  // 50 / 5
+
+  // Window 2: user 1 and item 4 go silent; user 2 / item 3 take over.
+  for (int k = 0; k < 10; ++k) mgr.RecordQuery(2);
+  for (int k = 0; k < 5; ++k) mgr.RecordUpdate(3);
+  clock.Advance(5);
+  auto d2 = mgr.Run();
+  ASSERT_TRUE(d2.ok());
+
+  // The maxima now reflect the current window, not the all-time peak.
+  EXPECT_DOUBLE_EQ(mgr.max_demand(), 2.0);       // 10 / 5
+  EXPECT_DOUBLE_EQ(mgr.max_consumption(), 1.0);  // 5 / 5
+  EXPECT_DOUBLE_EQ(mgr.GetUserStats(1)->demand_rate, 0.0);
+  EXPECT_DOUBLE_EQ(mgr.GetItemStats(4)->consumption_rate, 0.0);
+
+  // (1, 4) was not in the active x active pass this window, but the stale
+  // sweep re-examined it under the fresh rates and evicted it.
+  EXPECT_FALSE(rec->score_index()->GetScore(1, 4).has_value());
+  bool evicted_1_4 = false;
+  for (const auto& p : d2.value().evicted) {
+    if (p == std::pair<int64_t, int64_t>(1, 4)) evicted_1_4 = true;
+  }
+  EXPECT_TRUE(evicted_1_4);
+}
+
+TEST(CacheManagerTest, FullyIdleWindowEvictsNothing) {
+  ManualClock clock(0);
+  auto rec = MakeRec();
+  CacheManager mgr(rec.get(), &clock, 0.5);
+  for (int k = 0; k < 10; ++k) mgr.RecordQuery(1);
+  for (int k = 0; k < 10; ++k) mgr.RecordUpdate(4);
+  clock.Advance(5);
+  ASSERT_TRUE(mgr.Run().ok());
+  ASSERT_TRUE(rec->score_index()->GetScore(1, 4).has_value());
+
+  // Nothing at all happened in this window: no evidence, no eviction.
+  clock.Advance(5);
+  auto d = mgr.Run();
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().evicted.empty());
+  EXPECT_TRUE(rec->score_index()->GetScore(1, 4).has_value());
+}
+
 TEST(CacheManagerTest, EndToEndThroughRecDB) {
   // Queries through SQL populate the demand histogram; inserts populate the
   // consumption histogram; Run() then materializes and IndexRecommend hits.

@@ -1,0 +1,402 @@
+// Determinism regression tests:
+//  - Top-N tie-breaking must preserve arrival order even when bounded
+//    selection (nth_element pruning) shuffles the buffered rows.
+//  - IndexRecommend's pushed-down item list must be deduplicated and
+//    membership-checked in O(1), so duplicate IN-list ids emit one tuple.
+//  - RECOMMEND / FILTERRECOMMEND output and neighborhood model builds must
+//    be bit-identical under any `SET parallelism` level.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "api/recdb.h"
+#include "common/task_scheduler.h"
+#include "execution/executor.h"
+#include "recommender/similarity.h"
+
+namespace recdb {
+namespace {
+
+/// Restore serial execution when a test body returns.
+struct ParallelismGuard {
+  ~ParallelismGuard() { TaskScheduler::SetGlobalParallelism(1); }
+};
+
+// ---------------------------------------------------------------- Top-N ties
+
+TEST(TopNDeterminismTest, TiedRowsKeepArrivalOrderAcrossPruning) {
+  RecDB db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b INT)").ok());
+  // 60 rows, all tied on the sort key. 60 > 2*5 + 16, so the bounded
+  // selection path (nth_element pruning) triggers several times; before the
+  // explicit sequence tie-break the surviving subset was whatever
+  // nth_element left in front.
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 60; ++i) {
+    rows.push_back({Value::Int(1), Value::Int(i)});
+  }
+  ASSERT_TRUE(db.BulkInsert("t", rows).ok());
+  auto rs = db.Execute("SELECT a, b FROM t ORDER BY a LIMIT 5");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().NumRows(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rs.value().At(i, 1).AsInt(), i)
+        << "tied Top-N row " << i << " must be the " << i
+        << "th row in arrival order";
+  }
+}
+
+TEST(TopNDeterminismTest, TiesBrokenByArrivalOrderUnderDescKeys) {
+  RecDB db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b INT)").ok());
+  // Two key groups, each large enough to outlive pruning; ties inside each
+  // group must come back in insertion order.
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({Value::Int(1), Value::Int(i)});
+  for (int i = 0; i < 30; ++i) rows.push_back({Value::Int(2), Value::Int(i)});
+  ASSERT_TRUE(db.BulkInsert("t", rows).ok());
+  auto rs = db.Execute("SELECT a, b FROM t ORDER BY a DESC LIMIT 4");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().NumRows(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rs.value().At(i, 0).AsInt(), 2);
+    EXPECT_EQ(rs.value().At(i, 1).AsInt(), i);
+  }
+}
+
+// ------------------------------------------- IndexRecommend item pushdowns
+
+std::unique_ptr<Recommender> MakeSmallRec() {
+  RecommenderConfig cfg;
+  cfg.name = "rec";
+  auto rec = std::make_unique<Recommender>(cfg);
+  rec->AddRating(1, 1, 4);
+  rec->AddRating(1, 2, 3);
+  rec->AddRating(2, 1, 5);
+  rec->AddRating(2, 3, 4);
+  rec->AddRating(3, 2, 2);
+  rec->AddRating(3, 3, 3);
+  rec->AddRating(3, 4, 4);
+  RECDB_DCHECK(rec->Build().ok());
+  return rec;
+}
+
+void InitIndexPlan(IndexRecommendPlan* plan, Recommender* rec) {
+  plan->rec = rec;
+  plan->alias = "R";
+  plan->schema = ExecSchema({{"R", "uid", TypeId::kInt64},
+                             {"R", "iid", TypeId::kInt64},
+                             {"R", "ratingval", TypeId::kDouble}});
+  plan->user_col_idx = 0;
+  plan->item_col_idx = 1;
+  plan->rating_col_idx = 2;
+}
+
+TEST(IndexRecommendTest, DuplicateItemIdsEmitOneTupleOnCacheMiss) {
+  auto rec = MakeSmallRec();
+  // The optimizer dedupes SQL IN-lists, but IndexRecommendPlan is a public
+  // plan node: build it directly with duplicated item ids, as a caller (or
+  // a future rewrite) legally may. User 1 has not rated items 3 or 4 and
+  // nothing is materialized, so this exercises the model-fallback path.
+  IndexRecommendPlan plan;
+  InitIndexPlan(&plan, rec.get());
+  plan.user_ids = {1};
+  plan.item_ids = std::vector<int64_t>{3, 3, 4, 3};
+  ExecContext ctx;
+  auto exec = CreateExecutor(plan, &ctx);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec.value()->Init().ok());
+  std::vector<int64_t> items;
+  while (true) {
+    auto next = exec.value()->Next();
+    ASSERT_TRUE(next.ok());
+    if (!next.value().has_value()) break;
+    items.push_back(next.value()->At(1).AsInt());
+  }
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<int64_t>{3, 4}))
+      << "duplicated IN-list ids must not emit duplicate tuples";
+  EXPECT_EQ(ctx.stats.index_misses, 1u);
+}
+
+TEST(IndexRecommendTest, DuplicateItemIdsEmitOneTupleOnCacheHit) {
+  auto rec = MakeSmallRec();
+  ASSERT_TRUE(rec->MaterializeUser(1).ok());
+  IndexRecommendPlan plan;
+  InitIndexPlan(&plan, rec.get());
+  plan.user_ids = {1};
+  plan.item_ids = std::vector<int64_t>{4, 4, 3};
+  ExecContext ctx;
+  auto exec = CreateExecutor(plan, &ctx);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec.value()->Init().ok());
+  size_t rows = 0;
+  while (true) {
+    auto next = exec.value()->Next();
+    ASSERT_TRUE(next.ok());
+    if (!next.value().has_value()) break;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(ctx.stats.index_hits, 1u);
+}
+
+// ------------------------------------------ parallel query determinism
+
+void LoadRatings(RecDB* db) {
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE)")
+          .ok());
+  std::vector<std::vector<Value>> rows;
+  for (int u = 1; u <= 30; ++u) {
+    for (int k = 0; k < 6; ++k) {
+      int item = (u * 3 + k * 5) % 20 + 1;
+      rows.push_back({Value::Int(u), Value::Int(item),
+                      Value::Double((u + k) % 5 + 1)});
+    }
+  }
+  ASSERT_TRUE(db->BulkInsert("Ratings", rows).ok());
+  ASSERT_TRUE(db->Execute("CREATE RECOMMENDER r ON Ratings USERS FROM uid "
+                          "ITEMS FROM iid RATINGS FROM ratingval")
+                  .ok());
+}
+
+std::string RowsToString(const ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row.values()) {
+      out += v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ParallelDeterminismTest, RecommendRowsIdenticalAcrossThreadCounts) {
+  ParallelismGuard guard;
+  RecDB db;
+  LoadRatings(&db);
+  const std::string q =
+      "SELECT R.uid, R.iid, R.ratingval FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF";
+  ASSERT_TRUE(db.Execute("SET parallelism = 1").ok());
+  auto serial = db.Execute(q);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GT(serial.value().NumRows(), 0u);
+  EXPECT_EQ(serial.value().stats.tasks_spawned, 0u);
+  const std::string expected = RowsToString(serial.value());
+
+  for (int threads : {2, 8}) {
+    ASSERT_TRUE(
+        db.Execute("SET parallelism = " + std::to_string(threads)).ok());
+    auto parallel = db.Execute(q);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(RowsToString(parallel.value()), expected)
+        << "RECOMMEND emission order changed at parallelism " << threads;
+    EXPECT_EQ(parallel.value().stats.predictions,
+              serial.value().stats.predictions);
+    EXPECT_GT(parallel.value().stats.tasks_spawned, 0u)
+        << "parallel path not taken at parallelism " << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, FilterRecommendRowsIdenticalAcrossThreadCounts) {
+  ParallelismGuard guard;
+  RecDB db;
+  LoadRatings(&db);
+  std::string in_list;
+  for (int u = 1; u <= 25; ++u) {
+    if (!in_list.empty()) in_list += ", ";
+    in_list += std::to_string(u);
+  }
+  const std::string q =
+      "SELECT R.uid, R.iid, R.ratingval FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid IN (" + in_list + ") "
+      "ORDER BY R.ratingval DESC, R.uid, R.iid LIMIT 40";
+  ASSERT_TRUE(db.Execute("SET parallelism = 1").ok());
+  auto serial = db.Execute(q);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial.value().NumRows(), 40u);
+  const std::string expected = RowsToString(serial.value());
+
+  for (int threads : {2, 8}) {
+    ASSERT_TRUE(
+        db.Execute("SET parallelism = " + std::to_string(threads)).ok());
+    auto parallel = db.Execute(q);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(RowsToString(parallel.value()), expected);
+    EXPECT_EQ(parallel.value().stats.predictions,
+              serial.value().stats.predictions);
+  }
+}
+
+// ------------------------------------------ parallel model-build determinism
+
+RatingMatrix MakeMatrix() {
+  RatingMatrix m;
+  for (int u = 0; u < 60; ++u) {
+    for (int k = 0; k < 8; ++k) {
+      int item = (u * 7 + k * 11) % 40;
+      m.Add(1000 + u, 2000 + item, (u + k) % 5 + 1 + 0.25 * (k % 3));
+    }
+  }
+  return m;
+}
+
+void ExpectNeighborhoodsEqual(const std::vector<std::vector<Neighbor>>& a,
+                              const std::vector<std::vector<Neighbor>>& b,
+                              const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << what << " row " << i;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j].idx, b[i][j].idx) << what << " row " << i;
+      // Bit-identical, not approximately equal: the parallel accumulation
+      // must add float products in exactly the serial order.
+      EXPECT_EQ(a[i][j].sim, b[i][j].sim) << what << " row " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, NeighborhoodsBitIdenticalAcrossThreadCounts) {
+  ParallelismGuard guard;
+  RatingMatrix m = MakeMatrix();
+  std::vector<SimilarityOptions> variants(3);
+  variants[1].centered = true;
+  variants[1].top_k = 5;
+  variants[2].min_overlap = 2;
+  for (const auto& opts : variants) {
+    TaskScheduler::SetGlobalParallelism(1);
+    auto items_serial = BuildItemNeighborhoods(m, opts);
+    auto users_serial = BuildUserNeighborhoods(m, opts);
+    for (size_t threads : {2u, 8u}) {
+      TaskScheduler::SetGlobalParallelism(threads);
+      ExpectNeighborhoodsEqual(BuildItemNeighborhoods(m, opts), items_serial,
+                               "item neighborhoods");
+      ExpectNeighborhoodsEqual(BuildUserNeighborhoods(m, opts), users_serial,
+                               "user neighborhoods");
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MaterializedIndexIdenticalAcrossThreadCounts) {
+  ParallelismGuard guard;
+  auto collect = [](Recommender* rec) {
+    std::vector<std::pair<int64_t, double>> out;
+    rec->score_index()->ForEach(
+        [&](int64_t u, int64_t i, double s) { out.push_back({u * 10000 + i, s}); });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  TaskScheduler::SetGlobalParallelism(1);
+  auto serial_rec = MakeSmallRec();
+  ASSERT_TRUE(serial_rec->MaterializeAll().ok());
+  auto expected = collect(serial_rec.get());
+  ASSERT_FALSE(expected.empty());
+  for (size_t threads : {2u, 8u}) {
+    TaskScheduler::SetGlobalParallelism(threads);
+    auto rec = MakeSmallRec();
+    ASSERT_TRUE(rec->MaterializeAll().ok());
+    EXPECT_EQ(collect(rec.get()), expected);
+  }
+}
+
+// ----------------------------------------------------- TaskScheduler unit
+
+TEST(TaskSchedulerTest, ParallelForCoversRangeExactlyOnce) {
+  TaskScheduler sched(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<uint64_t> sum{0};
+  TaskRunStats stats = sched.ParallelFor(kN, 64, [&](size_t begin, size_t end) {
+    uint64_t local = 0;
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      local += i;
+    }
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+  EXPECT_EQ(stats.tasks_spawned, (kN + 63) / 64);
+  EXPECT_EQ(sched.total_tasks(), stats.tasks_spawned);
+}
+
+TEST(TaskSchedulerTest, SerialSchedulerRunsInline) {
+  TaskScheduler sched(1);
+  std::vector<size_t> order;
+  sched.ParallelFor(100, 10, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) order.push_back(i);
+  });
+  std::vector<size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TaskSchedulerTest, ResizeAndReuse) {
+  TaskScheduler sched(2);
+  EXPECT_EQ(sched.num_threads(), 2u);
+  std::atomic<uint64_t> count{0};
+  sched.ParallelFor(1000, 16, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000u);
+  sched.Resize(5);
+  EXPECT_EQ(sched.num_threads(), 5u);
+  count = 0;
+  sched.ParallelFor(1000, 16, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000u);
+  sched.Resize(1);
+  count = 0;
+  sched.ParallelFor(7, 2, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 7u);
+}
+
+TEST(TaskSchedulerTest, EmptyRangeIsANoOp) {
+  TaskScheduler sched(3);
+  bool called = false;
+  TaskRunStats stats =
+      sched.ParallelFor(0, 8, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(stats.tasks_spawned, 0u);
+}
+
+// ------------------------------------------------------------ SET statement
+
+TEST(SetStatementTest, ParallelismValidation) {
+  ParallelismGuard guard;
+  RecDB db;
+  auto ok = db.Execute("SET parallelism = 2");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok.value().message.find("parallelism set to 2"),
+            std::string::npos);
+  EXPECT_EQ(TaskScheduler::Global().num_threads(), 2u);
+
+  EXPECT_FALSE(db.Execute("SET parallelism = 0").ok());
+  EXPECT_FALSE(db.Execute("SET parallelism = -3").ok());
+  EXPECT_FALSE(db.Execute("SET parallelism = 'lots'").ok());
+  EXPECT_FALSE(db.Execute("SET parallelism = 1.5").ok());
+  EXPECT_FALSE(db.Execute("SET no_such_option = 1").ok());
+  // Failed SETs must not disturb the configured level.
+  EXPECT_EQ(TaskScheduler::Global().num_threads(), 2u);
+}
+
+TEST(SetStatementTest, OptionsParallelismAppliesAtConstruction) {
+  ParallelismGuard guard;
+  RecDBOptions opts;
+  opts.parallelism = 3;
+  RecDB db(opts);
+  EXPECT_EQ(TaskScheduler::Global().num_threads(), 3u);
+}
+
+}  // namespace
+}  // namespace recdb
