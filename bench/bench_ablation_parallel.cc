@@ -121,17 +121,20 @@ void BM_Parallel_RecommendTopK(benchmark::State& state) {
 }
 
 void RegisterAll() {
+  // MinTime overrides the --benchmark_min_time flag, so honour the smoke
+  // preset here explicitly to keep the bench-smoke ctest run fast.
+  const double min_time = SmokeMode() ? 0.01 : 0.5;
   for (int64_t threads : {1, 2, 4, 8}) {
     benchmark::RegisterBenchmark("Ablation/Parallel/NeighborhoodBuild",
                                  BM_Parallel_NeighborhoodBuild)
         ->Args({threads})
         ->Unit(benchmark::kMillisecond)
-        ->MinTime(0.5);
+        ->MinTime(min_time);
     benchmark::RegisterBenchmark("Ablation/Parallel/RecommendTopK",
                                  BM_Parallel_RecommendTopK)
         ->Args({threads})
         ->Unit(benchmark::kMillisecond)
-        ->MinTime(0.5);
+        ->MinTime(min_time);
   }
 }
 

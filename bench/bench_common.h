@@ -6,17 +6,51 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/recdb.h"
 #include "common/rng.h"
+#include "common/task_scheduler.h"
 #include "datagen/datagen.h"
 #include "ontop/ontop_engine.h"
 
 namespace recdb::bench {
+
+/// True when RECDB_BENCH_SMOKE is set: datasets shrink to a tiny preset so
+/// every bench binary finishes in a couple of seconds. The `bench-smoke`
+/// ctest label runs each binary this way as a build-health check; numbers
+/// produced in smoke mode are meaningless as measurements.
+inline bool SmokeMode() {
+  static const bool on = std::getenv("RECDB_BENCH_SMOKE") != nullptr;
+  return on;
+}
+
+/// One-time banner: hardware concurrency vs scheduler threads. Warns when
+/// the scheduler is oversubscribed — timings then mostly measure context
+/// switching, not the operators under test.
+inline void PrintHardwareBanner() {
+  static const bool once = [] {
+    unsigned cores = std::thread::hardware_concurrency();
+    size_t threads = TaskScheduler::Global().num_threads();
+    std::fprintf(stderr,
+                 "recdb-bench: hardware_concurrency=%u scheduler_threads=%zu%s\n",
+                 cores, threads, SmokeMode() ? " (smoke preset)" : "");
+    if (cores > 0 && threads > cores) {
+      std::fprintf(stderr,
+                   "recdb-bench: WARNING parallelism %zu exceeds the %u "
+                   "available cores; results will include contention\n",
+                   threads, cores);
+    }
+    return true;
+  }();
+  (void)once;
+}
 
 /// Which paper dataset an environment holds.
 enum class Which { kMovieLens, kLdos, kYelp };
@@ -141,10 +175,12 @@ class BenchEnv {
 
 /// Per-binary singleton environment (each bench binary is one process).
 inline BenchEnv& Env(Which which) {
+  PrintHardwareBanner();
   static std::map<Which, std::unique_ptr<BenchEnv>> envs;
   auto it = envs.find(which);
   if (it == envs.end()) {
-    it = envs.emplace(which, std::make_unique<BenchEnv>(which)).first;
+    double scale = SmokeMode() ? 0.05 : 1.0;
+    it = envs.emplace(which, std::make_unique<BenchEnv>(which, scale)).first;
   }
   return *it->second;
 }

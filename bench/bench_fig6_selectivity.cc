@@ -72,6 +72,33 @@ void BM_Fig6_OnTopDB(benchmark::State& state) {
   state.counters["rows"] = static_cast<double>(rows);
 }
 
+// Ablation: cost-based planning (statistics from ANALYZE let the optimizer
+// undo the item-list pushdown once the predicate stops being selective,
+// paper Fig. 6's crossover) vs the rule-only plan that always pushes.
+void BM_Fig6_CostAblation(benchmark::State& state) {
+  RecAlgorithm algo = static_cast<RecAlgorithm>(state.range(0));
+  int64_t permille = state.range(1);
+  bool cost_based = state.range(2) != 0;
+  BenchEnv& env = Env(kWhich);
+  env.GetRecommender(algo);
+  MustExecute(env.db(), "ANALYZE " + env.dataset().ratings_table);
+  env.db()->mutable_planner_options()->enable_cost_based = cost_based;
+  int64_t user = env.SampleUsers(1, 42)[0];
+  auto items = env.SampleItems(SelCount(env, permille), 7);
+  std::string sql = RecDBSql(env, algo, user, items);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rs = MustExecute(env.db(), sql);
+    rows = rs.NumRows();
+    benchmark::DoNotOptimize(rows);
+  }
+  env.db()->mutable_planner_options()->enable_cost_based = true;
+  state.SetLabel(std::string(RecAlgorithmToString(algo)) + "/sel=" +
+                 std::to_string(permille / 10.0) + "%/" +
+                 (cost_based ? "cost-based" : "forced-pushdown"));
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
 void RegisterAll() {
   for (RecAlgorithm a : {RecAlgorithm::kItemCosCF, RecAlgorithm::kSVD}) {
     for (int64_t permille : {1, 10, 100}) {
@@ -82,6 +109,16 @@ void RegisterAll() {
           ->Args({static_cast<int64_t>(a), permille})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(2);
+    }
+  }
+  // The crossover lives at high selectivity factors: sweep into the region
+  // where probing the item list costs more than scoring everything.
+  for (int64_t permille : {10, 100, 500, 900}) {
+    for (int64_t cost_based : {0, 1}) {
+      benchmark::RegisterBenchmark("Fig6/Ablation", BM_Fig6_CostAblation)
+          ->Args({static_cast<int64_t>(RecAlgorithm::kItemCosCF), permille,
+                  cost_based})
+          ->Unit(benchmark::kMillisecond);
     }
   }
 }

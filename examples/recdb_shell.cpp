@@ -31,7 +31,9 @@ void PrintHelp() {
       "  SELECT ... FROM ratings AS R\n"
       "      RECOMMEND R.iid TO R.uid ON R.ratingval USING <algo>\n"
       "      [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n]\n"
-      "  EXPLAIN SELECT ...\n"
+      "  EXPLAIN [ANALYZE] SELECT ...  (ANALYZE also executes: est= vs act=)\n"
+      "  ANALYZE [t]                  (collect planner statistics; all tables\n"
+      "                                when no table is named)\n"
       "  SET parallelism = N          (worker threads for scoring/builds)\n"
       "meta: \\tables \\recommenders \\stats \\timing \\help \\q\n");
 }

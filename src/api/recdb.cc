@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/bytes.h"
 #include "common/string_util.h"
 #include "common/task_scheduler.h"
 #include "common/timer.h"
 #include "parser/parser.h"
+#include "stats/analyzer.h"
 
 namespace recdb {
 
@@ -21,63 +23,15 @@ namespace {
 //   u32 chunk_len | u32 reserved | chunk bytes
 // The concatenated chunks form one payload:
 //   magic "RECDBMETA1" | u32 table_count | tables | u32 rec_count | recs
+//   [| u32 stats_count | (table name, TableStats)...]
+// The trailing statistics section is optional: files written before ANALYZE
+// existed simply end after the recommenders and load fine.
 
 constexpr uint32_t kMetaPageMagic = 0x4154454Du;  // "META" little-endian
 constexpr size_t kMetaPageHeader = 16;
 constexpr size_t kMetaPageCapacity = kPageSize - kMetaPageHeader;
 constexpr char kMetaMagic[] = "RECDBMETA1";
 constexpr size_t kMetaMagicLen = sizeof(kMetaMagic) - 1;
-
-class ByteWriter {
- public:
-  void Raw(const void* p, size_t n) {
-    const auto* b = static_cast<const uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
-  }
-  template <typename T>
-  void Num(T v) {
-    Raw(&v, sizeof(T));
-  }
-  void Str(const std::string& s) {
-    Num(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  const std::vector<uint8_t>& bytes() const { return buf_; }
-
- private:
-  std::vector<uint8_t> buf_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
-
-  Status Raw(void* out, size_t n) {
-    if (pos_ + n > buf_.size()) {
-      return Status::DataLoss("catalog metadata truncated");
-    }
-    std::memcpy(out, buf_.data() + pos_, n);
-    pos_ += n;
-    return Status::OK();
-  }
-  template <typename T>
-  Result<T> Num() {
-    T v{};
-    RECDB_RETURN_NOT_OK(Raw(&v, sizeof(T)));
-    return v;
-  }
-  Result<std::string> Str() {
-    RECDB_ASSIGN_OR_RETURN(uint32_t n, Num<uint32_t>());
-    if (n > (1u << 20)) return Status::DataLoss("catalog string too large");
-    std::string s(n, '\0');
-    RECDB_RETURN_NOT_OK(Raw(s.data(), n));
-    return s;
-  }
-
- private:
-  const std::vector<uint8_t>& buf_;
-  size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -175,6 +129,19 @@ Status RecDB::PersistMeta() {
     w.Num(cfg.svd_opts.regularization);
     w.Num(cfg.svd_opts.seed);
     w.Num(static_cast<uint8_t>(cfg.svd_opts.use_biases ? 1 : 0));
+  }
+
+  // Optional trailing section: ANALYZE statistics, keyed by table name so
+  // load order never matters.
+  std::vector<const TableInfo*> analyzed;
+  for (const auto& name : table_names) {
+    RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(name));
+    if (table->stats.has_value()) analyzed.push_back(table);
+  }
+  w.Num(static_cast<uint32_t>(analyzed.size()));
+  for (const TableInfo* table : analyzed) {
+    w.Str(table->name);
+    table->stats->Serialize(&w);
   }
 
   const std::vector<uint8_t>& payload = w.bytes();
@@ -298,6 +265,18 @@ Status RecDB::LoadMeta() {
     cfg.svd_opts.use_biases = biases != 0;
     RECDB_RETURN_NOT_OK(CreateRecommender(std::move(cfg)).status());
   }
+
+  // Optional trailing section (absent in pre-ANALYZE files): persisted
+  // table statistics.
+  if (r.Remaining() > 0) {
+    RECDB_ASSIGN_OR_RETURN(uint32_t num_stats, r.Num<uint32_t>());
+    for (uint32_t i = 0; i < num_stats; ++i) {
+      RECDB_ASSIGN_OR_RETURN(std::string name, r.Str());
+      RECDB_ASSIGN_OR_RETURN(TableStats stats, TableStats::Deserialize(&r));
+      RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(name));
+      table->stats = std::move(stats);
+    }
+  }
   return Status::OK();
 }
 
@@ -330,7 +309,7 @@ Result<std::string> RecDB::Explain(const std::string& sql) {
       auto planned, planner.PlanSelect(static_cast<SelectStatement&>(*stmt)));
   Optimizer optimizer(options_.planner);
   RECDB_ASSIGN_OR_RETURN(auto plan, optimizer.Optimize(std::move(planned.plan)));
-  return plan->ToString();
+  return PlannerOptionsSummary(options_.planner) + "\n" + plan->ToString();
 }
 
 Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
@@ -364,7 +343,26 @@ Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
                              optimizer.Optimize(std::move(planned.plan)));
       ResultSet rs;
       rs.columns = {"plan"};
-      for (const auto& line : Split(plan->ToString(), '\n')) {
+      std::string rendered;
+      if (explain.analyze) {
+        // EXPLAIN ANALYZE: run the query (discarding its rows) so each plan
+        // node's actual emitted-row count appears next to its estimate.
+        NotifyRecommendQuery(*plan);
+        ExecContext ctx;
+        RECDB_ASSIGN_OR_RETURN(auto exec, CreateExecutor(*plan, &ctx));
+        RECDB_RETURN_NOT_OK(exec->Init());
+        while (true) {
+          RECDB_ASSIGN_OR_RETURN(auto next, exec->Next());
+          if (!next.has_value()) break;
+        }
+        rs.stats = ctx.stats;
+        rendered = plan->ToString(0, &ctx.actual_rows);
+      } else {
+        rendered = plan->ToString();
+      }
+      rs.rows.push_back(
+          Tuple({Value::String(PlannerOptionsSummary(options_.planner))}));
+      for (const auto& line : Split(rendered, '\n')) {
         if (!line.empty()) rs.rows.push_back(Tuple({Value::String(line)}));
       }
       return rs;
@@ -382,8 +380,30 @@ Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
     }
     case StatementKind::kSet:
       return ExecuteSet(static_cast<const SetStatement&>(stmt));
+    case StatementKind::kAnalyze:
+      return ExecuteAnalyze(static_cast<const AnalyzeStatement&>(stmt));
   }
   return Status::Internal("unhandled statement kind");
+}
+
+Result<ResultSet> RecDB::ExecuteAnalyze(const AnalyzeStatement& stmt) {
+  Stopwatch watch;
+  std::vector<std::string> names;
+  if (!stmt.table_name.empty()) {
+    names.push_back(stmt.table_name);
+  } else {
+    names = catalog_->TableNames();
+  }
+  for (const auto& name : names) {
+    RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(name));
+    RECDB_ASSIGN_OR_RETURN(TableStats stats, AnalyzeTable(*table));
+    table->stats = std::move(stats);
+  }
+  ResultSet rs;
+  rs.elapsed_seconds = watch.ElapsedSeconds();
+  rs.message = StringFormat("analyzed %zu table%s", names.size(),
+                            names.size() == 1 ? "" : "s");
+  return rs;
 }
 
 Result<ResultSet> RecDB::ExecuteSet(const SetStatement& stmt) {
@@ -422,12 +442,13 @@ Result<ResultSet> RecDB::ExecuteSelect(const SelectStatement& stmt) {
 
   ResultSet rs;
   rs.columns = std::move(planned.output_names);
-  rs.plan = plan->ToString();
   while (true) {
     RECDB_ASSIGN_OR_RETURN(auto next, exec->Next());
     if (!next.has_value()) break;
     rs.rows.push_back(std::move(*next));
   }
+  // Rendered after the drain so est/act annotations are both available.
+  rs.plan = plan->ToString(0, &ctx.actual_rows);
   rs.stats = ctx.stats;
   rs.elapsed_seconds = watch.ElapsedSeconds();
   return rs;

@@ -135,6 +135,7 @@ class RecDB {
   Result<ResultSet> ExecuteDelete(const DeleteStatement& stmt);
   Result<ResultSet> ExecuteUpdate(const UpdateStatement& stmt);
   Result<ResultSet> ExecuteSet(const SetStatement& stmt);
+  Result<ResultSet> ExecuteAnalyze(const AnalyzeStatement& stmt);
 
   /// Rows of a table matching an optional WHERE (shared by DELETE/UPDATE).
   Result<std::vector<std::pair<Rid, Tuple>>> CollectMatching(

@@ -1,0 +1,70 @@
+// ByteWriter / ByteReader: little helpers for length-prefixed binary
+// serialization (catalog meta pages, persisted table statistics). Writers
+// append into a growable buffer; readers bounds-check every access and
+// surface truncation as kDataLoss.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace recdb {
+
+class ByteWriter {
+ public:
+  void Raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  template <typename T>
+  void Num(T v) {
+    Raw(&v, sizeof(T));
+  }
+  void Str(const std::string& s) {
+    Num(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  Status Raw(void* out, size_t n) {
+    if (pos_ + n > buf_.size()) {
+      return Status::DataLoss("catalog metadata truncated");
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  template <typename T>
+  Result<T> Num() {
+    T v{};
+    RECDB_RETURN_NOT_OK(Raw(&v, sizeof(T)));
+    return v;
+  }
+  Result<std::string> Str() {
+    RECDB_ASSIGN_OR_RETURN(uint32_t n, Num<uint32_t>());
+    if (n > (1u << 20)) return Status::DataLoss("catalog string too large");
+    std::string s(n, '\0');
+    RECDB_RETURN_NOT_OK(Raw(s.data(), n));
+    return s;
+  }
+  /// Bytes left to read. Lets loaders skip optional trailing sections that
+  /// older database files simply do not have.
+  size_t Remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace recdb

@@ -127,7 +127,7 @@ Status HashAggregateExecutor::Init() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> HashAggregateExecutor::Next() {
+Result<std::optional<Tuple>> HashAggregateExecutor::NextImpl() {
   if (pos_ >= groups_.size()) return std::optional<Tuple>{};
   return std::make_optional(Finalize(groups_[pos_++]));
 }

@@ -12,10 +12,11 @@ class HashAggregateExecutor : public Executor {
  public:
   HashAggregateExecutor(const AggregatePlan& plan, ExecutorPtr child,
                         ExecContext* ctx)
-      : plan_(plan), child_(std::move(child)), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), child_(std::move(child)), ctx_(ctx) {}
 
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   struct AggState {

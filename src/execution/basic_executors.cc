@@ -11,7 +11,7 @@ Status SeqScanExecutor::Init() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> SeqScanExecutor::Next() {
+Result<std::optional<Tuple>> SeqScanExecutor::NextImpl() {
   RECDB_ASSIGN_OR_RETURN(auto next, iter_->Next());
   if (!next.has_value()) return std::optional<Tuple>{};
   ++ctx_->stats.tuples_scanned;
@@ -20,7 +20,7 @@ Result<std::optional<Tuple>> SeqScanExecutor::Next() {
 
 // ----------------------------------------------------------------- Filter
 
-Result<std::optional<Tuple>> FilterExecutor::Next() {
+Result<std::optional<Tuple>> FilterExecutor::NextImpl() {
   while (true) {
     RECDB_ASSIGN_OR_RETURN(auto next, child_->Next());
     if (!next.has_value()) return std::optional<Tuple>{};
@@ -31,7 +31,7 @@ Result<std::optional<Tuple>> FilterExecutor::Next() {
 
 // ---------------------------------------------------------------- Project
 
-Result<std::optional<Tuple>> ProjectExecutor::Next() {
+Result<std::optional<Tuple>> ProjectExecutor::NextImpl() {
   while (true) {
     RECDB_ASSIGN_OR_RETURN(auto next, child_->Next());
     if (!next.has_value()) return std::optional<Tuple>{};
@@ -78,7 +78,7 @@ Status NestedLoopJoinExecutor::Init() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> NestedLoopJoinExecutor::Next() {
+Result<std::optional<Tuple>> NestedLoopJoinExecutor::NextImpl() {
   while (true) {
     if (!outer_tuple_.has_value()) {
       RECDB_ASSIGN_OR_RETURN(auto next, left_->Next());
@@ -121,7 +121,7 @@ Status HashJoinExecutor::Init() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> HashJoinExecutor::Next() {
+Result<std::optional<Tuple>> HashJoinExecutor::NextImpl() {
   while (true) {
     while (match_pos_ < matches_.size()) {
       const Tuple* inner = matches_[match_pos_++];
@@ -223,7 +223,7 @@ Status SortExecutor::Init() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> SortExecutor::Next() {
+Result<std::optional<Tuple>> SortExecutor::NextImpl() {
   if (pos_ >= rows_.size()) return std::optional<Tuple>{};
   return std::make_optional(std::move(rows_[pos_++]));
 }
@@ -238,14 +238,14 @@ Status TopNExecutor::Init() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> TopNExecutor::Next() {
+Result<std::optional<Tuple>> TopNExecutor::NextImpl() {
   if (pos_ >= rows_.size()) return std::optional<Tuple>{};
   return std::make_optional(std::move(rows_[pos_++]));
 }
 
 // ------------------------------------------------------------------ Limit
 
-Result<std::optional<Tuple>> LimitExecutor::Next() {
+Result<std::optional<Tuple>> LimitExecutor::NextImpl() {
   if (emitted_ >= plan_.n) return std::optional<Tuple>{};
   RECDB_ASSIGN_OR_RETURN(auto next, child_->Next());
   if (!next.has_value()) return std::optional<Tuple>{};

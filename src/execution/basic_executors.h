@@ -11,9 +11,10 @@ namespace recdb {
 class SeqScanExecutor : public Executor {
  public:
   SeqScanExecutor(const SeqScanPlan& plan, ExecContext* ctx)
-      : plan_(plan), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const SeqScanPlan& plan_;
@@ -24,9 +25,10 @@ class SeqScanExecutor : public Executor {
 class FilterExecutor : public Executor {
  public:
   FilterExecutor(const FilterPlan& plan, ExecutorPtr child, ExecContext* ctx)
-      : plan_(plan), child_(std::move(child)), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), child_(std::move(child)), ctx_(ctx) {}
   Status Init() override { return child_->Init(); }
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const FilterPlan& plan_;
@@ -37,12 +39,13 @@ class FilterExecutor : public Executor {
 class ProjectExecutor : public Executor {
  public:
   ProjectExecutor(const ProjectPlan& plan, ExecutorPtr child, ExecContext* ctx)
-      : plan_(plan), child_(std::move(child)), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), child_(std::move(child)), ctx_(ctx) {}
   Status Init() override {
     seen_.clear();
     return child_->Init();
   }
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const ProjectPlan& plan_;
@@ -57,12 +60,13 @@ class NestedLoopJoinExecutor : public Executor {
  public:
   NestedLoopJoinExecutor(const NestedLoopJoinPlan& plan, ExecutorPtr left,
                          ExecutorPtr right, ExecContext* ctx)
-      : plan_(plan),
+      : Executor(plan, ctx),
+        plan_(plan),
         left_(std::move(left)),
         right_(std::move(right)),
         ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const NestedLoopJoinPlan& plan_;
@@ -79,12 +83,13 @@ class HashJoinExecutor : public Executor {
  public:
   HashJoinExecutor(const HashJoinPlan& plan, ExecutorPtr left,
                    ExecutorPtr right, ExecContext* ctx)
-      : plan_(plan),
+      : Executor(plan, ctx),
+        plan_(plan),
         left_(std::move(left)),
         right_(std::move(right)),
         ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const HashJoinPlan& plan_;
@@ -101,9 +106,10 @@ class HashJoinExecutor : public Executor {
 class SortExecutor : public Executor {
  public:
   SortExecutor(const SortPlan& plan, ExecutorPtr child, ExecContext* ctx)
-      : plan_(plan), child_(std::move(child)), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), child_(std::move(child)), ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const SortPlan& plan_;
@@ -117,9 +123,10 @@ class SortExecutor : public Executor {
 class TopNExecutor : public Executor {
  public:
   TopNExecutor(const TopNPlan& plan, ExecutorPtr child, ExecContext* ctx)
-      : plan_(plan), child_(std::move(child)), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), child_(std::move(child)), ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const TopNPlan& plan_;
@@ -132,12 +139,13 @@ class TopNExecutor : public Executor {
 class LimitExecutor : public Executor {
  public:
   LimitExecutor(const LimitPlan& plan, ExecutorPtr child, ExecContext* ctx)
-      : plan_(plan), child_(std::move(child)), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), child_(std::move(child)), ctx_(ctx) {}
   Status Init() override {
     emitted_ = 0;
     return child_->Init();
   }
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const LimitPlan& plan_;

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "planner/plan_node.h"
@@ -34,17 +35,36 @@ struct ExecStats {
 
 struct ExecContext {
   ExecStats stats;
+  /// Actual rows emitted per plan node (EXPLAIN ANALYZE), keyed by node
+  /// address; filled by the Executor::Next wrapper as tuples flow.
+  ActualRowMap actual_rows;
 };
 
 class Executor {
  public:
+  Executor(const PlanNode& node, ExecContext* ctx)
+      : node_(&node), exec_ctx_(ctx) {}
   virtual ~Executor() = default;
 
   /// Prepare (or re-prepare) the iterator. Must be callable repeatedly.
   virtual Status Init() = 0;
 
-  /// Produce the next tuple, or nullopt when exhausted.
-  virtual Result<std::optional<Tuple>> Next() = 0;
+  /// Produce the next tuple, or nullopt when exhausted. Counts emitted
+  /// tuples into ExecContext::actual_rows for EXPLAIN ANALYZE.
+  Result<std::optional<Tuple>> Next() {
+    auto r = NextImpl();
+    if (r.ok() && r.value().has_value() && exec_ctx_ != nullptr) {
+      ++exec_ctx_->actual_rows[node_];
+    }
+    return r;
+  }
+
+ protected:
+  virtual Result<std::optional<Tuple>> NextImpl() = 0;
+
+ private:
+  const PlanNode* node_;
+  ExecContext* exec_ctx_;
 };
 
 using ExecutorPtr = std::unique_ptr<Executor>;

@@ -125,7 +125,7 @@ Status RecommendExecutor::ScoreAllParallel() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> RecommendExecutor::Next() {
+Result<std::optional<Tuple>> RecommendExecutor::NextImpl() {
   if (buffered_) {
     if (buffer_pos_ >= buffer_.size()) return std::optional<Tuple>{};
     return std::make_optional(std::move(buffer_[buffer_pos_++]));
@@ -169,7 +169,7 @@ Status JoinRecommendExecutor::Init() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> JoinRecommendExecutor::Next() {
+Result<std::optional<Tuple>> JoinRecommendExecutor::NextImpl() {
   const RecModel* model = plan_.rec->model();
   const RatingMatrix& snapshot = model->ratings();
   while (true) {
@@ -301,7 +301,7 @@ Status IndexRecommendExecutor::LoadCurrentUser() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> IndexRecommendExecutor::Next() {
+Result<std::optional<Tuple>> IndexRecommendExecutor::NextImpl() {
   while (user_pos_ < users_.size()) {
     if (!loaded_) {
       RECDB_RETURN_NOT_OK(LoadCurrentUser());

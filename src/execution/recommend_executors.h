@@ -17,9 +17,10 @@ namespace recdb {
 class RecommendExecutor : public Executor {
  public:
   RecommendExecutor(const RecommendPlan& plan, ExecContext* ctx)
-      : plan_(plan), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   /// Morsel-parallel scoring over the flattened (user, item) candidate
@@ -45,9 +46,10 @@ class JoinRecommendExecutor : public Executor {
  public:
   JoinRecommendExecutor(const JoinRecommendPlan& plan, ExecutorPtr outer,
                         ExecContext* ctx)
-      : plan_(plan), outer_(std::move(outer)), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), outer_(std::move(outer)), ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   const JoinRecommendPlan& plan_;
@@ -60,9 +62,10 @@ class JoinRecommendExecutor : public Executor {
 class IndexRecommendExecutor : public Executor {
  public:
   IndexRecommendExecutor(const IndexRecommendPlan& plan, ExecContext* ctx)
-      : plan_(plan), ctx_(ctx) {}
+      : Executor(plan, ctx),
+        plan_(plan), ctx_(ctx) {}
   Status Init() override;
-  Result<std::optional<Tuple>> Next() override;
+  Result<std::optional<Tuple>> NextImpl() override;
 
  private:
   /// Load the (item, score) list for users_[user_pos_], from the index when

@@ -99,6 +99,7 @@ enum class StatementKind {
   kDropRecommender,
   kExplain,
   kSet,
+  kAnalyze,
 };
 
 struct Statement {
@@ -181,10 +182,19 @@ struct UpdateStatement : Statement {
   ExprPtr where;  // null = update all rows
 };
 
-/// EXPLAIN <select>
+/// EXPLAIN [ANALYZE] <select>
 struct ExplainStatement : Statement {
   ExplainStatement() : Statement(StatementKind::kExplain) {}
   StatementPtr inner;  // a SelectStatement
+  /// EXPLAIN ANALYZE: execute the query and annotate the plan with actual
+  /// per-node row counts next to the estimates.
+  bool analyze = false;
+};
+
+/// ANALYZE [table] — collect optimizer statistics for one or all tables.
+struct AnalyzeStatement : Statement {
+  AnalyzeStatement() : Statement(StatementKind::kAnalyze) {}
+  std::string table_name;  // empty = every table in the catalog
 };
 
 /// CREATE RECOMMENDER name ON table USERS FROM c ITEMS FROM c RATINGS FROM c

@@ -15,7 +15,7 @@ bool IsReservedKeyword(const std::string& upper) {
       "VALUES", "NULL",   "TRUE",        "FALSE",  "RECOMMEND",
       "RECOMMENDER",      "TO",          "ON",     "USING",  "BETWEEN",
       "IS",     "LIKE",   "DELETE",      "UPDATE", "SET",
-      "EXPLAIN", "GROUP", "HAVING",  "DISTINCT",
+      "EXPLAIN", "GROUP", "HAVING",  "DISTINCT", "ANALYZE",
       // Note: USERS / ITEMS / RATINGS are deliberately NOT reserved — the
       // paper's own example tables are named Users/Movies/Ratings. The
       // CREATE RECOMMENDER parser matches them context-sensitively.

@@ -91,9 +91,10 @@ Result<StatementPtr> Parser::ParseStatement() {
   if (t.IsKeyword("UPDATE")) return ParseUpdate();
   if (t.IsKeyword("EXPLAIN")) return ParseExplain();
   if (t.IsKeyword("SET")) return ParseSet();
+  if (t.IsKeyword("ANALYZE")) return ParseAnalyze();
   return Error(
-      "expected SELECT, CREATE, DROP, INSERT, DELETE, UPDATE, EXPLAIN or "
-      "SET");
+      "expected SELECT, CREATE, DROP, INSERT, DELETE, UPDATE, EXPLAIN, "
+      "ANALYZE or SET");
 }
 
 Result<StatementPtr> Parser::ParseSelect() {
@@ -309,10 +310,21 @@ Result<StatementPtr> Parser::ParseUpdate() {
 Result<StatementPtr> Parser::ParseExplain() {
   RECDB_RETURN_NOT_OK(ExpectKeyword("EXPLAIN"));
   auto stmt = std::make_unique<ExplainStatement>();
+  stmt->analyze = MatchKeyword("ANALYZE");
   if (!Peek().IsKeyword("SELECT")) {
-    return Error("EXPLAIN supports SELECT only");
+    return Error(stmt->analyze ? "EXPLAIN ANALYZE supports SELECT only"
+                               : "EXPLAIN supports SELECT only");
   }
   RECDB_ASSIGN_OR_RETURN(stmt->inner, ParseSelect());
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseAnalyze() {
+  RECDB_RETURN_NOT_OK(ExpectKeyword("ANALYZE"));
+  auto stmt = std::make_unique<AnalyzeStatement>();
+  if (Peek().type == TokenType::kIdentifier) {
+    RECDB_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+  }
   return StatementPtr(std::move(stmt));
 }
 

@@ -42,6 +42,7 @@ class Parser {
   Result<StatementPtr> ParseUpdate();
   Result<StatementPtr> ParseExplain();
   Result<StatementPtr> ParseSet();
+  Result<StatementPtr> ParseAnalyze();
 
   Result<RecommendClause> ParseRecommendClause();
 

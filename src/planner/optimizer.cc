@@ -1,7 +1,10 @@
 #include "planner/optimizer.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_set>
+
+#include "planner/cost_model.h"
 
 namespace recdb {
 
@@ -143,6 +146,10 @@ Result<PlanNodePtr> Optimizer::Optimize(PlanNodePtr plan) {
     bool changed = false;
     RECDB_ASSIGN_OR_RETURN(plan, RewritePass(std::move(plan), &changed));
     if (!changed) break;
+  }
+  if (options_.enable_cost_based) {
+    RECDB_ASSIGN_OR_RETURN(plan, CostPass(std::move(plan)));
+    AnnotatePlan(plan.get(), cost_env_);
   }
   return plan;
 }
@@ -451,6 +458,10 @@ Result<PlanNodePtr> Optimizer::TopNToIndexRecommend(PlanNodePtr node,
   auto* rec = static_cast<RecommendPlan*>(child);
   if (key.column_idx != rec->rating_col_idx) return node;
   if (rec->include_rated) return node;  // index stores unseen items only
+  // An empty index can serve nobody: every lookup would fall back to the
+  // model anyway, so keep the Recommend plan. (With materialized scores the
+  // cost pass still weighs per-user coverage before committing.)
+  if (rec->rec->score_index()->NumUsers() == 0) return node;
   *changed = true;
 
   auto ir = std::make_unique<IndexRecommendPlan>();
@@ -465,6 +476,183 @@ Result<PlanNodePtr> Optimizer::TopNToIndexRecommend(PlanNodePtr node,
   ir->per_user_limit = topn->n;
   topn->children[0] = std::move(ir);
   return node;
+}
+
+// ----------------------------------------------------------------------
+// Phase 2: cost-based reconsideration
+// ----------------------------------------------------------------------
+
+namespace {
+
+void CheckGrounded(const PlanNode& n, bool* any_scan, bool* all_analyzed) {
+  if (n.type == PlanNodeType::kSeqScan) {
+    *any_scan = true;
+    const auto& s = static_cast<const SeqScanPlan&>(n);
+    if (s.table == nullptr || !s.table->stats.has_value()) {
+      *all_analyzed = false;
+    }
+  }
+  for (const auto& c : n.children) CheckGrounded(*c, any_scan, all_analyzed);
+}
+
+/// True when every base table under `node` has ANALYZE statistics (and
+/// there is at least one): the cardinality estimate is grounded in data,
+/// not in the blind kDefaultTableRows guess.
+bool EstimatesGrounded(const PlanNode& node) {
+  bool any_scan = false, all_analyzed = true;
+  CheckGrounded(node, &any_scan, &all_analyzed);
+  return any_scan && all_analyzed;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Optimizer::CostPass(PlanNodePtr node) {
+  for (auto& child : node->children) {
+    RECDB_ASSIGN_OR_RETURN(child, CostPass(std::move(child)));
+  }
+  RECDB_ASSIGN_OR_RETURN(node, ReconsiderItemPushdown(std::move(node)));
+  RECDB_ASSIGN_OR_RETURN(node, ReconsiderJoinRecommend(std::move(node)));
+  RECDB_ASSIGN_OR_RETURN(node, ReconsiderIndexRecommend(std::move(node)));
+  OrderFilterConjuncts(node.get());
+  return node;
+}
+
+Result<PlanNodePtr> Optimizer::ReconsiderItemPushdown(PlanNodePtr node) {
+  if (node->type != PlanNodeType::kFilterRecommend) return node;
+  auto* rec = static_cast<RecommendPlan*>(node.get());
+  if (!rec->item_ids.has_value() || rec->item_ids->empty()) return node;
+  // Only reconsider once ANALYZE has run on the ratings table; without
+  // statistics the plan must match the rule-only optimizer exactly.
+  if (rec->table == nullptr || !rec->table->stats.has_value()) return node;
+
+  const CostParams& p = cost_env_.params;
+  RecStats rs = RecStats::From(*rec->rec);
+  double users = rec->user_ids.has_value()
+                     ? static_cast<double>(rec->user_ids->size())
+                     : rs.num_users;
+  users = std::max(1.0, users);
+  double n_items = static_cast<double>(rec->item_ids->size());
+  double per_user = rec->include_rated ? rs.num_items : rs.avg_unseen;
+  // Pushed-down item list: probe + predict each listed item. Alternative:
+  // predict every candidate once and filter the output (paper Fig. 6 —
+  // FILTERRECOMMEND loses once the predicate stops being selective).
+  double cost_push = users * n_items * (p.predict + p.item_probe);
+  double cost_scan = users * per_user * (p.predict + p.filter_eval);
+  if (cost_push <= cost_scan) return node;
+
+  auto pred = std::make_unique<BoundExpr>();
+  pred->kind = BoundExprKind::kInList;
+  pred->left = BoundExpr::MakeColumn(rec->item_col_idx);
+  for (int64_t id : *rec->item_ids) pred->in_values.push_back(Value::Int(id));
+  rec->item_ids.reset();
+  if (!rec->user_ids.has_value()) rec->type = PlanNodeType::kRecommend;
+  rec->est_rows = rec->est_cost = -1;
+  return WrapFilter(std::move(node), std::move(pred));
+}
+
+Result<PlanNodePtr> Optimizer::ReconsiderJoinRecommend(PlanNodePtr node) {
+  if (node->type != PlanNodeType::kJoinRecommend) return node;
+  auto* jr = static_cast<JoinRecommendPlan*>(node.get());
+  if (jr->children.empty()) return node;
+  PlanNode& outer = *jr->children[0];
+  if (!EstimatesGrounded(outer)) return node;
+
+  const CostParams& p = cost_env_.params;
+  RecStats rs = RecStats::From(*jr->rec);
+  double outer_rows = outer.EstimateRows(cost_env_);
+  double users = static_cast<double>(std::max<size_t>(1, jr->user_ids.size()));
+  // JoinRecommend predicts once per (outer row, user); the hash-join
+  // alternative predicts each unseen item once and probes.
+  double cost_join = outer_rows * users * (p.predict + p.item_probe);
+  double cost_hash = users * rs.avg_unseen * p.predict +
+                     (outer_rows + users * rs.avg_unseen) * p.hash_probe;
+  if (cost_join <= cost_hash) return node;
+
+  size_t outer_w = outer.schema.NumColumns();
+  size_t rec_w = jr->schema.NumColumns() - outer_w;
+  std::vector<ExecColumn> rec_cols(jr->schema.columns().begin(),
+                                   jr->schema.columns().begin() + rec_w);
+  auto rec = std::make_unique<RecommendPlan>(PlanNodeType::kFilterRecommend);
+  rec->rec = jr->rec;
+  rec->alias = jr->alias;
+  rec->user_col_idx = jr->user_col_idx;
+  rec->item_col_idx = jr->item_col_idx;
+  rec->rating_col_idx = jr->rating_col_idx;
+  rec->include_rated = jr->include_rated;
+  rec->user_ids = jr->user_ids;
+  rec->schema = ExecSchema(std::move(rec_cols));
+
+  auto hj = std::make_unique<HashJoinPlan>();
+  hj->schema = jr->schema;
+  hj->left_key = BoundExpr::MakeColumn(jr->item_col_idx);
+  hj->right_key = BoundExpr::MakeColumn(jr->outer_item_col);
+  hj->children.push_back(std::move(rec));
+  hj->children.push_back(std::move(jr->children[0]));
+  return PlanNodePtr(std::move(hj));
+}
+
+Result<PlanNodePtr> Optimizer::ReconsiderIndexRecommend(PlanNodePtr node) {
+  if (node->type != PlanNodeType::kIndexRecommend) return node;
+  auto* ix = static_cast<IndexRecommendPlan*>(node.get());
+
+  const CostParams& p = cost_env_.params;
+  RecStats rs = RecStats::From(*ix->rec);
+  double users = static_cast<double>(std::max<size_t>(1, ix->user_ids.size()));
+  double coverage = IndexCoverageFraction(*ix->rec, ix->user_ids);
+  double served = rs.avg_unseen;
+  if (ix->per_user_limit > 0) {
+    served = std::min(served, static_cast<double>(ix->per_user_limit));
+  }
+  if (ix->item_ids.has_value()) {
+    served = std::min(served, static_cast<double>(ix->item_ids->size()));
+  }
+  // Covered users stream `served` entries from the index; uncovered users
+  // fall back to the model (predict all unseen, then insert the scores).
+  double cost_index =
+      users * (coverage * served * p.index_entry +
+               (1.0 - coverage) * rs.avg_unseen * (p.predict + p.index_entry));
+  double cost_model = users * rs.avg_unseen * (p.predict + p.topn_entry);
+  if (cost_index <= cost_model) return node;
+
+  // Decline the index: recompute from the model; the TopN above still
+  // applies the per-user limit.
+  bool has_users = !ix->user_ids.empty();
+  bool has_items = ix->item_ids.has_value();
+  auto rec = std::make_unique<RecommendPlan>(
+      has_users || has_items ? PlanNodeType::kFilterRecommend
+                             : PlanNodeType::kRecommend);
+  rec->rec = ix->rec;
+  rec->alias = ix->alias;
+  rec->user_col_idx = ix->user_col_idx;
+  rec->item_col_idx = ix->item_col_idx;
+  rec->rating_col_idx = ix->rating_col_idx;
+  rec->schema = ix->schema;
+  if (has_users) rec->user_ids = ix->user_ids;
+  rec->item_ids = ix->item_ids;
+  return PlanNodePtr(std::move(rec));
+}
+
+void Optimizer::OrderFilterConjuncts(PlanNode* node) {
+  if (node->type != PlanNodeType::kFilter || node->children.empty()) return;
+  auto* f = static_cast<FilterPlan*>(node);
+  if (f->predicate == nullptr) return;
+  auto conjuncts = SplitConjuncts(std::move(f->predicate));
+  if (conjuncts.size() > 1) {
+    const PlanNode& input = *node->children[0];
+    std::vector<double> sel(conjuncts.size());
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      sel[i] = EstimateSelectivity(*conjuncts[i], input);
+    }
+    std::vector<size_t> order(conjuncts.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return sel[a] < sel[b]; });
+    std::vector<BoundExprPtr> sorted;
+    sorted.reserve(conjuncts.size());
+    for (size_t i : order) sorted.push_back(std::move(conjuncts[i]));
+    conjuncts = std::move(sorted);
+  }
+  f->predicate = CombineConjuncts(std::move(conjuncts));
 }
 
 }  // namespace recdb

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "planner/exec_schema.h"
@@ -48,6 +49,14 @@ struct SortKey {
   bool desc = false;
 };
 
+/// Cost-model environment (defined in cost_model.h): constant cost
+/// parameters plus live recommender statistics.
+struct CostEnv;
+
+/// EXPLAIN ANALYZE: per-plan-node actual emitted-row counters, keyed by the
+/// node's address (nodes are heap-allocated and stable for a query's life).
+using ActualRowMap = std::unordered_map<const PlanNode*, uint64_t>;
+
 struct PlanNode {
   explicit PlanNode(PlanNodeType t) : type(t) {}
   virtual ~PlanNode() = default;
@@ -56,11 +65,23 @@ struct PlanNode {
   ExecSchema schema;
   std::vector<PlanNodePtr> children;
 
+  /// Cost-phase annotations (negative = not annotated; EXPLAIN omits them).
+  double est_rows = -1;
+  double est_cost = -1;
+
+  /// Estimated output cardinality / cumulative cost, computed bottom-up and
+  /// cached in est_rows / est_cost (implemented in cost_model.cc).
+  double EstimateRows(const CostEnv& env);
+  double EstimateCost(const CostEnv& env);
+
   /// One-line operator description (EXPLAIN output).
   virtual std::string Describe() const;
 
-  /// Multi-line indented plan rendering.
-  std::string ToString(int indent = 0) const;
+  /// Multi-line indented plan rendering. With `actual`, each node line gains
+  /// `(est=N act=M)` (EXPLAIN ANALYZE); otherwise annotated nodes show
+  /// `(est=N)` only.
+  std::string ToString(int indent = 0,
+                       const ActualRowMap* actual = nullptr) const;
 };
 
 /// Sequential heap scan of a base table.
@@ -78,6 +99,8 @@ struct RecommendPlan : PlanNode {
   explicit RecommendPlan(PlanNodeType t = PlanNodeType::kRecommend)
       : PlanNode(t) {}
   Recommender* rec = nullptr;
+  /// Ratings table backing the recommender (for ANALYZE statistics).
+  TableInfo* table = nullptr;
   std::string alias;
   /// Column positions inside `schema` for uid / iid / predicted rating.
   size_t user_col_idx = 0;

@@ -1,8 +1,20 @@
 #include "planner/planner.h"
 
 #include "common/string_util.h"
+#include "common/task_scheduler.h"
 
 namespace recdb {
+
+std::string PlannerOptionsSummary(const PlannerOptions& options) {
+  auto onoff = [](bool b) { return b ? "on" : "off"; };
+  return StringFormat(
+      "options: filter_recommend=%s join_recommend=%s index_recommend=%s "
+      "hash_join=%s cost_based=%s parallelism=%zu",
+      onoff(options.enable_filter_recommend),
+      onoff(options.enable_join_recommend),
+      onoff(options.enable_index_recommend), onoff(options.enable_hash_join),
+      onoff(options.enable_cost_based), TaskScheduler::Global().num_threads());
+}
 
 namespace {
 
@@ -145,6 +157,7 @@ Result<PlanNodePtr> Planner::PlanTableRef(const SelectStatement& stmt,
 
   auto node = std::make_unique<RecommendPlan>();
   node->rec = rec;
+  node->table = table;
   node->alias = ref.EffectiveAlias();
   node->include_rated = options_.include_rated;
   RECDB_ASSIGN_OR_RETURN(node->user_col_idx,

@@ -27,7 +27,17 @@ struct PlannerOptions {
   /// Emit already-rated items with their actual rating (Algorithm 1's
   /// literal behaviour). Default: unseen items only (paper prose).
   bool include_rated = false;
+  /// Phase-2 cost-based reconsideration: using ANALYZE statistics and live
+  /// recommender state, undo a rule rewrite when the alternative is cheaper,
+  /// order filter conjuncts by selectivity, and annotate EXPLAIN with
+  /// est_rows/est_cost. Off = rule-only planning (pre-cost behaviour).
+  bool enable_cost_based = true;
 };
+
+/// One-line summary of the active options for the EXPLAIN header, e.g.
+/// "options: filter_recommend=on join_recommend=on index_recommend=on
+///  hash_join=on cost_based=on parallelism=4".
+std::string PlannerOptionsSummary(const PlannerOptions& options);
 
 struct PlannedQuery {
   PlanNodePtr plan;

@@ -1,0 +1,50 @@
+#include "stats/analyzer.h"
+
+#include <unordered_set>
+
+#include "types/value.h"
+
+namespace recdb {
+
+Result<TableStats> AnalyzeTable(const TableInfo& table) {
+  const size_t ncols = table.schema.NumColumns();
+  TableStats stats;
+  stats.columns.resize(ncols);
+
+  // Distinct tracking and numeric value collection per column.
+  std::vector<std::unordered_set<Value, ValueHash>> distinct(ncols);
+  std::vector<std::vector<double>> numerics(ncols);
+
+  auto it = table.heap->Begin(ncols);
+  while (true) {
+    RECDB_ASSIGN_OR_RETURN(auto next, it.Next());
+    if (!next.has_value()) break;
+    const Tuple& t = next->second;
+    ++stats.row_count;
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& v = t.At(c);
+      if (v.is_null()) {
+        ++stats.columns[c].null_count;
+        continue;
+      }
+      distinct[c].insert(v);
+      if (v.is_numeric()) numerics[c].push_back(v.AsNumeric());
+    }
+  }
+
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnStats& col = stats.columns[c];
+    col.num_rows = stats.row_count;
+    col.distinct_count = distinct[c].size();
+    if (!numerics[c].empty()) {
+      Histogram h = Histogram::Build(numerics[c]);
+      col.has_range = true;
+      col.min = h.min();
+      col.max = h.max();
+      col.histogram = std::move(h);
+    }
+  }
+  return stats;
+}
+
+}  // namespace recdb

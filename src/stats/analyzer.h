@@ -1,0 +1,13 @@
+// ANALYZE: one sequential scan of a table heap that collects TableStats
+// (row count; per-column nulls, distincts, min/max, equi-width histogram).
+#pragma once
+
+#include "stats/table_stats.h"
+#include "storage/catalog.h"
+
+namespace recdb {
+
+/// Scan `table`'s heap once and compute fresh statistics.
+Result<TableStats> AnalyzeTable(const TableInfo& table);
+
+}  // namespace recdb

@@ -1,0 +1,172 @@
+#include "stats/table_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recdb {
+
+Histogram Histogram::Build(const std::vector<double>& values,
+                           size_t num_buckets) {
+  Histogram h;
+  if (values.empty() || num_buckets == 0) return h;
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  h.min_ = *lo;
+  h.max_ = *hi;
+  h.total_ = values.size();
+  if (h.min_ == h.max_) {
+    // Single-value column: one bucket holding everything. Width-zero ranges
+    // would otherwise divide by zero in the interpolators.
+    h.buckets_.assign(1, h.total_);
+    return h;
+  }
+  h.buckets_.assign(num_buckets, 0);
+  double width = (h.max_ - h.min_) / static_cast<double>(num_buckets);
+  for (double v : values) {
+    size_t b = static_cast<size_t>((v - h.min_) / width);
+    if (b >= num_buckets) b = num_buckets - 1;  // v == max
+    ++h.buckets_[b];
+  }
+  return h;
+}
+
+double Histogram::FractionBelow(double x) const {
+  if (total_ == 0) return 0;
+  if (x <= min_) return 0;
+  if (x > max_) return 1.0;
+  if (min_ == max_) return 0;  // all values equal; x in (min, max] => none below
+  double width = (max_ - min_) / static_cast<double>(buckets_.size());
+  size_t b = static_cast<size_t>((x - min_) / width);
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  uint64_t below = 0;
+  for (size_t i = 0; i < b; ++i) below += buckets_[i];
+  double in_bucket_frac = (x - (min_ + b * width)) / width;
+  double est = static_cast<double>(below) +
+               in_bucket_frac * static_cast<double>(buckets_[b]);
+  return std::clamp(est / static_cast<double>(total_), 0.0, 1.0);
+}
+
+double Histogram::FractionEqual(double x) const {
+  if (total_ == 0) return 0;
+  if (x < min_ || x > max_) return 0;
+  if (min_ == max_) return 1.0;
+  double width = (max_ - min_) / static_cast<double>(buckets_.size());
+  size_t b = static_cast<size_t>((x - min_) / width);
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  // The bucket's mass spread uniformly across its width, one "point" worth.
+  double bucket_frac =
+      static_cast<double>(buckets_[b]) / static_cast<double>(total_);
+  return std::clamp(bucket_frac / std::max(width, 1.0), 0.0, 1.0);
+}
+
+void Histogram::Serialize(ByteWriter* w) const {
+  w->Num(min_);
+  w->Num(max_);
+  w->Num(total_);
+  w->Num(static_cast<uint32_t>(buckets_.size()));
+  for (uint64_t b : buckets_) w->Num(b);
+}
+
+Result<Histogram> Histogram::Deserialize(ByteReader* r) {
+  Histogram h;
+  RECDB_ASSIGN_OR_RETURN(h.min_, r->Num<double>());
+  RECDB_ASSIGN_OR_RETURN(h.max_, r->Num<double>());
+  RECDB_ASSIGN_OR_RETURN(h.total_, r->Num<uint64_t>());
+  RECDB_ASSIGN_OR_RETURN(uint32_t n, r->Num<uint32_t>());
+  if (n > (1u << 16)) return Status::DataLoss("histogram too wide");
+  h.buckets_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RECDB_ASSIGN_OR_RETURN(h.buckets_[i], r->Num<uint64_t>());
+  }
+  return h;
+}
+
+double ColumnStats::EqSelectivity() const {
+  if (num_rows == 0) return 1.0;  // empty table: anything * 0 rows is 0
+  if (distinct_count == 0) return kDefaultEqSelectivity;
+  return NonNullFraction() / static_cast<double>(distinct_count);
+}
+
+double ColumnStats::RangeSelectivity(BinaryOp op, double x) const {
+  if (num_rows == 0) return 1.0;
+  double below;
+  if (histogram.has_value() && !histogram->empty()) {
+    below = histogram->FractionBelow(x);
+  } else if (has_range && max > min) {
+    below = std::clamp((x - min) / (max - min), 0.0, 1.0);
+  } else if (has_range) {
+    below = x > min ? 1.0 : 0.0;  // single-value column
+  } else {
+    return kDefaultRangeSelectivity;
+  }
+  double eq = histogram.has_value() ? histogram->FractionEqual(x) : 0.0;
+  double frac;
+  switch (op) {
+    case BinaryOp::kLt:
+      frac = below;
+      break;
+    case BinaryOp::kLe:
+      frac = below + eq;
+      break;
+    case BinaryOp::kGt:
+      frac = 1.0 - below - eq;
+      break;
+    case BinaryOp::kGe:
+      frac = 1.0 - below;
+      break;
+    default:
+      return kDefaultRangeSelectivity;
+  }
+  return std::clamp(frac, 0.0, 1.0) * NonNullFraction();
+}
+
+double ColumnStats::InListSelectivity(size_t n) const {
+  return std::min(1.0, static_cast<double>(n) * EqSelectivity());
+}
+
+void ColumnStats::Serialize(ByteWriter* w) const {
+  w->Num(num_rows);
+  w->Num(null_count);
+  w->Num(distinct_count);
+  w->Num(static_cast<uint8_t>(has_range ? 1 : 0));
+  w->Num(min);
+  w->Num(max);
+  w->Num(static_cast<uint8_t>(histogram.has_value() ? 1 : 0));
+  if (histogram.has_value()) histogram->Serialize(w);
+}
+
+Result<ColumnStats> ColumnStats::Deserialize(ByteReader* r) {
+  ColumnStats c;
+  RECDB_ASSIGN_OR_RETURN(c.num_rows, r->Num<uint64_t>());
+  RECDB_ASSIGN_OR_RETURN(c.null_count, r->Num<uint64_t>());
+  RECDB_ASSIGN_OR_RETURN(c.distinct_count, r->Num<uint64_t>());
+  RECDB_ASSIGN_OR_RETURN(uint8_t has_range, r->Num<uint8_t>());
+  c.has_range = has_range != 0;
+  RECDB_ASSIGN_OR_RETURN(c.min, r->Num<double>());
+  RECDB_ASSIGN_OR_RETURN(c.max, r->Num<double>());
+  RECDB_ASSIGN_OR_RETURN(uint8_t has_hist, r->Num<uint8_t>());
+  if (has_hist != 0) {
+    RECDB_ASSIGN_OR_RETURN(auto h, Histogram::Deserialize(r));
+    c.histogram = std::move(h);
+  }
+  return c;
+}
+
+void TableStats::Serialize(ByteWriter* w) const {
+  w->Num(row_count);
+  w->Num(static_cast<uint32_t>(columns.size()));
+  for (const auto& c : columns) c.Serialize(w);
+}
+
+Result<TableStats> TableStats::Deserialize(ByteReader* r) {
+  TableStats t;
+  RECDB_ASSIGN_OR_RETURN(t.row_count, r->Num<uint64_t>());
+  RECDB_ASSIGN_OR_RETURN(uint32_t n, r->Num<uint32_t>());
+  if (n > (1u << 12)) return Status::DataLoss("table stats too wide");
+  for (uint32_t i = 0; i < n; ++i) {
+    RECDB_ASSIGN_OR_RETURN(auto c, ColumnStats::Deserialize(r));
+    t.columns.push_back(std::move(c));
+  }
+  return t;
+}
+
+}  // namespace recdb

@@ -1,0 +1,98 @@
+// Table statistics for cost-based planning (collected by ANALYZE).
+//
+// Per table: row count at analysis time. Per column: null count, distinct
+// count, numeric min/max and an equi-width histogram. The planner turns
+// these into predicate selectivities; every estimator degrades to a sane
+// constant when statistics are missing, empty, or stale, and none of them
+// can divide by zero.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "parser/ast.h"  // BinaryOp
+
+namespace recdb {
+
+/// Equi-width histogram over a numeric column's non-null values.
+class Histogram {
+ public:
+  static constexpr size_t kDefaultBuckets = 32;
+
+  /// Build from raw values (empty input yields an empty histogram).
+  static Histogram Build(const std::vector<double>& values,
+                         size_t num_buckets = kDefaultBuckets);
+
+  bool empty() const { return total_ == 0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  uint64_t total() const { return total_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  /// Estimated fraction of values strictly below `x` (linear interpolation
+  /// inside the containing bucket). Clamped to [0, 1]; 0 on an empty
+  /// histogram.
+  double FractionBelow(double x) const;
+
+  /// Estimated fraction of values equal to `x` (its bucket's share spread
+  /// over the bucket width); falls back to 0 outside the range.
+  double FractionEqual(double x) const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<Histogram> Deserialize(ByteReader* r);
+
+ private:
+  double min_ = 0;
+  double max_ = 0;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+/// Statistics of one column, as of the last ANALYZE.
+struct ColumnStats {
+  uint64_t num_rows = 0;  // rows scanned (table row count at ANALYZE time)
+  uint64_t null_count = 0;
+  uint64_t distinct_count = 0;
+  bool has_range = false;  // numeric min/max below are valid
+  double min = 0;
+  double max = 0;
+  std::optional<Histogram> histogram;  // numeric columns with values only
+
+  double NonNullFraction() const {
+    if (num_rows == 0) return 1.0;
+    return static_cast<double>(num_rows - null_count) /
+           static_cast<double>(num_rows);
+  }
+
+  /// Selectivity of `col = const`. Uniformity over distinct values.
+  double EqSelectivity() const;
+
+  /// Selectivity of `col <op> x` for </<=/>/>= against a numeric constant.
+  double RangeSelectivity(BinaryOp op, double x) const;
+
+  /// Selectivity of `col IN (n values)` (n * eq, capped).
+  double InListSelectivity(size_t n) const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<ColumnStats> Deserialize(ByteReader* r);
+};
+
+/// Statistics of one table (parallel to its schema's columns).
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<TableStats> Deserialize(ByteReader* r);
+};
+
+/// Default selectivities used when no statistics apply.
+inline constexpr double kDefaultEqSelectivity = 0.1;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+inline constexpr double kDefaultSelectivity = 0.25;
+
+}  // namespace recdb

@@ -6,7 +6,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "common/status.h"
+#include "stats/table_stats.h"
 #include "storage/table_heap.h"
 #include "types/schema.h"
 
@@ -17,6 +20,9 @@ struct TableInfo {
   Schema schema;
   std::unique_ptr<TableHeap> heap;
   uint32_t table_id = 0;
+  /// Optimizer statistics from the last ANALYZE (absent until then);
+  /// persisted through the catalog meta page.
+  std::optional<TableStats> stats;
 };
 
 class Catalog {

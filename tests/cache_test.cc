@@ -240,6 +240,16 @@ TEST(CacheManagerTest, EndToEndThroughRecDB) {
   auto mgr = db.GetCacheManager("r", /*hotness_threshold=*/0.0);
   ASSERT_TRUE(mgr.ok());
 
+  // Materialize an unrelated user so the IndexRecommend rewrite fires
+  // (empty index suppresses it), and force the operator past the cost pass
+  // so the first query for the still-uncached user 1 records a miss.
+  {
+    auto r = db.GetRecommender("r");
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value()->MaterializeUser(5).ok());
+  }
+  db.mutable_planner_options()->enable_cost_based = false;
+
   const std::string q =
       "SELECT R.iid, R.ratingval FROM Ratings AS R "
       "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "

@@ -234,12 +234,22 @@ TEST_F(EngineTest, IndexRecommendServesMaterializedScores) {
 }
 
 TEST_F(EngineTest, IndexRecommendFallsBackOnCacheMiss) {
-  // No materialization at all: IndexRecommend must still answer correctly.
+  // The queried user is NOT materialized: IndexRecommend must fall back to
+  // the model and still answer correctly. Materialize a different user so
+  // the index is non-empty (an empty index suppresses the rewrite) and
+  // force the operator past the cost pass, which would otherwise decline
+  // it at zero coverage of user 9.
+  auto rec = db_->GetRecommender("GeneralRec");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec.value()->MaterializeUser(3).ok());
+  db_->mutable_planner_options()->enable_cost_based = false;
+
   const std::string sql =
       "SELECT R.iid, R.ratingval FROM Ratings AS R "
       "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
       "WHERE R.uid = 9 ORDER BY R.ratingval DESC LIMIT 5";
   auto indexed = Exec(sql);
+  db_->mutable_planner_options()->enable_cost_based = true;
   EXPECT_EQ(indexed.stats.index_misses, 1u);
   EXPECT_GT(indexed.stats.predictions, 0u);
   ASSERT_EQ(indexed.NumRows(), 5u);

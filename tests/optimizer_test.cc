@@ -166,6 +166,13 @@ TEST_F(OptimizerTest, JoinRecommendFiresWithTablesInEitherOrder) {
 }
 
 TEST_F(OptimizerTest, TopNBecomesIndexRecommendOnlyForScoreDesc) {
+  // Materialize the queried user so the rewrite is cost-justified (an empty
+  // index short-circuits the rule; zero coverage makes the cost pass
+  // decline it — both covered by dedicated tests below).
+  auto rec = db_->GetRecommender("r");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec.value()->MaterializeUser(1).ok());
+
   std::string desc_score = Plan(
       "SELECT R.iid FROM Ratings AS R "
       "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
@@ -203,6 +210,107 @@ TEST_F(OptimizerTest, FilterPushdownThroughJoinToBaseTables) {
   EXPECT_NE(filter1, std::string::npos) << plan;
   size_t filter2 = plan.find("Filter", filter1 + 1);
   EXPECT_NE(filter2, std::string::npos) << plan;
+}
+
+// --- cost-based phase (requires ANALYZE statistics) ---
+
+TEST_F(OptimizerTest, ItemPushdownFlipsWithSelectivity) {
+  // 28 of 30 items: pushing the list probes nearly the whole catalog per
+  // user, so after ANALYZE the cost pass prefers a full Recommend with a
+  // post-filter (paper Fig. 6 crossover). 3 of 30 stays pushed.
+  std::string wide_list = "1";
+  for (int m = 2; m <= 28; ++m) wide_list += "," + std::to_string(m);
+  const std::string wide_sql =
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.iid IN (" + wide_list + ")";
+  const std::string narrow_sql =
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.iid IN (1,2,3)";
+
+  // Without statistics the rule-only plan stands, even for the wide list.
+  std::string before = Plan(wide_sql);
+  EXPECT_NE(before.find("FilterRecommend"), std::string::npos) << before;
+
+  auto before_rows = Exec(wide_sql);
+  Exec("ANALYZE Ratings");
+
+  std::string after = Plan(wide_sql);
+  EXPECT_EQ(after.find("FilterRecommend"), std::string::npos) << after;
+  EXPECT_NE(after.find("Filter"), std::string::npos) << after;
+  EXPECT_NE(after.find("Recommend"), std::string::npos) << after;
+
+  // The selective list is still cheaper pushed down.
+  std::string narrow = Plan(narrow_sql);
+  EXPECT_NE(narrow.find("FilterRecommend"), std::string::npos) << narrow;
+
+  // Same answer either way.
+  auto after_rows = Exec(wide_sql);
+  ASSERT_EQ(before_rows.NumRows(), after_rows.NumRows());
+}
+
+TEST_F(OptimizerTest, IndexRecommendDeclinedAtLowCoverage) {
+  // The index holds user 5 only; querying user 1 would fall back to the
+  // model for every lookup, so the cost pass declines the rewrite...
+  auto rec = db_->GetRecommender("r");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec.value()->MaterializeUser(5).ok());
+  const std::string sql =
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 5";
+  std::string declined = Plan(sql);
+  EXPECT_EQ(declined.find("IndexRecommend"), std::string::npos) << declined;
+  EXPECT_NE(declined.find("TopN"), std::string::npos) << declined;
+
+  // ...with cost-based planning off, the rule fires unconditionally...
+  db_->mutable_planner_options()->enable_cost_based = false;
+  std::string forced = Plan(sql);
+  EXPECT_NE(forced.find("IndexRecommend"), std::string::npos) << forced;
+  db_->mutable_planner_options()->enable_cost_based = true;
+
+  // ...and once the queried user is covered the index wins on cost too.
+  ASSERT_TRUE(rec.value()->MaterializeUser(1).ok());
+  std::string kept = Plan(sql);
+  EXPECT_NE(kept.find("IndexRecommend"), std::string::npos) << kept;
+}
+
+TEST_F(OptimizerTest, ExplainShowsOptionsHeaderAndEstimates) {
+  std::string plan = Plan(
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 3");
+  EXPECT_EQ(plan.rfind("options: ", 0), 0u) << plan;
+  EXPECT_NE(plan.find("cost_based=on"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("parallelism="), std::string::npos) << plan;
+  EXPECT_NE(plan.find("est="), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("act="), std::string::npos)
+      << "plain EXPLAIN must not execute: " << plan;
+
+  // With cost-based planning off, no estimates are annotated.
+  db_->mutable_planner_options()->enable_cost_based = false;
+  std::string bare = Plan(
+      "SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 3");
+  EXPECT_EQ(bare.find("est="), std::string::npos) << bare;
+  EXPECT_NE(bare.find("cost_based=off"), std::string::npos) << bare;
+  db_->mutable_planner_options()->enable_cost_based = true;
+}
+
+TEST_F(OptimizerTest, ExplainAnalyzeShowsActualRows) {
+  Exec("ANALYZE");
+  auto rs = Exec(
+      "EXPLAIN ANALYZE SELECT R.iid FROM Ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF "
+      "WHERE R.uid = 3 ORDER BY R.ratingval DESC LIMIT 5");
+  std::string text;
+  for (size_t i = 0; i < rs.NumRows(); ++i) {
+    text += rs.At(i, 0).AsString() + "\n";
+  }
+  EXPECT_NE(text.find("est="), std::string::npos) << text;
+  EXPECT_NE(text.find("act=5"), std::string::npos) << text;
 }
 
 // Property-style sweep: random conjunctive queries must return identical

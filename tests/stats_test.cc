@@ -1,0 +1,249 @@
+// Statistics subsystem tests: histogram construction and interpolation,
+// selectivity estimation edge cases (empty table, single-value column,
+// NULL-heavy column), ANALYZE staleness behaviour, serialization
+// round-trips, and persistence of statistics across Close/Open.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "api/recdb.h"
+#include "stats/analyzer.h"
+#include "stats/table_stats.h"
+
+namespace recdb {
+namespace {
+
+// --- Histogram ---
+
+TEST(HistogramTest, EmptyInputYieldsEmptyHistogram) {
+  Histogram h = Histogram::Build({});
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(0.0), 0.0);
+}
+
+TEST(HistogramTest, SingleValueColumnUsesOneBucket) {
+  Histogram h = Histogram::Build({5.0, 5.0, 5.0, 5.0});
+  ASSERT_FALSE(h.empty());
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  ASSERT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.buckets()[0], 4u);
+  // No division by the zero-width range.
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(4.0), 0.0);
+}
+
+TEST(HistogramTest, UniformValuesInterpolateLinearly) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(static_cast<double>(i));
+  Histogram h = Histogram::Build(vals);
+  EXPECT_EQ(h.total(), 1000u);
+  EXPECT_NEAR(h.FractionBelow(250.0), 0.25, 0.05);
+  EXPECT_NEAR(h.FractionBelow(750.0), 0.75, 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(-10.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5000.0), 1.0);
+}
+
+TEST(HistogramTest, SerializeRoundTrips) {
+  Histogram h = Histogram::Build({1.0, 2.0, 2.0, 3.0, 9.0});
+  ByteWriter w;
+  h.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto back = Histogram::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back.value().min(), h.min());
+  EXPECT_DOUBLE_EQ(back.value().max(), h.max());
+  EXPECT_EQ(back.value().total(), h.total());
+  EXPECT_EQ(back.value().buckets(), h.buckets());
+}
+
+// --- ColumnStats selectivities ---
+
+TEST(ColumnStatsTest, EmptyTableNeverDividesByZero) {
+  ColumnStats c;  // num_rows == 0
+  EXPECT_DOUBLE_EQ(c.NonNullFraction(), 1.0);
+  // Any selectivity is fine on 0 rows (0 * anything == 0); it must just be
+  // finite and in range.
+  for (double s : {c.EqSelectivity(), c.InListSelectivity(5),
+                   c.RangeSelectivity(BinaryOp::kLt, 3.0)}) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ColumnStatsTest, SingleValueColumnSelectivities) {
+  ColumnStats c;
+  c.num_rows = 100;
+  c.distinct_count = 1;
+  c.has_range = true;
+  c.min = c.max = 7.0;
+  c.histogram = Histogram::Build(std::vector<double>(100, 7.0));
+  EXPECT_DOUBLE_EQ(c.EqSelectivity(), 1.0);
+  EXPECT_DOUBLE_EQ(c.RangeSelectivity(BinaryOp::kLt, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.RangeSelectivity(BinaryOp::kLe, 7.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.RangeSelectivity(BinaryOp::kGt, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.RangeSelectivity(BinaryOp::kGe, 7.0), 1.0);
+}
+
+TEST(ColumnStatsTest, NullHeavyColumnScalesByNonNullFraction) {
+  ColumnStats c;
+  c.num_rows = 100;
+  c.null_count = 90;
+  c.distinct_count = 10;
+  EXPECT_DOUBLE_EQ(c.NonNullFraction(), 0.1);
+  // = over 10 distinct among the 10% non-null rows.
+  EXPECT_DOUBLE_EQ(c.EqSelectivity(), 0.01);
+  EXPECT_LE(c.InListSelectivity(1000), 1.0);  // capped
+  // All-null column: estimators stay finite with distinct_count == 0.
+  ColumnStats all_null;
+  all_null.num_rows = 50;
+  all_null.null_count = 50;
+  EXPECT_TRUE(std::isfinite(all_null.EqSelectivity()));
+  EXPECT_TRUE(
+      std::isfinite(all_null.RangeSelectivity(BinaryOp::kGt, 1.0)));
+}
+
+TEST(ColumnStatsTest, SerializeRoundTrips) {
+  ColumnStats c;
+  c.num_rows = 42;
+  c.null_count = 7;
+  c.distinct_count = 12;
+  c.has_range = true;
+  c.min = -3.5;
+  c.max = 19.25;
+  c.histogram = Histogram::Build({-3.5, 0.0, 1.0, 19.25});
+  ByteWriter w;
+  c.Serialize(&w);
+  ByteReader r(w.bytes());
+  auto back = ColumnStats::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_rows, c.num_rows);
+  EXPECT_EQ(back.value().null_count, c.null_count);
+  EXPECT_EQ(back.value().distinct_count, c.distinct_count);
+  EXPECT_TRUE(back.value().has_range);
+  EXPECT_DOUBLE_EQ(back.value().min, c.min);
+  EXPECT_DOUBLE_EQ(back.value().max, c.max);
+  ASSERT_TRUE(back.value().histogram.has_value());
+  EXPECT_EQ(back.value().histogram->total(), 4u);
+}
+
+// --- ANALYZE through the engine ---
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<RecDB>();
+    Exec("CREATE TABLE T (a INT, b DOUBLE, c TEXT)");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    auto r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    if (!r.ok()) return ResultSet{};
+    return std::move(r).value();
+  }
+
+  const TableStats& Stats() {
+    auto t = db_->catalog()->GetTable("T");
+    EXPECT_TRUE(t.ok());
+    EXPECT_TRUE(t.value()->stats.has_value());
+    return *t.value()->stats;
+  }
+
+  std::unique_ptr<RecDB> db_;
+};
+
+TEST_F(AnalyzeTest, EmptyTableAnalyzesCleanly) {
+  Exec("ANALYZE T");
+  EXPECT_EQ(Stats().row_count, 0u);
+  ASSERT_EQ(Stats().columns.size(), 3u);
+  EXPECT_EQ(Stats().columns[0].distinct_count, 0u);
+  EXPECT_FALSE(Stats().columns[0].has_range);
+}
+
+TEST_F(AnalyzeTest, CollectsNullsDistinctsAndRanges) {
+  std::vector<std::vector<Value>> rows;
+  for (int i = 1; i <= 10; ++i) {
+    rows.push_back({Value::Int(i % 3),
+                    i % 2 == 0 ? Value::Null() : Value::Double(i * 0.5),
+                    Value::String(i <= 5 ? "x" : "y")});
+  }
+  ASSERT_TRUE(db_->BulkInsert("T", rows).ok());
+  Exec("ANALYZE T");
+  const TableStats& s = Stats();
+  EXPECT_EQ(s.row_count, 10u);
+  EXPECT_EQ(s.columns[0].distinct_count, 3u);  // 0, 1, 2
+  EXPECT_EQ(s.columns[1].null_count, 5u);
+  EXPECT_TRUE(s.columns[1].has_range);
+  EXPECT_DOUBLE_EQ(s.columns[1].min, 0.5);
+  EXPECT_DOUBLE_EQ(s.columns[1].max, 4.5);
+  // TEXT column: distinct count but no numeric range or histogram.
+  EXPECT_EQ(s.columns[2].distinct_count, 2u);
+  EXPECT_FALSE(s.columns[2].has_range);
+  EXPECT_FALSE(s.columns[2].histogram.has_value());
+}
+
+TEST_F(AnalyzeTest, StatsAreStaleUntilReanalyzed) {
+  Exec("INSERT INTO T VALUES (1, 1.0, 'a')");
+  Exec("ANALYZE T");
+  EXPECT_EQ(Stats().row_count, 1u);
+  // New inserts do not touch the snapshot until the next ANALYZE; the
+  // planner keeps working off the stale (but internally consistent) stats.
+  Exec("INSERT INTO T VALUES (2, 2.0, 'b')");
+  Exec("INSERT INTO T VALUES (3, 3.0, 'c')");
+  EXPECT_EQ(Stats().row_count, 1u);
+  EXPECT_EQ(Stats().columns[0].distinct_count, 1u);
+  Exec("ANALYZE");  // bare ANALYZE covers every table
+  EXPECT_EQ(Stats().row_count, 3u);
+  EXPECT_EQ(Stats().columns[0].distinct_count, 3u);
+}
+
+TEST_F(AnalyzeTest, AnalyzeUnknownTableFails) {
+  auto r = db_->Execute("ANALYZE NoSuchTable");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(StatsPersistenceTest, StatsSurviveCloseAndReopen) {
+  std::string path = ::testing::TempDir() + "recdb_stats_persist.db";
+  std::remove(path.c_str());
+  {
+    auto db_or = RecDB::Open(path);
+    ASSERT_TRUE(db_or.ok()) << db_or.status();
+    auto db = std::move(db_or).value();
+    ASSERT_TRUE(
+        db->Execute("CREATE TABLE S (k INT, v DOUBLE)").ok());
+    std::vector<std::vector<Value>> rows;
+    for (int i = 0; i < 25; ++i) {
+      rows.push_back({Value::Int(i % 5), Value::Double(i)});
+    }
+    ASSERT_TRUE(db->BulkInsert("S", rows).ok());
+    ASSERT_TRUE(db->Execute("ANALYZE S").ok());
+    Status st = db->Close();
+    ASSERT_TRUE(st.ok()) << st;
+  }
+  auto db_or = RecDB::Open(path);
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  auto db = std::move(db_or).value();
+  auto table = db->catalog()->GetTable("S");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table.value()->stats.has_value());
+  const TableStats& s = *table.value()->stats;
+  EXPECT_EQ(s.row_count, 25u);
+  ASSERT_EQ(s.columns.size(), 2u);
+  EXPECT_EQ(s.columns[0].distinct_count, 5u);
+  EXPECT_DOUBLE_EQ(s.columns[1].min, 0.0);
+  EXPECT_DOUBLE_EQ(s.columns[1].max, 24.0);
+  ASSERT_TRUE(s.columns[1].histogram.has_value());
+  EXPECT_EQ(s.columns[1].histogram->total(), 25u);
+  ASSERT_TRUE(db->Close().ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace recdb
