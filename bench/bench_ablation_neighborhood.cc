@@ -17,8 +17,10 @@ constexpr Which kWhich = Which::kMovieLens;
 void BM_Neighborhood(benchmark::State& state) {
   int32_t top_k = static_cast<int32_t>(state.range(0));
   BenchEnv& env = Env(kWhich);
-  auto snapshot =
-      env.GetRecommender(RecAlgorithm::kItemCosCF)->model()->ratings_ptr();
+  // Build wants a mutable matrix (it freezes the CSR form); copy the
+  // shared snapshot rather than mutating it under the env's model.
+  auto snapshot = std::make_shared<RatingMatrix>(
+      *env.GetRecommender(RecAlgorithm::kItemCosCF)->model()->ratings_ptr());
 
   SimilarityOptions opts;
   opts.top_k = top_k;

@@ -1,0 +1,161 @@
+// Ablation — scalar vs batched scoring kernels (DESIGN.md §10).
+//
+// For each algorithm, score a fixed user sample against every item two ways:
+//   scalar — one model->Predict(user, item) call per candidate (the batch-of-
+//            one wrapper, i.e. the pre-batching hot-path shape)
+//   batch  — one model->PredictBatch(user, all items) call per user
+// Both variants checksum the produced doubles bit-for-bit; any divergence
+// fails the run (the kernels' golden-equality contract). Besides the usual
+// benchmark output the binary writes BENCH_kernels.json with the measured
+// rows/sec and the batch/scalar speedup per algorithm.
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+namespace recdb::bench {
+namespace {
+
+constexpr Which kWhich = Which::kMovieLens;
+constexpr size_t kNumUsers = 8;
+
+struct KernelStat {
+  double rows_per_sec = 0;
+  uint64_t checksum = 0;
+  bool set = false;
+};
+
+/// Results keyed "<algo>/<scalar|batch>", filled by the benchmarks and
+/// drained by WriteKernelsJson() after the run.
+std::map<std::string, KernelStat>& Stats() {
+  static std::map<std::string, KernelStat> s;
+  return s;
+}
+
+uint64_t MixDouble(uint64_t h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  h ^= bits;
+  h *= 1099511628211ull;
+  return h;
+}
+
+void BM_Kernel(benchmark::State& state, RecAlgorithm algo, bool batch) {
+  BenchEnv& env = Env(kWhich);
+  const RecModel* model = env.GetRecommender(algo)->model();
+  const std::vector<int64_t> users = env.SampleUsers(kNumUsers, 11);
+  const std::vector<int64_t>& items = model->ratings().item_ids();
+  const size_t rows_per_iter = users.size() * items.size();
+
+  uint64_t checksum = 0;
+  std::vector<double> out(items.size(), 0.0);
+  double total_seconds = 0;
+  size_t rows = 0;
+  for (auto _ : state) {
+    checksum = 1469598103934665603ull;
+    Stopwatch watch;
+    if (batch) {
+      for (int64_t user : users) {
+        model->PredictBatch(user, items, out);
+        for (double v : out) checksum = MixDouble(checksum, v);
+      }
+    } else {
+      for (int64_t user : users) {
+        for (size_t i = 0; i < items.size(); ++i) {
+          checksum = MixDouble(checksum, model->Predict(user, items[i]));
+        }
+      }
+    }
+    total_seconds += watch.ElapsedSeconds();
+    rows += rows_per_iter;
+    benchmark::DoNotOptimize(checksum);
+  }
+
+  KernelStat& stat =
+      Stats()[std::string(RecAlgorithmToString(algo)) +
+              (batch ? "/batch" : "/scalar")];
+  stat.rows_per_sec = total_seconds > 0 ? rows / total_seconds : 0;
+  stat.checksum = checksum;
+  stat.set = true;
+
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+  state.counters["rows_per_sec"] = stat.rows_per_sec;
+  state.SetLabel(std::string(WhichName(kWhich)) + "/" +
+                 RecAlgorithmToString(algo) + (batch ? "/batch" : "/scalar"));
+}
+
+void RegisterAll() {
+  const double min_time = SmokeMode() ? 0.01 : 0.5;
+  for (RecAlgorithm algo : {RecAlgorithm::kItemCosCF, RecAlgorithm::kUserCosCF,
+                            RecAlgorithm::kSVD}) {
+    for (bool batch : {false, true}) {
+      const std::string name = std::string("Kernels/") +
+                               RecAlgorithmToString(algo) +
+                               (batch ? "/batch" : "/scalar");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [algo, batch](benchmark::State& state) {
+            BM_Kernel(state, algo, batch);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(min_time);
+    }
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+/// Emit BENCH_kernels.json and verify the scalar/batch checksums agree.
+/// Returns false (process failure, so the smoke test trips) on divergence.
+bool WriteKernelsJson() {
+  std::string results;
+  bool all_match = true;
+  for (RecAlgorithm algo : {RecAlgorithm::kItemCosCF, RecAlgorithm::kUserCosCF,
+                            RecAlgorithm::kSVD}) {
+    const KernelStat& scalar =
+        Stats()[std::string(RecAlgorithmToString(algo)) + "/scalar"];
+    const KernelStat& batch =
+        Stats()[std::string(RecAlgorithmToString(algo)) + "/batch"];
+    if (!scalar.set || !batch.set) continue;  // filtered out by --benchmark_filter
+    const bool match = scalar.checksum == batch.checksum;
+    if (!match) {
+      std::fprintf(stderr,
+                   "bench_kernels: CHECKSUM MISMATCH for %s — batch kernel "
+                   "diverged from scalar\n",
+                   RecAlgorithmToString(algo));
+      all_match = false;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"algorithm\": \"%s\", \"scalar_rows_per_sec\": %.1f, "
+                  "\"batch_rows_per_sec\": %.1f, \"speedup\": %.3f, "
+                  "\"checksum_match\": %s}",
+                  RecAlgorithmToString(algo), scalar.rows_per_sec,
+                  batch.rows_per_sec,
+                  scalar.rows_per_sec > 0
+                      ? batch.rows_per_sec / scalar.rows_per_sec
+                      : 0.0,
+                  match ? "true" : "false");
+    if (!results.empty()) results += ",\n";
+    results += buf;
+  }
+  std::ofstream f("BENCH_kernels.json");
+  f << "{\n  \"config\": {\"dataset\": \"" << WhichName(kWhich)
+    << "\", \"users\": " << kNumUsers << ", \"threads\": 1, \"smoke\": "
+    << (SmokeMode() ? "true" : "false") << "},\n  \"results\": [\n"
+    << results << "\n  ]\n}\n";
+  return all_match;
+}
+
+}  // namespace
+}  // namespace recdb::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return recdb::bench::WriteKernelsJson() ? 0 : 1;
+}

@@ -43,6 +43,9 @@ void PrintHelp() {
 int main(int argc, char** argv) {
   RecDB db;
   bool timing = true;
+  // Session totals for the batch scoring layer (summed over statements).
+  unsigned long long predict_calls = 0;
+  unsigned long long predict_batches = 0;
 
   if (argc > 1) {
     std::string which = argv[1];
@@ -124,6 +127,8 @@ int main(int argc, char** argv) {
             sched.num_threads(),
             static_cast<unsigned long long>(sched.total_tasks()),
             sched.total_worker_ms());
+        std::printf("  scoring: %llu predictions in %llu batches\n",
+                    predict_calls, predict_batches);
       } else if (trimmed == "\\timing") {
         timing = !timing;
         std::printf("timing %s\n", timing ? "on" : "off");
@@ -149,6 +154,8 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", result.status().ToString().c_str());
     } else {
       const auto& rs = result.value();
+      predict_calls += rs.stats.predict_calls;
+      predict_batches += rs.stats.predict_batches;
       if (!rs.columns.empty()) {
         std::printf("%s(%zu rows", rs.ToString(40).c_str(), rs.NumRows());
         if (timing) std::printf(", %.3f ms", rs.elapsed_seconds * 1e3);

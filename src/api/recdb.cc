@@ -800,6 +800,12 @@ std::string ResultSet::ToString(size_t max_rows) const {
     out += message;
     out += "\n";
   }
+  if (stats.predict_batches > 0) {
+    out += StringFormat(
+        "scoring: %llu predictions in %llu batches\n",
+        static_cast<unsigned long long>(stats.predict_calls),
+        static_cast<unsigned long long>(stats.predict_batches));
+  }
   if (stats.tasks_spawned > 0) {
     out += StringFormat(
         "parallel: %llu morsels, %.2f ms worker time\n",

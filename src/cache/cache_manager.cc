@@ -95,14 +95,29 @@ Result<CacheDecision> CacheManager::Run() {
       }
     }
   }
+  // Admitted pairs are grouped by user (the STEP 2 loops run user-major
+  // over sorted ids), so each morsel decomposes into per-user runs that
+  // score through one PredictBatch each. A morsel boundary can split a run
+  // in two; that cannot change results because every score depends only on
+  // its own (user, item) pair.
   std::vector<double> scores(decision.admitted.size(), 0.0);
   TaskScheduler& sched = TaskScheduler::Global();
   const size_t morsel = std::clamp<size_t>(
       scores.size() / (sched.num_threads() * 4), 16, 4096);
   sched.ParallelFor(scores.size(), morsel, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const auto& [uid, iid] = decision.admitted[i];
-      scores[i] = model->Predict(uid, iid);
+    std::vector<int64_t> run_items;
+    size_t p = begin;
+    while (p < end) {
+      const int64_t uid = decision.admitted[p].first;
+      size_t q = p;
+      run_items.clear();
+      while (q < end && decision.admitted[q].first == uid) {
+        run_items.push_back(decision.admitted[q].second);
+        ++q;
+      }
+      model->PredictBatch(uid, run_items,
+                          std::span<double>(scores.data() + p, q - p));
+      p = q;
     }
   });
   for (size_t i = 0; i < decision.admitted.size(); ++i) {

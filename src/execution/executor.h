@@ -19,7 +19,9 @@ namespace recdb {
 /// Counters shared by all executors of one query execution.
 struct ExecStats {
   uint64_t tuples_scanned = 0;      // base-table tuples read
-  uint64_t predictions = 0;         // model Predict() invocations
+  uint64_t predictions = 0;         // candidate scores computed by the model
+  uint64_t predict_calls = 0;       // candidates scored via PredictBatch
+  uint64_t predict_batches = 0;     // PredictBatch invocations (hot paths)
   uint64_t index_hits = 0;          // users served from RecScoreIndex
   uint64_t index_misses = 0;        // users that fell back to the model
   uint64_t join_probes = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
 #include "common/task_scheduler.h"
 
@@ -51,6 +52,43 @@ std::vector<int64_t> ResolveItems(
 /// saves; stay on the streaming serial path.
 constexpr size_t kMinPairsForParallel = 256;
 
+/// Outer tuples batched per JoinRecommend probe window. Bounds both the
+/// emission latency (tuples are held until the window is scored) and the
+/// per-window score matrix (|users| × window doubles).
+constexpr size_t kJoinProbeWindow = 64;
+
+/// Score one user over items[begin, end): rated items keep their stored
+/// rating (and set the rated flag), the rest go through one PredictBatch.
+void ScoreUserRange(const RecModel* model, const RatingMatrix& snapshot,
+                    int64_t user_id, const std::vector<int64_t>& items,
+                    size_t begin, size_t end, UserRowScores* out) {
+  const size_t n = end - begin;
+  out->score.assign(n, 0.0);
+  out->rated.assign(n, 0);
+  out->predicted = 0;
+  out->batches = 0;
+  std::vector<int64_t> cand;
+  std::vector<size_t> cand_pos;
+  cand.reserve(n);
+  cand_pos.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    auto rated = snapshot.Get(user_id, items[begin + k]);
+    if (rated.has_value()) {
+      out->score[k] = *rated;  // Algorithm 1 line 8
+      out->rated[k] = 1;
+    } else {
+      cand.push_back(items[begin + k]);
+      cand_pos.push_back(k);
+    }
+  }
+  if (cand.empty()) return;
+  std::vector<double> pred(cand.size(), 0.0);
+  model->PredictBatch(user_id, cand, pred);
+  for (size_t k = 0; k < cand.size(); ++k) out->score[cand_pos[k]] = pred[k];
+  out->predicted = cand.size();
+  out->batches = 1;
+}
+
 }  // namespace
 
 // -------------------------------------------------- Recommend / FilterRec
@@ -65,6 +103,7 @@ Status RecommendExecutor::Init() {
   items_ = ResolveItems(snapshot, plan_.item_ids);
   user_pos_ = 0;
   item_pos_ = 0;
+  row_ready_ = false;
   buffered_ = false;
   buffer_.clear();
   buffer_pos_ = 0;
@@ -83,34 +122,42 @@ Status RecommendExecutor::ScoreAllParallel() {
   const size_t num_items = items_.size();
   const size_t num_pairs = users_.size() * num_items;
   // Morsel size balances claim overhead against tail imbalance; correctness
-  // does not depend on it (per-pair output is order-preserving).
+  // does not depend on it (per-pair output is order-preserving and each
+  // score depends only on its own pair, not on how the batch was cut).
   const size_t morsel = std::clamp<size_t>(
       num_pairs / (sched.num_threads() * 8), 64, 8192);
   const size_t num_slots = (num_pairs + morsel - 1) / morsel;
   std::vector<std::vector<Tuple>> slots(num_slots);
   std::atomic<uint64_t> predictions{0};
+  std::atomic<uint64_t> batches{0};
   TaskRunStats run = sched.ParallelFor(
       num_pairs, morsel, [&](size_t begin, size_t end) {
         std::vector<Tuple>& out = slots[begin / morsel];
         uint64_t local_predictions = 0;
-        for (size_t p = begin; p < end; ++p) {
-          int64_t user_id = users_[p / num_items];
-          int64_t item_id = items_[p % num_items];
-          auto rated = snapshot.Get(user_id, item_id);
-          double score;
-          if (rated.has_value()) {
-            if (!plan_.include_rated) continue;
-            score = *rated;
-          } else {
-            score = model->Predict(user_id, item_id);
-            ++local_predictions;
+        uint64_t local_batches = 0;
+        UserRowScores row;
+        // A morsel spans one or more per-user runs of contiguous items;
+        // each run is scored with one PredictBatch.
+        size_t p = begin;
+        while (p < end) {
+          const size_t u = p / num_items;
+          const size_t run_end = std::min(end, (u + 1) * num_items);
+          const int64_t user_id = users_[u];
+          ScoreUserRange(model, snapshot, user_id, items_, p % num_items,
+                         p % num_items + (run_end - p), &row);
+          local_predictions += row.predicted;
+          local_batches += row.batches;
+          for (size_t k = 0; k < run_end - p; ++k) {
+            if (row.rated[k] && !plan_.include_rated) continue;
+            out.push_back(MakeRecTuple(
+                plan_.schema, plan_.user_col_idx, plan_.item_col_idx,
+                plan_.rating_col_idx, user_id, items_[p % num_items + k],
+                row.score[k]));
           }
-          out.push_back(
-              MakeRecTuple(plan_.schema, plan_.user_col_idx,
-                           plan_.item_col_idx, plan_.rating_col_idx, user_id,
-                           item_id, score));
+          p = run_end;
         }
         predictions.fetch_add(local_predictions, std::memory_order_relaxed);
+        batches.fetch_add(local_batches, std::memory_order_relaxed);
       });
   size_t total = 0;
   for (const auto& s : slots) total += s.size();
@@ -119,7 +166,10 @@ Status RecommendExecutor::ScoreAllParallel() {
   for (auto& s : slots) {
     for (auto& t : s) buffer_.push_back(std::move(t));
   }
-  ctx_->stats.predictions += predictions.load(std::memory_order_relaxed);
+  const uint64_t predicted = predictions.load(std::memory_order_relaxed);
+  ctx_->stats.predictions += predicted;
+  ctx_->stats.predict_calls += predicted;
+  ctx_->stats.predict_batches += batches.load(std::memory_order_relaxed);
   ctx_->stats.tasks_spawned += run.tasks_spawned;
   ctx_->stats.worker_time_ms += run.worker_time_ms;
   return Status::OK();
@@ -133,25 +183,27 @@ Result<std::optional<Tuple>> RecommendExecutor::NextImpl() {
   const RecModel* model = plan_.rec->model();
   const RatingMatrix& snapshot = model->ratings();
   while (user_pos_ < users_.size()) {
-    if (item_pos_ >= items_.size()) {
-      ++user_pos_;
+    if (!row_ready_) {
+      // Batch-score the whole item list for this user up front; Next()
+      // then streams out of the precomputed row.
+      ScoreUserRange(model, snapshot, users_[user_pos_], items_, 0,
+                     items_.size(), &row_);
+      ctx_->stats.predictions += row_.predicted;
+      ctx_->stats.predict_calls += row_.predicted;
+      ctx_->stats.predict_batches += row_.batches;
+      row_ready_ = true;
       item_pos_ = 0;
-      continue;
     }
-    int64_t user_id = users_[user_pos_];
-    int64_t item_id = items_[item_pos_++];
-    auto rated = snapshot.Get(user_id, item_id);
-    double score;
-    if (rated.has_value()) {
-      if (!plan_.include_rated) continue;  // default: unseen items only
-      score = *rated;                      // Algorithm 1 line 8
-    } else {
-      score = model->Predict(user_id, item_id);
-      ++ctx_->stats.predictions;
+    while (item_pos_ < items_.size()) {
+      const size_t k = item_pos_++;
+      if (row_.rated[k] && !plan_.include_rated) continue;  // unseen only
+      return std::make_optional(
+          MakeRecTuple(plan_.schema, plan_.user_col_idx, plan_.item_col_idx,
+                       plan_.rating_col_idx, users_[user_pos_], items_[k],
+                       row_.score[k]));
     }
-    return std::make_optional(
-        MakeRecTuple(plan_.schema, plan_.user_col_idx, plan_.item_col_idx,
-                     plan_.rating_col_idx, user_id, item_id, score));
+    ++user_pos_;
+    row_ready_ = false;
   }
   return std::optional<Tuple>{};
 }
@@ -164,58 +216,119 @@ Status JoinRecommendExecutor::Init() {
                                   " has no built model");
   }
   RECDB_RETURN_NOT_OK(outer_->Init());
-  outer_tuple_.reset();
-  user_pos_ = 0;
+  const RatingMatrix& snapshot = plan_.rec->model()->ratings();
+  valid_users_.clear();
+  valid_users_.reserve(plan_.user_ids.size());
+  for (int64_t id : plan_.user_ids) {
+    if (snapshot.UserIndex(id).has_value()) valid_users_.push_back(id);
+  }
+  outer_done_ = false;
+  window_.clear();
+  window_slot_ = 0;
+  window_user_ = 0;
+  return Status::OK();
+}
+
+Status JoinRecommendExecutor::FillWindow() {
+  const RecModel* model = plan_.rec->model();
+  const RatingMatrix& snapshot = model->ratings();
+  window_.clear();
+  window_items_.clear();
+  window_known_.clear();
+  window_slot_ = 0;
+  window_user_ = 0;
+  while (window_.size() < kJoinProbeWindow) {
+    RECDB_ASSIGN_OR_RETURN(auto next, outer_->Next());
+    if (!next.has_value()) {
+      outer_done_ = true;
+      break;
+    }
+    ++ctx_->stats.join_probes;
+    const Value& item_val = next->At(plan_.outer_item_col);
+    int64_t item_id = 0;
+    bool known = false;
+    if (!item_val.is_null() && item_val.type() == TypeId::kInt64) {
+      item_id = item_val.AsInt();
+      known = snapshot.ItemIndex(item_id).has_value();
+    }
+    window_.push_back(std::move(*next));
+    window_items_.push_back(item_id);
+    window_known_.push_back(known ? 1 : 0);
+  }
+  const size_t w = window_.size();
+  window_scores_.assign(valid_users_.size() * w, 0.0);
+  window_skip_.assign(valid_users_.size() * w, 0);
+  if (w == 0) return Status::OK();
+  // One PredictBatch per user across the window's unrated known items —
+  // the probe-batch amortization: the user context is resolved once for
+  // up to kJoinProbeWindow probes instead of once per (probe, user) pair.
+  std::vector<int64_t> cand;
+  std::vector<size_t> cand_slot;
+  std::vector<double> pred;
+  for (size_t u = 0; u < valid_users_.size(); ++u) {
+    const int64_t user_id = valid_users_[u];
+    cand.clear();
+    cand_slot.clear();
+    for (size_t s = 0; s < w; ++s) {
+      if (!window_known_[s]) {
+        window_skip_[u * w + s] = 1;  // unknown item: no score, no tuple
+        continue;
+      }
+      auto rated = snapshot.Get(user_id, window_items_[s]);
+      if (rated.has_value()) {
+        if (plan_.include_rated) {
+          window_scores_[u * w + s] = *rated;
+        } else {
+          window_skip_[u * w + s] = 1;
+        }
+      } else {
+        cand.push_back(window_items_[s]);
+        cand_slot.push_back(s);
+      }
+    }
+    if (cand.empty()) continue;
+    pred.assign(cand.size(), 0.0);
+    model->PredictBatch(user_id, cand, pred);
+    for (size_t k = 0; k < cand.size(); ++k) {
+      window_scores_[u * w + cand_slot[k]] = pred[k];
+    }
+    ctx_->stats.predictions += cand.size();
+    ctx_->stats.predict_calls += cand.size();
+    ++ctx_->stats.predict_batches;
+  }
   return Status::OK();
 }
 
 Result<std::optional<Tuple>> JoinRecommendExecutor::NextImpl() {
-  const RecModel* model = plan_.rec->model();
-  const RatingMatrix& snapshot = model->ratings();
   while (true) {
-    if (!outer_tuple_.has_value()) {
-      RECDB_ASSIGN_OR_RETURN(auto next, outer_->Next());
-      if (!next.has_value()) return std::optional<Tuple>{};
-      outer_tuple_ = std::move(next);
-      user_pos_ = 0;
-      ++ctx_->stats.join_probes;
-    }
-    const Value& item_val = outer_tuple_->At(plan_.outer_item_col);
-    if (item_val.is_null() || item_val.type() != TypeId::kInt64) {
-      outer_tuple_.reset();
+    if (window_slot_ >= window_.size()) {
+      if (outer_done_) return std::optional<Tuple>{};
+      RECDB_RETURN_NOT_OK(FillWindow());
+      if (window_.empty()) return std::optional<Tuple>{};
       continue;
     }
-    int64_t item_id = item_val.AsInt();
-    if (!snapshot.ItemIndex(item_id).has_value()) {
-      outer_tuple_.reset();  // item unknown to the model: no score
-      continue;
-    }
-    while (user_pos_ < plan_.user_ids.size()) {
-      int64_t user_id = plan_.user_ids[user_pos_++];
-      if (!snapshot.UserIndex(user_id).has_value()) continue;
-      auto rated = snapshot.Get(user_id, item_id);
-      double score;
-      if (rated.has_value()) {
-        if (!plan_.include_rated) continue;
-        score = *rated;
-      } else {
-        score = model->Predict(user_id, item_id);
-        ++ctx_->stats.predictions;
-      }
+    const size_t w = window_.size();
+    const size_t s = window_slot_;
+    while (window_user_ < valid_users_.size()) {
+      const size_t u = window_user_++;
+      if (window_skip_[u * w + s]) continue;
       // 〈recommend columns〉 ++ 〈outer tuple〉 (paper: tup concatenated).
       Tuple rec_part = MakeRecTuple(
           plan_.schema, plan_.user_col_idx, plan_.item_col_idx,
-          plan_.rating_col_idx, user_id, item_id, score);
+          plan_.rating_col_idx, valid_users_[u], window_items_[s],
+          window_scores_[u * w + s]);
       // rec_part currently has the full output width; overwrite the tail
       // with the outer tuple's values.
-      size_t outer_start = plan_.schema.NumColumns() -
-                           outer_tuple_->NumValues();
-      for (size_t i = 0; i < outer_tuple_->NumValues(); ++i) {
-        rec_part.values()[outer_start + i] = outer_tuple_->At(i);
+      const Tuple& outer_tuple = window_[s];
+      size_t outer_start =
+          plan_.schema.NumColumns() - outer_tuple.NumValues();
+      for (size_t i = 0; i < outer_tuple.NumValues(); ++i) {
+        rec_part.values()[outer_start + i] = outer_tuple.At(i);
       }
       return std::make_optional(std::move(rec_part));
     }
-    outer_tuple_.reset();
+    ++window_slot_;
+    window_user_ = 0;
   }
 }
 
@@ -278,18 +391,29 @@ Status IndexRecommendExecutor::LoadCurrentUser() {
     return Status::OK();
   }
 
-  // Cache miss: fall back to the model (score, sort, cap).
+  // Cache miss: fall back to the model — collect the user's unseen
+  // candidates, score them in one batch, then sort and cap.
   ++ctx_->stats.index_misses;
   const RecModel* model = plan_.rec->model();
   const RatingMatrix& snapshot = model->ratings();
   const std::vector<int64_t>& items =
       item_filter_.has_value() ? item_list_ : snapshot.item_ids();
+  std::vector<int64_t> cand;
+  cand.reserve(items.size());
   for (int64_t item : items) {
     if (!snapshot.ItemIndex(item).has_value()) continue;
     if (snapshot.Get(user_id, item).has_value()) continue;  // unseen only
-    double score = model->Predict(user_id, item);
-    ++ctx_->stats.predictions;
-    if (score >= plan_.min_score) current_.emplace_back(item, score);
+    cand.push_back(item);
+  }
+  if (!cand.empty()) {
+    std::vector<double> pred(cand.size(), 0.0);
+    model->PredictBatch(user_id, cand, pred);
+    ctx_->stats.predictions += cand.size();
+    ctx_->stats.predict_calls += cand.size();
+    ++ctx_->stats.predict_batches;
+    for (size_t k = 0; k < cand.size(); ++k) {
+      if (pred[k] >= plan_.min_score) current_.emplace_back(cand[k], pred[k]);
+    }
   }
   std::sort(current_.begin(), current_.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;

@@ -4,6 +4,11 @@
 //   JoinRecommendExecutor   — JOINRECOMMEND (outer relation drives scoring)
 //   IndexRecommendExecutor  — INDEXRECOMMEND (Algorithm 3 over RecScoreIndex,
 //                             with model fallback on cache miss)
+//
+// All scoring goes through RecModel::PredictBatch: each executor resolves a
+// user's candidate set first, scores the unrated candidates in one batch
+// call, and only then emits tuples — per-candidate model->Predict() calls
+// do not appear on any hot path.
 #pragma once
 
 #include <optional>
@@ -13,6 +18,15 @@
 #include "execution/executor.h"
 
 namespace recdb {
+
+/// One user's scores over a positional range of candidate items: rated
+/// positions carry the stored rating, the rest the PredictBatch result.
+struct UserRowScores {
+  std::vector<double> score;   // per position
+  std::vector<uint8_t> rated;  // per position: 1 = user already rated it
+  uint64_t predicted = 0;      // candidates that went through the model
+  uint64_t batches = 0;        // PredictBatch calls issued (0 or 1)
+};
 
 class RecommendExecutor : public Executor {
  public:
@@ -24,9 +38,10 @@ class RecommendExecutor : public Executor {
 
  private:
   /// Morsel-parallel scoring over the flattened (user, item) candidate
-  /// space: workers claim pair ranges, emit into per-morsel slots, and the
-  /// slots are concatenated in range order — bit-identical to the serial
-  /// emission order under any thread count.
+  /// space: workers claim pair ranges, batch-score each user run inside
+  /// the range, emit into per-morsel slots, and the slots are concatenated
+  /// in range order — bit-identical to the serial emission order under any
+  /// thread count.
   Status ScoreAllParallel();
 
   const RecommendPlan& plan_;
@@ -36,6 +51,9 @@ class RecommendExecutor : public Executor {
   std::vector<int64_t> items_;
   size_t user_pos_ = 0;
   size_t item_pos_ = 0;
+  // Serial mode: the current user's batched row of scores.
+  UserRowScores row_;
+  bool row_ready_ = false;
   // Parallel mode: results materialized at Init, drained by Next.
   bool buffered_ = false;
   std::vector<Tuple> buffer_;
@@ -52,11 +70,25 @@ class JoinRecommendExecutor : public Executor {
   Result<std::optional<Tuple>> NextImpl() override;
 
  private:
+  /// Pull the next window of outer tuples and batch-score it: one
+  /// PredictBatch per user over the window's valid unrated items, instead
+  /// of one scalar Predict per (outer tuple, user) probe.
+  Status FillWindow();
+
   const JoinRecommendPlan& plan_;
   ExecutorPtr outer_;
   ExecContext* ctx_;
-  std::optional<Tuple> outer_tuple_;
-  size_t user_pos_ = 0;
+  // Pushed-down users known to the model, in plan order (resolved once).
+  std::vector<int64_t> valid_users_;
+  bool outer_done_ = false;
+  // Current probe window. Scores/skip flags are flattened [user][slot].
+  std::vector<Tuple> window_;
+  std::vector<int64_t> window_items_;
+  std::vector<uint8_t> window_known_;  // item id valid & known to the model
+  std::vector<double> window_scores_;
+  std::vector<uint8_t> window_skip_;
+  size_t window_slot_ = 0;  // emission cursor: outer tuple within window
+  size_t window_user_ = 0;  // emission cursor: user within slot
 };
 
 class IndexRecommendExecutor : public Executor {
@@ -69,7 +101,7 @@ class IndexRecommendExecutor : public Executor {
 
  private:
   /// Load the (item, score) list for users_[user_pos_], from the index when
-  /// materialized (hit) or by scoring through the model (miss).
+  /// materialized (hit) or by batch-scoring through the model (miss).
   Status LoadCurrentUser();
 
   const IndexRecommendPlan& plan_;

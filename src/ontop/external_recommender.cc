@@ -1,7 +1,5 @@
 #include "ontop/external_recommender.h"
 
-#include <cmath>
-
 namespace recdb::ontop {
 
 Status ExternalRecommender::Build() {
@@ -42,44 +40,12 @@ std::vector<std::pair<int64_t, double>> ExternalRecommender::ScoreAllForUser(
   const auto& rated = r.UserVector(*u);
   const size_t ni = r.NumItems();
 
-  std::vector<double> num(ni, 0.0), den(ni, 0.0);
-  bool accumulated = false;
-
-  switch (model_->algorithm()) {
-    case RecAlgorithm::kItemCosCF:
-    case RecAlgorithm::kItemPearCF: {
-      // For each rated item l, scatter sim(i, l) * r_ul into every
-      // neighbor i — one pass over Σ|N(l)| instead of per-pair intersection.
-      const auto* m = static_cast<const ItemCFModel*>(model_.get());
-      for (const auto& e : rated) {
-        for (const auto& nb : m->NeighborhoodAt(e.idx)) {
-          num[nb.idx] += static_cast<double>(nb.sim) * e.rating;
-          den[nb.idx] += std::fabs(static_cast<double>(nb.sim));
-        }
-      }
-      accumulated = true;
-      break;
-    }
-    case RecAlgorithm::kUserCosCF:
-    case RecAlgorithm::kUserPearCF: {
-      // For each similar user v, scatter sim(u, v) * r_vi into every item v
-      // rated.
-      const auto* m = static_cast<const UserCFModel*>(model_.get());
-      for (const auto& nb : m->NeighborhoodAt(*u)) {
-        for (const auto& e : r.UserVector(nb.idx)) {
-          num[e.idx] += static_cast<double>(nb.sim) * e.rating;
-          den[e.idx] += std::fabs(static_cast<double>(nb.sim));
-        }
-      }
-      accumulated = true;
-      break;
-    }
-    case RecAlgorithm::kSVD:
-      break;  // handled below: plain dot products
-  }
-
+  // Collect the user's unseen items, then score them in one PredictBatch —
+  // the same batch kernels the in-engine operators use, so the RecDB /
+  // OnTopDB comparison stays an architecture comparison.
+  std::vector<int64_t> unseen;
+  unseen.reserve(ni - rated.size());
   size_t rated_pos = 0;
-  out.reserve(ni - rated.size());
   for (size_t i = 0; i < ni; ++i) {
     while (rated_pos < rated.size() &&
            rated[rated_pos].idx < static_cast<int32_t>(i)) {
@@ -89,14 +55,13 @@ std::vector<std::pair<int64_t, double>> ExternalRecommender::ScoreAllForUser(
         rated[rated_pos].idx == static_cast<int32_t>(i)) {
       continue;  // unseen items only
     }
-    int64_t item_id = r.ItemIdAt(static_cast<int32_t>(i));
-    double score;
-    if (accumulated) {
-      score = den[i] == 0 ? 0 : num[i] / den[i];
-    } else {
-      score = model_->Predict(user_id, item_id);
-    }
-    out.emplace_back(item_id, score);
+    unseen.push_back(r.ItemIdAt(static_cast<int32_t>(i)));
+  }
+  std::vector<double> scores(unseen.size(), 0.0);
+  model_->PredictBatch(user_id, unseen, scores);
+  out.reserve(unseen.size());
+  for (size_t i = 0; i < unseen.size(); ++i) {
+    out.emplace_back(unseen[i], scores[i]);
   }
   return out;
 }

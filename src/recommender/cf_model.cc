@@ -7,19 +7,11 @@ namespace recdb {
 
 namespace {
 
-/// Binary search a sorted RatingEntry vector for a dense index.
-const RatingEntry* FindEntry(const std::vector<RatingEntry>& vec,
-                             int32_t idx) {
-  auto it = std::lower_bound(
-      vec.begin(), vec.end(), idx,
-      [](const RatingEntry& e, int32_t i) { return e.idx < i; });
-  if (it != vec.end() && it->idx == idx) return &*it;
-  return nullptr;
-}
-
 size_t NeighborhoodBytes(const std::vector<std::vector<Neighbor>>& nb) {
   size_t total = 0;
-  for (const auto& row : nb) total += row.size() * sizeof(Neighbor) + 24;
+  for (const auto& row : nb) {
+    total += sizeof(std::vector<Neighbor>) + row.capacity() * sizeof(Neighbor);
+  }
   return total;
 }
 
@@ -29,96 +21,200 @@ size_t NeighborhoodEntries(const std::vector<std::vector<Neighbor>>& nb) {
   return total;
 }
 
-double SimilarityLookup(const std::vector<std::vector<Neighbor>>& nb,
-                        int32_t a, int32_t b) {
-  for (const auto& n : nb[a]) {
-    if (n.idx == b) return n.sim;
+/// Idx-sorted copy of each row, so Similarity() can binary search instead
+/// of scanning a sim-sorted list end to end.
+std::vector<std::vector<Neighbor>> SortRowsByIdx(
+    const std::vector<std::vector<Neighbor>>& nb) {
+  std::vector<std::vector<Neighbor>> out = nb;
+  for (auto& row : out) {
+    std::sort(row.begin(), row.end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.idx < b.idx; });
   }
+  return out;
+}
+
+double SimilarityLookup(const std::vector<std::vector<Neighbor>>& by_idx,
+                        int32_t a, int32_t b) {
+  const auto& row = by_idx[a];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), b,
+      [](const Neighbor& n, int32_t i) { return n.idx < i; });
+  if (it != row.end() && it->idx == b) return it->sim;
   return 0;
+}
+
+/// Dense scatter target reused across PredictBatch calls on one thread.
+/// Epoch stamps make Reset O(1): a slot is live only when its stamp matches
+/// the current epoch, so no per-call clearing of the value array.
+struct DenseScratch {
+  std::vector<double> val;
+  std::vector<uint32_t> stamp;
+  uint32_t epoch = 0;
+
+  void Reset(size_t n) {
+    if (stamp.size() < n) {
+      stamp.resize(n, 0);
+      val.resize(n, 0);
+    }
+    if (++epoch == 0) {  // wrapped: stamps from 2^32 calls ago could alias
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+  void Set(int32_t i, double v) {
+    val[i] = v;
+    stamp[i] = epoch;
+  }
+  bool Get(int32_t i, double* v) const {
+    if (stamp[i] != epoch) return false;
+    *v = val[i];
+    return true;
+  }
+};
+
+DenseScratch& TlsScratch() {
+  thread_local DenseScratch scratch;
+  return scratch;
 }
 
 }  // namespace
 
+ItemCFModel::ItemCFModel(std::shared_ptr<const RatingMatrix> ratings,
+                         bool centered,
+                         std::vector<std::vector<Neighbor>> neighborhoods)
+    : RecModel(std::move(ratings)),
+      centered_(centered),
+      neighborhoods_(std::move(neighborhoods)),
+      by_idx_(SortRowsByIdx(neighborhoods_)) {}
+
 std::unique_ptr<ItemCFModel> ItemCFModel::Build(
-    std::shared_ptr<const RatingMatrix> ratings, bool centered,
+    std::shared_ptr<RatingMatrix> ratings, bool centered,
     const SimilarityOptions& opts) {
   SimilarityOptions o = opts;
   o.centered = centered;
+  ratings->Freeze();
   auto neighborhoods = BuildItemNeighborhoods(*ratings, o);
   return std::unique_ptr<ItemCFModel>(
       new ItemCFModel(std::move(ratings), centered, std::move(neighborhoods)));
 }
 
-double ItemCFModel::Predict(int64_t user_id, int64_t item_id) const {
+void ItemCFModel::PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                               std::span<double> out) const {
+  RECDB_DCHECK(items.size() == out.size());
   auto u = ratings_->UserIndex(user_id);
-  auto i = ratings_->ItemIndex(item_id);
-  if (!u || !i) return 0;
-  const auto& user_items = ratings_->UserVector(*u);
-  if (user_items.empty()) return 0;
-  // CandItems = ItemNeighbors(i) ∩ UserItems(u)  (Algorithm 1, line 10).
-  double num = 0, den = 0;
-  for (const auto& nb : neighborhoods_[*i]) {
-    const RatingEntry* e = FindEntry(user_items, nb.idx);
-    if (e == nullptr) continue;
-    num += static_cast<double>(nb.sim) * e->rating;
-    den += std::fabs(static_cast<double>(nb.sim));
+  if (!u) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
   }
-  if (den == 0) return 0;  // empty overlap -> 0 (Algorithm 1, line 14)
-  return num / den;
+  // Resolve the user once: scatter their rated items into a dense
+  // accumulator, then gather per candidate. Addition order per candidate is
+  // the candidate's neighborhood order — the same order the per-pair scalar
+  // path always used, so results are bit-identical at any batch size.
+  const CsrRow rated = ratings_->UserCsrRow(*u);
+  DenseScratch& scratch = TlsScratch();
+  scratch.Reset(ratings_->NumItems());
+  for (size_t k = 0; k < rated.n; ++k) {
+    scratch.Set(rated.idx[k], rated.rating[k]);
+  }
+  for (size_t c = 0; c < items.size(); ++c) {
+    auto i = ratings_->ItemIndex(items[c]);
+    if (!i || rated.n == 0) {
+      out[c] = 0;
+      continue;
+    }
+    // CandItems = ItemNeighbors(i) ∩ UserItems(u)  (Algorithm 1, line 10).
+    double num = 0, den = 0;
+    for (const auto& nb : neighborhoods_[*i]) {
+      double r;
+      if (!scratch.Get(nb.idx, &r)) continue;
+      num += static_cast<double>(nb.sim) * r;
+      den += std::fabs(static_cast<double>(nb.sim));
+    }
+    out[c] = den == 0 ? 0 : num / den;  // empty overlap -> 0 (line 14)
+  }
 }
 
 double ItemCFModel::Similarity(int64_t item_a, int64_t item_b) const {
   auto a = ratings_->ItemIndex(item_a);
   auto b = ratings_->ItemIndex(item_b);
   if (!a || !b) return 0;
-  return SimilarityLookup(neighborhoods_, *a, *b);
+  return SimilarityLookup(by_idx_, *a, *b);
 }
 
 size_t ItemCFModel::ApproxBytes() const {
-  return NeighborhoodBytes(neighborhoods_);
+  return NeighborhoodBytes(neighborhoods_) + NeighborhoodBytes(by_idx_) +
+         ratings_->CsrApproxBytes();
 }
 
 size_t ItemCFModel::NumNeighborEntries() const {
   return NeighborhoodEntries(neighborhoods_);
 }
 
+UserCFModel::UserCFModel(std::shared_ptr<const RatingMatrix> ratings,
+                         bool centered,
+                         std::vector<std::vector<Neighbor>> neighborhoods)
+    : RecModel(std::move(ratings)),
+      centered_(centered),
+      neighborhoods_(std::move(neighborhoods)),
+      by_idx_(SortRowsByIdx(neighborhoods_)) {}
+
 std::unique_ptr<UserCFModel> UserCFModel::Build(
-    std::shared_ptr<const RatingMatrix> ratings, bool centered,
+    std::shared_ptr<RatingMatrix> ratings, bool centered,
     const SimilarityOptions& opts) {
   SimilarityOptions o = opts;
   o.centered = centered;
+  ratings->Freeze();
   auto neighborhoods = BuildUserNeighborhoods(*ratings, o);
   return std::unique_ptr<UserCFModel>(
       new UserCFModel(std::move(ratings), centered, std::move(neighborhoods)));
 }
 
-double UserCFModel::Predict(int64_t user_id, int64_t item_id) const {
+void UserCFModel::PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                               std::span<double> out) const {
+  RECDB_DCHECK(items.size() == out.size());
   auto u = ratings_->UserIndex(user_id);
-  auto i = ratings_->ItemIndex(item_id);
-  if (!u || !i) return 0;
-  const auto& item_raters = ratings_->ItemVector(*i);
-  if (item_raters.empty()) return 0;
-  // Weighted average of similar users' ratings of item i.
-  double num = 0, den = 0;
-  for (const auto& nb : neighborhoods_[*u]) {
-    const RatingEntry* e = FindEntry(item_raters, nb.idx);
-    if (e == nullptr) continue;
-    num += static_cast<double>(nb.sim) * e->rating;
-    den += std::fabs(static_cast<double>(nb.sim));
+  if (!u) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
   }
-  if (den == 0) return 0;
-  return num / den;
+  // Symmetric to ItemCF: the user's neighbor similarities are scattered
+  // once, then each candidate item's contiguous rater row is gathered.
+  // Addition order per candidate is the item's rater order (user-idx
+  // ascending) — fixed per candidate, so independent of batch composition.
+  const auto& neighbors = neighborhoods_[*u];
+  DenseScratch& scratch = TlsScratch();
+  scratch.Reset(ratings_->NumUsers());
+  for (const auto& nb : neighbors) {
+    scratch.Set(nb.idx, static_cast<double>(nb.sim));
+  }
+  for (size_t c = 0; c < items.size(); ++c) {
+    auto i = ratings_->ItemIndex(items[c]);
+    if (!i) {
+      out[c] = 0;
+      continue;
+    }
+    const CsrRow raters = ratings_->ItemCsrRow(*i);
+    double num = 0, den = 0;
+    for (size_t k = 0; k < raters.n; ++k) {
+      double sim;
+      if (!scratch.Get(raters.idx[k], &sim)) continue;
+      num += sim * raters.rating[k];
+      den += std::fabs(sim);
+    }
+    out[c] = den == 0 ? 0 : num / den;
+  }
 }
 
 double UserCFModel::Similarity(int64_t user_a, int64_t user_b) const {
   auto a = ratings_->UserIndex(user_a);
   auto b = ratings_->UserIndex(user_b);
   if (!a || !b) return 0;
-  return SimilarityLookup(neighborhoods_, *a, *b);
+  return SimilarityLookup(by_idx_, *a, *b);
 }
 
 size_t UserCFModel::ApproxBytes() const {
-  return NeighborhoodBytes(neighborhoods_);
+  return NeighborhoodBytes(neighborhoods_) + NeighborhoodBytes(by_idx_) +
+         ratings_->CsrApproxBytes();
 }
 
 size_t UserCFModel::NumNeighborEntries() const {

@@ -17,20 +17,25 @@ namespace recdb {
 
 class ItemCFModel : public RecModel {
  public:
-  /// Build from a ratings snapshot. `centered` selects Pearson (ItemPearCF)
-  /// vs plain cosine (ItemCosCF).
+  /// Build from a ratings snapshot (frozen to flat CSR as a side effect).
+  /// `centered` selects Pearson (ItemPearCF) vs plain cosine (ItemCosCF).
   static std::unique_ptr<ItemCFModel> Build(
-      std::shared_ptr<const RatingMatrix> ratings, bool centered,
+      std::shared_ptr<RatingMatrix> ratings, bool centered,
       const SimilarityOptions& opts = {});
 
   RecAlgorithm algorithm() const override {
     return centered_ ? RecAlgorithm::kItemPearCF : RecAlgorithm::kItemCosCF;
   }
 
-  double Predict(int64_t user_id, int64_t item_id) const override;
+  /// Eq. (2) for every candidate: the user's rated items are scattered once
+  /// into a dense thread-local accumulator, then each candidate's
+  /// neighborhood is gathered against it (no per-neighbor binary search).
+  void PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                    std::span<double> out) const override;
 
   /// Similarity of two items by external id (0 when either is unknown or
-  /// the pair is not in the neighborhood list).
+  /// the pair is not in the neighborhood list). Binary search over an
+  /// idx-sorted view of the row, not a linear scan of the sim-sorted list.
   double Similarity(int64_t item_a, int64_t item_b) const;
 
   /// The neighborhood list of an item (dense indices), test/inspection aid.
@@ -45,26 +50,28 @@ class ItemCFModel : public RecModel {
 
  private:
   ItemCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,
-              std::vector<std::vector<Neighbor>> neighborhoods)
-      : RecModel(std::move(ratings)),
-        centered_(centered),
-        neighborhoods_(std::move(neighborhoods)) {}
+              std::vector<std::vector<Neighbor>> neighborhoods);
 
   bool centered_;
-  std::vector<std::vector<Neighbor>> neighborhoods_;  // [item_idx]
+  std::vector<std::vector<Neighbor>> neighborhoods_;  // [item_idx], sim-sorted
+  std::vector<std::vector<Neighbor>> by_idx_;         // [item_idx], idx-sorted
 };
 
 class UserCFModel : public RecModel {
  public:
   static std::unique_ptr<UserCFModel> Build(
-      std::shared_ptr<const RatingMatrix> ratings, bool centered,
+      std::shared_ptr<RatingMatrix> ratings, bool centered,
       const SimilarityOptions& opts = {});
 
   RecAlgorithm algorithm() const override {
     return centered_ ? RecAlgorithm::kUserPearCF : RecAlgorithm::kUserCosCF;
   }
 
-  double Predict(int64_t user_id, int64_t item_id) const override;
+  /// Symmetric to ItemCF over the user side: the user's neighbor sims are
+  /// scattered once into a dense accumulator, then each candidate item's
+  /// contiguous rater row (flat CSR) is gathered against it.
+  void PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                    std::span<double> out) const override;
 
   double Similarity(int64_t user_a, int64_t user_b) const;
 
@@ -77,13 +84,11 @@ class UserCFModel : public RecModel {
 
  private:
   UserCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,
-              std::vector<std::vector<Neighbor>> neighborhoods)
-      : RecModel(std::move(ratings)),
-        centered_(centered),
-        neighborhoods_(std::move(neighborhoods)) {}
+              std::vector<std::vector<Neighbor>> neighborhoods);
 
   bool centered_;
-  std::vector<std::vector<Neighbor>> neighborhoods_;  // [user_idx]
+  std::vector<std::vector<Neighbor>> neighborhoods_;  // [user_idx], sim-sorted
+  std::vector<std::vector<Neighbor>> by_idx_;         // [user_idx], idx-sorted
 };
 
 }  // namespace recdb

@@ -74,16 +74,36 @@ Result<EvalResult> EvaluateAlgorithm(const RatingMatrix& full,
   result.num_train_ratings = train->NumRatings();
   result.num_test_ratings = test.size();
 
-  // Prediction-error metrics.
+  // Prediction-error metrics. Test triples are user-major (the split loop
+  // walks users in order), so consecutive runs share a user and batch
+  // through one PredictBatch each.
   double se = 0, ae = 0, base_se = 0;
   const double mean = train->GlobalMean();
   std::unordered_map<int64_t, std::vector<TestRating>> by_user;
-  for (const auto& t : test) {
-    double pred = model->Predict(t.user, t.item);
-    se += (pred - t.rating) * (pred - t.rating);
-    ae += std::fabs(pred - t.rating);
-    base_se += (mean - t.rating) * (mean - t.rating);
-    by_user[t.user].push_back(t);
+  {
+    std::vector<int64_t> run_items;
+    std::vector<double> run_scores;
+    size_t p = 0;
+    while (p < test.size()) {
+      const int64_t uid = test[p].user;
+      size_t q = p;
+      run_items.clear();
+      while (q < test.size() && test[q].user == uid) {
+        run_items.push_back(test[q].item);
+        ++q;
+      }
+      run_scores.assign(run_items.size(), 0.0);
+      model->PredictBatch(uid, run_items, run_scores);
+      for (size_t k = 0; k < run_items.size(); ++k) {
+        const TestRating& t = test[p + k];
+        double pred = run_scores[k];
+        se += (pred - t.rating) * (pred - t.rating);
+        ae += std::fabs(pred - t.rating);
+        base_se += (mean - t.rating) * (mean - t.rating);
+        by_user[t.user].push_back(t);
+      }
+      p = q;
+    }
   }
   const double n = static_cast<double>(test.size());
   result.rmse = std::sqrt(se / n);
@@ -105,10 +125,17 @@ Result<EvalResult> EvaluateAlgorithm(const RatingMatrix& full,
     if (relevant == 0) continue;
     auto uidx = train->UserIndex(uid);
     if (!uidx) continue;  // user has no training ratings: cold start
-    std::vector<std::pair<double, int64_t>> scored;
+    std::vector<int64_t> unseen;
     for (int64_t iid : train->item_ids()) {
       if (train->Get(uid, iid).has_value()) continue;  // seen in training
-      scored.emplace_back(model->Predict(uid, iid), iid);
+      unseen.push_back(iid);
+    }
+    std::vector<double> pred(unseen.size(), 0.0);
+    model->PredictBatch(uid, unseen, pred);
+    std::vector<std::pair<double, int64_t>> scored;
+    scored.reserve(unseen.size());
+    for (size_t j = 0; j < unseen.size(); ++j) {
+      scored.emplace_back(pred[j], unseen[j]);
     }
     size_t k = std::min(options.k, scored.size());
     if (k == 0) continue;

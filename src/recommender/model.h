@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "recommender/algorithm.h"
 #include "recommender/rating_matrix.h"
@@ -19,9 +20,23 @@ class RecModel {
 
   virtual RecAlgorithm algorithm() const = 0;
 
-  /// RecScore(u, i) for external ids. Semantics follow paper Algorithm 1:
-  /// unknown user/item or empty candidate overlap yields 0.
-  virtual double Predict(int64_t user_id, int64_t item_id) const = 0;
+  /// RecScore(u, i) for a batch of candidate items of one user. The user
+  /// context (id resolution, rated-vector scatter, factor row) is resolved
+  /// once for the whole batch; out[k] is the score of items[k]. Unknown
+  /// user/item or empty candidate overlap yields 0 (paper Algorithm 1).
+  /// Each out[k] depends only on (user_id, items[k]) — never on the other
+  /// batch members — so any batching of the same pairs is bit-identical.
+  /// Thread-safe: const read of the model with thread-local scratch.
+  virtual void PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                            std::span<double> out) const = 0;
+
+  /// RecScore(u, i) for external ids: a thin wrapper over a batch of one.
+  double Predict(int64_t user_id, int64_t item_id) const {
+    double out = 0;
+    PredictBatch(user_id, std::span<const int64_t>(&item_id, 1),
+                 std::span<double>(&out, 1));
+    return out;
+  }
 
   /// Rough model footprint in bytes (scalability ablations).
   virtual size_t ApproxBytes() const = 0;

@@ -38,7 +38,37 @@ void RatingMatrix::Upsert(std::vector<RatingEntry>* vec, int32_t idx,
   *was_new = true;
 }
 
+namespace {
+
+FlatCsr BuildCsr(const std::vector<std::vector<RatingEntry>>& rows) {
+  FlatCsr csr;
+  size_t nnz = 0;
+  for (const auto& row : rows) nnz += row.size();
+  csr.offsets.reserve(rows.size() + 1);
+  csr.idx.reserve(nnz);
+  csr.rating.reserve(nnz);
+  csr.offsets.push_back(0);
+  for (const auto& row : rows) {
+    for (const auto& e : row) {
+      csr.idx.push_back(e.idx);
+      csr.rating.push_back(e.rating);
+    }
+    csr.offsets.push_back(static_cast<int64_t>(csr.idx.size()));
+  }
+  return csr;
+}
+
+}  // namespace
+
+void RatingMatrix::Freeze() {
+  if (frozen_) return;
+  user_csr_ = BuildCsr(by_user_);
+  item_csr_ = BuildCsr(by_item_);
+  frozen_ = true;
+}
+
 void RatingMatrix::Add(int64_t user_id, int64_t item_id, double rating) {
+  frozen_ = false;
   int32_t u = InternUser(user_id);
   int32_t i = InternItem(item_id);
   bool new_in_user = false, new_in_item = false;
@@ -56,6 +86,7 @@ void RatingMatrix::Add(int64_t user_id, int64_t item_id, double rating) {
 }
 
 bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
+  frozen_ = false;
   auto u = UserIndex(user_id);
   auto i = ItemIndex(item_id);
   if (!u || !i) return false;

@@ -22,6 +22,29 @@ struct RatingEntry {
   double rating = 0;
 };
 
+/// Frozen flat-CSR form of one orientation: row r's entries live at
+/// [offsets[r], offsets[r+1]) in the parallel `idx`/`rating` arrays, sorted
+/// by idx. One contiguous allocation per array — batch scoring kernels walk
+/// rows without chasing a pointer per row.
+struct FlatCsr {
+  std::vector<int64_t> offsets;  // size = rows + 1
+  std::vector<int32_t> idx;
+  std::vector<double> rating;
+
+  size_t ApproxBytes() const {
+    return sizeof(FlatCsr) + offsets.capacity() * sizeof(int64_t) +
+           idx.capacity() * sizeof(int32_t) +
+           rating.capacity() * sizeof(double);
+  }
+};
+
+/// A view of one CSR row: `n` entries, idx-ascending, contiguous.
+struct CsrRow {
+  const int32_t* idx = nullptr;
+  const double* rating = nullptr;
+  size_t n = 0;
+};
+
 class RatingMatrix {
  public:
   RatingMatrix() = default;
@@ -70,6 +93,37 @@ class RatingMatrix {
   const std::vector<int64_t>& item_ids() const { return item_ids_; }
   const std::vector<int64_t>& user_ids() const { return user_ids_; }
 
+  /// Build the flat-CSR form of both orientations (idempotent). Model
+  /// factories call this at build time so batch kernels can assume frozen
+  /// storage; Add/Remove invalidate it (the mutable vector-of-vectors stays
+  /// authoritative for incremental updates).
+  void Freeze();
+  bool frozen() const { return frozen_; }
+
+  /// CSR row views; only valid while frozen().
+  CsrRow UserCsrRow(int32_t user_idx) const {
+    RECDB_DCHECK(frozen_);
+    int64_t b = user_csr_.offsets[user_idx];
+    return {user_csr_.idx.data() + b, user_csr_.rating.data() + b,
+            static_cast<size_t>(user_csr_.offsets[user_idx + 1] - b)};
+  }
+  CsrRow ItemCsrRow(int32_t item_idx) const {
+    RECDB_DCHECK(frozen_);
+    int64_t b = item_csr_.offsets[item_idx];
+    return {item_csr_.idx.data() + b, item_csr_.rating.data() + b,
+            static_cast<size_t>(item_csr_.offsets[item_idx + 1] - b)};
+  }
+
+  const FlatCsr& user_csr() const { return user_csr_; }
+  const FlatCsr& item_csr() const { return item_csr_; }
+
+  /// Footprint of the frozen CSR arrays (0 when not frozen) — model
+  /// ApproxBytes implementations add this so memory accounting sees the
+  /// flat storage.
+  size_t CsrApproxBytes() const {
+    return frozen_ ? user_csr_.ApproxBytes() + item_csr_.ApproxBytes() : 0;
+  }
+
  private:
   int32_t InternUser(int64_t user_id);
   int32_t InternItem(int64_t item_id);
@@ -84,6 +138,9 @@ class RatingMatrix {
   std::vector<std::vector<RatingEntry>> by_item_;
   size_t num_ratings_ = 0;
   double rating_sum_ = 0;
+  bool frozen_ = false;
+  FlatCsr user_csr_;
+  FlatCsr item_csr_;
 };
 
 }  // namespace recdb

@@ -76,9 +76,11 @@ Status Recommender::MaterializeUser(int64_t user_id) {
   const size_t morsel =
       std::clamp<size_t>(unseen.size() / (sched.num_threads() * 4), 32, 4096);
   sched.ParallelFor(unseen.size(), morsel, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      scores[i] = model_->Predict(user_id, unseen[i]);
-    }
+    // One PredictBatch per morsel: each score depends only on its own
+    // (user, item) pair, so morsel boundaries cannot change results.
+    model_->PredictBatch(
+        user_id, std::span<const int64_t>(unseen.data() + begin, end - begin),
+        std::span<double>(scores.data() + begin, end - begin));
   });
   for (size_t i = 0; i < unseen.size(); ++i) {
     score_index_.Put(user_id, unseen[i], scores[i]);

@@ -16,16 +16,38 @@ uint64_t PairHash(int64_t u, int64_t i) {
   return h;
 }
 
+/// Fixed-association, auto-vectorizable dot product of two factor rows.
+/// Eight independent float accumulators let the compiler emit SIMD adds and
+/// multiplies (a single double accumulator is a serial dependency chain the
+/// vectorizer may not reorder). The association — lane j sums the k ≡ j
+/// (mod 8) terms, then a fixed reduction tree — is deterministic, and batch
+/// and scalar prediction share this one kernel, so batch == scalar stays
+/// bit-identical by construction.
+inline double DotRows(const float* a, const float* b, int32_t n) {
+  float acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  int32_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    for (int32_t j = 0; j < 8; ++j) acc[j] += a[k + j] * b[k + j];
+  }
+  for (; k < n; ++k) acc[k & 7] += a[k] * b[k];
+  const float s01 = acc[0] + acc[1];
+  const float s23 = acc[2] + acc[3];
+  const float s45 = acc[4] + acc[5];
+  const float s67 = acc[6] + acc[7];
+  return static_cast<double>((s01 + s23) + (s45 + s67));
+}
+
 }  // namespace
 
 std::unique_ptr<SvdModel> SvdModel::Build(
-    std::shared_ptr<const RatingMatrix> ratings, const SvdOptions& opts) {
+    std::shared_ptr<RatingMatrix> ratings, const SvdOptions& opts) {
   return BuildWithHoldout(std::move(ratings), opts, /*holdout_mod=*/0);
 }
 
 std::unique_ptr<SvdModel> SvdModel::BuildWithHoldout(
-    std::shared_ptr<const RatingMatrix> ratings, const SvdOptions& opts,
+    std::shared_ptr<RatingMatrix> ratings, const SvdOptions& opts,
     int32_t holdout_mod) {
+  ratings->Freeze();
   auto model = std::unique_ptr<SvdModel>(new SvdModel(std::move(ratings), opts));
   model->Train(holdout_mod);
   return model;
@@ -40,12 +62,14 @@ void SvdModel::Train(int32_t holdout_mod) {
 
   Rng rng(opts_.seed);
   const double init_scale = 1.0 / std::sqrt(static_cast<double>(f));
-  user_factors_.assign(nu, std::vector<float>(f));
-  item_factors_.assign(ni, std::vector<float>(f));
-  for (auto& vec : user_factors_)
-    for (auto& v : vec) v = static_cast<float>(rng.Gaussian(0, init_scale));
-  for (auto& vec : item_factors_)
-    for (auto& v : vec) v = static_cast<float>(rng.Gaussian(0, init_scale));
+  // Same draw order as the old vector-of-vectors layout (entity-major, then
+  // factor), so flattening does not change the trained model.
+  user_factors_.assign(nu * static_cast<size_t>(f), 0.0f);
+  item_factors_.assign(ni * static_cast<size_t>(f), 0.0f);
+  for (auto& v : user_factors_)
+    v = static_cast<float>(rng.Gaussian(0, init_scale));
+  for (auto& v : item_factors_)
+    v = static_cast<float>(rng.Gaussian(0, init_scale));
   user_bias_.assign(nu, 0.0f);
   item_bias_.assign(ni, 0.0f);
 
@@ -77,8 +101,8 @@ void SvdModel::Train(int32_t holdout_mod) {
     std::shuffle(train.begin(), train.end(), rng.engine());
     double se = 0;
     for (const auto& t : train) {
-      float* pu = user_factors_[t.u].data();
-      float* qi = item_factors_[t.i].data();
+      float* pu = user_factors_.data() + static_cast<size_t>(t.u) * f;
+      float* qi = item_factors_.data() + static_cast<size_t>(t.i) * f;
       float pred = mean;
       if (biases) pred += user_bias_[t.u] + item_bias_[t.i];
       for (int32_t k = 0; k < f; ++k) pred += pu[k] * qi[k];
@@ -109,37 +133,74 @@ void SvdModel::Train(int32_t holdout_mod) {
 }
 
 double SvdModel::PredictByIndex(int32_t u, int32_t i) const {
-  const auto& pu = user_factors_[u];
-  const auto& qi = item_factors_[i];
+  const int32_t f = opts_.num_factors;
+  const float* pu = user_factors_.data() + static_cast<size_t>(u) * f;
+  const float* qi = item_factors_.data() + static_cast<size_t>(i) * f;
   double pred = 0;
   if (opts_.use_biases) {
     pred = global_mean_ + user_bias_[u] + item_bias_[i];
   }
-  for (size_t k = 0; k < pu.size(); ++k) {
+  for (int32_t k = 0; k < f; ++k) {
     pred += static_cast<double>(pu[k]) * qi[k];
   }
   return pred;
 }
 
-double SvdModel::Predict(int64_t user_id, int64_t item_id) const {
+void SvdModel::PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                            std::span<double> out) const {
+  RECDB_DCHECK(items.size() == out.size());
   auto u = ratings_->UserIndex(user_id);
-  auto i = ratings_->ItemIndex(item_id);
-  if (!u || !i) return 0;
-  return PredictByIndex(*u, *i);
+  if (!u) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  // One hash lookup for the user, then two passes per chunk: resolve the
+  // candidate ids first (independent hash probes overlap in the memory
+  // pipeline instead of serializing one lookup per candidate as the scalar
+  // path must), then a pure dot-product pass streaming the contiguous
+  // row-major factor rows.
+  const int32_t f = opts_.num_factors;
+  const float* pu = user_factors_.data() + static_cast<size_t>(*u) * f;
+  const float* qf = item_factors_.data();
+  const bool biases = opts_.use_biases;
+  const double user_base = biases ? global_mean_ + user_bias_[*u] : 0.0;
+  constexpr size_t kChunk = 256;
+  int32_t idx[kChunk];
+  for (size_t base = 0; base < items.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, items.size() - base);
+    for (size_t c = 0; c < n; ++c) {
+      auto i = ratings_->ItemIndex(items[base + c]);
+      idx[c] = i ? *i : -1;
+    }
+    for (size_t c = 0; c < n; ++c) {
+      if (idx[c] < 0) {
+        out[base + c] = 0;  // unknown item
+        continue;
+      }
+      const float* qi = qf + static_cast<size_t>(idx[c]) * f;
+      const double pred = biases ? user_base + item_bias_[idx[c]] : 0.0;
+      out[base + c] = pred + DotRows(pu, qi, f);
+    }
+  }
 }
 
-const std::vector<float>& SvdModel::UserFactors(int32_t user_idx) const {
-  return user_factors_[user_idx];
+std::span<const float> SvdModel::UserFactors(int32_t user_idx) const {
+  const int32_t f = opts_.num_factors;
+  return {user_factors_.data() + static_cast<size_t>(user_idx) * f,
+          static_cast<size_t>(f)};
 }
 
-const std::vector<float>& SvdModel::ItemFactors(int32_t item_idx) const {
-  return item_factors_[item_idx];
+std::span<const float> SvdModel::ItemFactors(int32_t item_idx) const {
+  const int32_t f = opts_.num_factors;
+  return {item_factors_.data() + static_cast<size_t>(item_idx) * f,
+          static_cast<size_t>(f)};
 }
 
 size_t SvdModel::ApproxBytes() const {
-  return (user_factors_.size() + item_factors_.size()) *
-             (opts_.num_factors * sizeof(float) + 24) +
-         (user_bias_.size() + item_bias_.size()) * sizeof(float);
+  return (user_factors_.capacity() + item_factors_.capacity()) *
+             sizeof(float) +
+         (user_bias_.capacity() + item_bias_.capacity()) * sizeof(float) +
+         ratings_->CsrApproxBytes();
 }
 
 }  // namespace recdb

@@ -27,21 +27,25 @@ struct SvdOptions {
 
 class SvdModel : public RecModel {
  public:
-  /// Train on the full snapshot.
+  /// Train on the full snapshot (frozen to flat CSR as a side effect).
   static std::unique_ptr<SvdModel> Build(
-      std::shared_ptr<const RatingMatrix> ratings,
+      std::shared_ptr<RatingMatrix> ratings,
       const SvdOptions& opts = {});
 
   /// Train while holding out every rating with (hash(u,i) % holdout_mod ==
   /// 0); held-out pairs are used for test RMSE only. holdout_mod <= 1 means
   /// no holdout. Accuracy-invariant tests use this.
   static std::unique_ptr<SvdModel> BuildWithHoldout(
-      std::shared_ptr<const RatingMatrix> ratings, const SvdOptions& opts,
+      std::shared_ptr<RatingMatrix> ratings, const SvdOptions& opts,
       int32_t holdout_mod);
 
   RecAlgorithm algorithm() const override { return RecAlgorithm::kSVD; }
 
-  double Predict(int64_t user_id, int64_t item_id) const override;
+  /// The user's factor row is resolved once; each candidate is a dot
+  /// product over contiguous row-major factor storage — a tight,
+  /// auto-vectorizable inner loop (see RECDB_NATIVE in CMakeLists.txt).
+  void PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                    std::span<double> out) const override;
 
   /// Training RMSE at the end of each epoch (monotonicity checks).
   const std::vector<double>& epoch_rmse() const { return epoch_rmse_; }
@@ -49,9 +53,10 @@ class SvdModel : public RecModel {
   /// RMSE over the held-out set (0 when no holdout was used).
   double holdout_rmse() const { return holdout_rmse_; }
 
-  /// Factor vector accessors (paper Figure 2's User/Item Factor tables).
-  const std::vector<float>& UserFactors(int32_t user_idx) const;
-  const std::vector<float>& ItemFactors(int32_t item_idx) const;
+  /// Factor row accessors (paper Figure 2's User/Item Factor tables).
+  /// Views into the single row-major SoA buffer per side.
+  std::span<const float> UserFactors(int32_t user_idx) const;
+  std::span<const float> ItemFactors(int32_t item_idx) const;
 
   size_t ApproxBytes() const override;
 
@@ -65,9 +70,11 @@ class SvdModel : public RecModel {
   double PredictByIndex(int32_t u, int32_t i) const;
 
   SvdOptions opts_;
-  // Row-major [entity][factor] factor matrices.
-  std::vector<std::vector<float>> user_factors_;
-  std::vector<std::vector<float>> item_factors_;
+  // Flat row-major factor matrices: entity e's row is
+  // [e * num_factors, (e + 1) * num_factors) — one contiguous allocation
+  // per side so candidate dot products never chase a per-row pointer.
+  std::vector<float> user_factors_;
+  std::vector<float> item_factors_;
   std::vector<float> user_bias_;
   std::vector<float> item_bias_;
   double global_mean_ = 0;

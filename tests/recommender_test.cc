@@ -60,6 +60,43 @@ TEST(RatingMatrixTest, VectorsAreSortedByDenseIndex) {
   EXPECT_LT(vec[1].idx, vec[2].idx);
 }
 
+TEST(RatingMatrixTest, FreezeBuildsCsrAndMutationInvalidates) {
+  auto m = Figure1Ratings();
+  EXPECT_FALSE(m->frozen());
+  EXPECT_EQ(m->CsrApproxBytes(), 0u);
+  m->Freeze();
+  ASSERT_TRUE(m->frozen());
+  EXPECT_GT(m->CsrApproxBytes(), 0u);
+  // Every CSR row must mirror the mutable vector-of-vectors exactly.
+  for (size_t u = 0; u < m->NumUsers(); ++u) {
+    const auto& vec = m->UserVector(static_cast<int32_t>(u));
+    CsrRow row = m->UserCsrRow(static_cast<int32_t>(u));
+    ASSERT_EQ(row.n, vec.size()) << "user row " << u;
+    for (size_t k = 0; k < row.n; ++k) {
+      EXPECT_EQ(row.idx[k], vec[k].idx);
+      EXPECT_EQ(row.rating[k], vec[k].rating);
+    }
+  }
+  for (size_t i = 0; i < m->NumItems(); ++i) {
+    const auto& vec = m->ItemVector(static_cast<int32_t>(i));
+    CsrRow row = m->ItemCsrRow(static_cast<int32_t>(i));
+    ASSERT_EQ(row.n, vec.size()) << "item row " << i;
+    for (size_t k = 0; k < row.n; ++k) {
+      EXPECT_EQ(row.idx[k], vec[k].idx);
+      EXPECT_EQ(row.rating[k], vec[k].rating);
+    }
+  }
+  // Freeze is idempotent; any mutation invalidates the frozen form.
+  m->Freeze();
+  EXPECT_TRUE(m->frozen());
+  m->Add(9, 9, 2.0);
+  EXPECT_FALSE(m->frozen());
+  m->Freeze();
+  EXPECT_TRUE(m->frozen());
+  m->Remove(9, 9);
+  EXPECT_FALSE(m->frozen());
+}
+
 TEST(SimilarityTest, PairwiseCosineMatchesHandComputation) {
   // a = (1, 2, 0), b = (2, 0, 3) over dims {0,1,2}: dot = 2,
   // |a| = sqrt(5), |b| = sqrt(13).
@@ -98,6 +135,45 @@ TEST(SimilarityTest, SymmetricSimilarity) {
   auto model = ItemCFModel::Build(m, /*centered=*/false);
   EXPECT_NEAR(model->Similarity(1, 2), model->Similarity(2, 1), 1e-9);
   EXPECT_NEAR(model->Similarity(1, 3), model->Similarity(3, 1), 1e-9);
+}
+
+TEST(SimilarityTest, LookupMatchesLinearScanOracle) {
+  // Similarity() binary-searches an idx-sorted view of each neighborhood
+  // row; the stored rows themselves are sim-sorted (and top-k truncation
+  // makes them visibly non-idx-ordered). Every pair must agree with a
+  // brute-force linear scan of the stored row, including absent pairs
+  // (0.0) and ids unknown to the matrix.
+  RatingMatrix m;
+  Rng rng(17);
+  for (int u = 0; u < 30; ++u) {
+    for (int k = 0; k < 9; ++k) {
+      m.Add(u, rng.UniformInt(0, 24), rng.UniformDouble(1, 5));
+    }
+  }
+  for (int32_t top_k : {0, 4}) {
+    SimilarityOptions opts;
+    opts.top_k = top_k;
+    auto mp = std::make_shared<RatingMatrix>(m);
+    auto model = ItemCFModel::Build(mp, /*centered=*/false, opts);
+    for (size_t a = 0; a < mp->NumItems(); ++a) {
+      const auto& row = model->NeighborhoodAt(static_cast<int32_t>(a));
+      for (size_t b = 0; b < mp->NumItems(); ++b) {
+        double oracle = 0;
+        for (const auto& n : row) {
+          if (n.idx == static_cast<int32_t>(b)) {
+            oracle = n.sim;
+            break;
+          }
+        }
+        EXPECT_EQ(model->Similarity(mp->ItemIdAt(static_cast<int32_t>(a)),
+                                    mp->ItemIdAt(static_cast<int32_t>(b))),
+                  oracle)
+            << "items " << a << "," << b << " top_k=" << top_k;
+      }
+    }
+    EXPECT_EQ(model->Similarity(0, 424242), 0.0);
+    EXPECT_EQ(model->Similarity(424242, 0), 0.0);
+  }
 }
 
 TEST(SimilarityTest, CosineRangeIsBounded) {
