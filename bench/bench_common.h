@@ -196,6 +196,14 @@ inline std::string InList(const std::vector<int64_t>& ids) {
   return out;
 }
 
+/// `"metrics": {...}` member for a BENCH_*.json file: the process-wide
+/// MetricsRegistry snapshot at write time, so a benchmark's JSON carries the
+/// engine counters (buffer pool, scheduler, cache, predict batches, ...)
+/// that accumulated while it ran. Embed inside an object, after a comma.
+inline std::string MetricsJsonSection() {
+  return std::string("\"metrics\": ") + RecDB::MetricsJson();
+}
+
 /// Execute through RecDB, aborting the bench on error.
 inline ResultSet MustExecute(RecDB* db, const std::string& sql) {
   auto r = db->Execute(sql);

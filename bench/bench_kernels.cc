@@ -145,7 +145,7 @@ bool WriteKernelsJson() {
   f << "{\n  \"config\": {\"dataset\": \"" << WhichName(kWhich)
     << "\", \"users\": " << kNumUsers << ", \"threads\": 1, \"smoke\": "
     << (SmokeMode() ? "true" : "false") << "},\n  \"results\": [\n"
-    << results << "\n  ]\n}\n";
+    << results << "\n  ],\n  " << MetricsJsonSection() << "\n}\n";
   return all_match;
 }
 

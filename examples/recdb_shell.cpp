@@ -4,7 +4,8 @@
 //   ./build/examples/recdb_shell ml         # preloaded MovieLens dataset
 //   ./build/examples/recdb_shell ldos|yelp  # other paper datasets
 //
-// Meta-commands:  \tables  \recommenders  \stats  \timing  \help  \q
+// Meta-commands:  \tables  \recommenders  \stats  \metrics  \trace  \timing
+//                 \help  \q
 // Everything else is executed as SQL (multi-line; terminate with ';').
 #include <cstdio>
 #include <iostream>
@@ -14,6 +15,7 @@
 #include "common/task_scheduler.h"
 #include "common/string_util.h"
 #include "datagen/datagen.h"
+#include "obs/metrics.h"
 
 using recdb::RecDB;
 
@@ -35,7 +37,10 @@ void PrintHelp() {
       "  ANALYZE [t]                  (collect planner statistics; all tables\n"
       "                                when no table is named)\n"
       "  SET parallelism = N          (worker threads for scoring/builds)\n"
-      "meta: \\tables \\recommenders \\stats \\timing \\help \\q\n");
+      "  SET trace = on|off           (record a span tree per query; view\n"
+      "                                with \\trace)\n"
+      "meta: \\tables \\recommenders \\stats \\metrics [all] \\trace \\timing\n"
+      "      \\help \\q\n");
 }
 
 }  // namespace
@@ -129,6 +134,19 @@ int main(int argc, char** argv) {
             sched.total_worker_ms());
         std::printf("  scoring: %llu predictions in %llu batches\n",
                     predict_calls, predict_batches);
+      } else if (trimmed == "\\metrics" || trimmed == "\\metrics all") {
+        // `\metrics` hides zero-valued entries; `\metrics all` shows every
+        // metric in the registry (the full inventory of metric_names.h).
+        bool only_nonzero = trimmed == "\\metrics";
+        std::printf("%s", recdb::obs::MetricsRegistry::Global()
+                              .ToTable(only_nonzero)
+                              .c_str());
+      } else if (trimmed == "\\trace") {
+        if (db.last_trace().empty()) {
+          std::printf("no trace recorded — run SET trace = on; then a query\n");
+        } else {
+          std::printf("%s", db.last_trace().c_str());
+        }
       } else if (trimmed == "\\timing") {
         timing = !timing;
         std::printf("timing %s\n", timing ? "on" : "off");

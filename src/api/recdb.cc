@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/task_scheduler.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "stats/analyzer.h"
 
@@ -33,13 +34,22 @@ constexpr size_t kMetaPageCapacity = kPageSize - kMetaPageHeader;
 constexpr char kMetaMagic[] = "RECDBMETA1";
 constexpr size_t kMetaMagicLen = sizeof(kMetaMagic) - 1;
 
+// Promote per-query ExecStats into the process-wide registry so `\metrics`
+// and MetricsJson() see executor activity without a ResultSet in hand.
+void PublishExecStats(const ExecStats& stats) {
+  obs::Count(obs::Counter::kExecTuplesScanned, stats.tuples_scanned);
+  obs::Count(obs::Counter::kExecPredictions, stats.predictions);
+  obs::Count(obs::Counter::kExecJoinProbes, stats.join_probes);
+}
+
 }  // namespace
 
 RecDB::RecDB(RecDBOptions options, std::unique_ptr<DiskManager> disk)
     : options_(options),
       disk_(disk != nullptr ? std::move(disk)
                             : std::make_unique<InMemoryDiskManager>()),
-      clock_(&default_clock_) {
+      clock_(&default_clock_),
+      trace_enabled_(options.trace) {
   if (options_.parallelism > 0) {
     TaskScheduler::SetGlobalParallelism(options_.parallelism);
   }
@@ -282,13 +292,38 @@ Status RecDB::LoadMeta() {
 
 Result<ResultSet> RecDB::Execute(const std::string& sql) {
   if (closed_) return Status::InvalidArgument("database is closed");
-  RECDB_ASSIGN_OR_RETURN(auto stmts, Parser::Parse(sql));
+  if (trace_enabled_) {
+    active_tracer_ = std::make_unique<obs::Tracer>("query");
+  }
+  auto result = ExecuteScript(sql);
+  if (active_tracer_ != nullptr) {
+    // Render even on error so a failing query's partial trace is visible.
+    active_tracer_->Finish();
+    last_trace_ = active_tracer_->Render();
+    active_tracer_.reset();
+    if (result.ok()) result.value().trace = last_trace_;
+  }
+  return result;
+}
+
+std::string RecDB::MetricsJson() {
+  return obs::MetricsRegistry::Global().ToJson();
+}
+
+Result<ResultSet> RecDB::ExecuteScript(const std::string& sql) {
+  int parse_span = active_tracer_ != nullptr
+                       ? active_tracer_->BeginSpan("parse")
+                       : -1;
+  auto parsed = Parser::Parse(sql);
+  if (parse_span >= 0) active_tracer_->EndSpan(parse_span);
+  RECDB_ASSIGN_OR_RETURN(auto stmts, std::move(parsed));
   uint64_t read_failures = disk_->num_read_failures();
   uint64_t write_failures = disk_->num_write_failures();
   uint64_t retries = disk_->num_retries();
   uint64_t checksum_failures = disk_->num_checksum_failures();
   ResultSet last;
   for (const auto& stmt : stmts) {
+    obs::Count(obs::Counter::kQueryStatements);
     RECDB_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
   }
   last.stats.io_read_failures += disk_->num_read_failures() - read_failures;
@@ -356,6 +391,7 @@ Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
           if (!next.has_value()) break;
         }
         rs.stats = ctx.stats;
+        PublishExecStats(ctx.stats);
         rendered = plan->ToString(0, &ctx.actual_rows);
       } else {
         rendered = plan->ToString();
@@ -424,19 +460,47 @@ Result<ResultSet> RecDB::ExecuteSet(const SetStatement& stmt) {
     rs.message = "parallelism set to " + std::to_string(n);
     return rs;
   }
+  if (stmt.option == "trace") {
+    bool enable;
+    if (stmt.value.type() == TypeId::kInt64) {
+      enable = stmt.value.AsInt() != 0;
+    } else if (stmt.value.type() == TypeId::kString) {
+      std::string v = ToLower(stmt.value.AsString());
+      if (v == "on" || v == "true" || v == "1") {
+        enable = true;
+      } else if (v == "off" || v == "false" || v == "0") {
+        enable = false;
+      } else {
+        return Status::InvalidArgument(
+            "SET trace expects on/off (got '" + stmt.value.AsString() + "')");
+      }
+    } else {
+      return Status::InvalidArgument("SET trace expects on/off");
+    }
+    trace_enabled_ = enable;
+    ResultSet rs;
+    rs.message = std::string("trace ") + (enable ? "enabled" : "disabled");
+    return rs;
+  }
   return Status::InvalidArgument("unknown option in SET: " + stmt.option);
 }
 
 Result<ResultSet> RecDB::ExecuteSelect(const SelectStatement& stmt) {
+  obs::Count(obs::Counter::kQuerySelects);
   Stopwatch watch;
+  obs::Tracer* tracer = active_tracer_.get();
+  int plan_span = tracer != nullptr ? tracer->BeginSpan("plan") : -1;
   Planner planner(catalog_.get(), &registry_, options_.planner);
   RECDB_ASSIGN_OR_RETURN(auto planned, planner.PlanSelect(stmt));
   Optimizer optimizer(options_.planner);
   RECDB_ASSIGN_OR_RETURN(auto plan, optimizer.Optimize(std::move(planned.plan)));
+  if (plan_span >= 0) tracer->EndSpan(plan_span);
 
   NotifyRecommendQuery(*plan);
 
+  int exec_span = tracer != nullptr ? tracer->BeginSpan("execute") : -1;
   ExecContext ctx;
+  ctx.tracer = tracer;
   RECDB_ASSIGN_OR_RETURN(auto exec, CreateExecutor(*plan, &ctx));
   RECDB_RETURN_NOT_OK(exec->Init());
 
@@ -447,10 +511,19 @@ Result<ResultSet> RecDB::ExecuteSelect(const SelectStatement& stmt) {
     if (!next.has_value()) break;
     rs.rows.push_back(std::move(*next));
   }
+  if (exec_span >= 0) {
+    // Materialize the per-executor spans (accumulated via RecordNode during
+    // the drain) under the execute span, then close it.
+    tracer->AttachPlan(*plan);
+    tracer->EndSpan(exec_span);
+  }
   // Rendered after the drain so est/act annotations are both available.
   rs.plan = plan->ToString(0, &ctx.actual_rows);
   rs.stats = ctx.stats;
   rs.elapsed_seconds = watch.ElapsedSeconds();
+  PublishExecStats(ctx.stats);
+  obs::Count(obs::Counter::kQueryRowsEmitted, rs.rows.size());
+  obs::ObserveUs(obs::Histogram::kQueryLatencyUs, rs.elapsed_seconds * 1e6);
   return rs;
 }
 

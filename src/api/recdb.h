@@ -19,6 +19,7 @@
 #include "cache/cache_manager.h"
 #include "common/status.h"
 #include "execution/executor.h"
+#include "obs/tracer.h"
 #include "planner/optimizer.h"
 #include "planner/planner.h"
 #include "storage/catalog.h"
@@ -41,6 +42,11 @@ struct RecDBOptions {
   /// the process-wide scheduler unchanged (it defaults to 1 = serial).
   /// Runtime-adjustable via `SET parallelism = N`.
   size_t parallelism = 0;
+  /// Record a per-query span tree (parse -> plan -> execute with one span
+  /// per executor node) into ResultSet::trace / last_trace(). Runtime-
+  /// adjustable via `SET trace = on|off`. Off by default: the executor hot
+  /// path then skips all timing and allocates nothing for tracing.
+  bool trace = false;
 };
 
 /// Result of one executed statement.
@@ -51,6 +57,8 @@ struct ResultSet {
   std::string message;
   /// Optimized physical plan (SELECT only).
   std::string plan;
+  /// Rendered span tree of the script (non-empty only under SET trace = on).
+  std::string trace;
   ExecStats stats;
   double elapsed_seconds = 0;
 
@@ -94,6 +102,15 @@ class RecDB {
   /// Plan a SELECT without executing (EXPLAIN).
   Result<std::string> Explain(const std::string& sql);
 
+  /// JSON snapshot of the process-wide MetricsRegistry (every counter,
+  /// gauge, and histogram in src/obs/metric_names.h) for programmatic
+  /// scrapes; see docs/OPERATIONS.md for the field reference.
+  static std::string MetricsJson();
+
+  /// Rendered span tree of the most recent traced Execute() call (empty
+  /// until a statement runs under `SET trace = on`).
+  const std::string& last_trace() const { return last_trace_; }
+
   // --- direct access for tools, tests and benchmarks ---
   Catalog* catalog() { return catalog_.get(); }
   RecommenderRegistry* registry() { return &registry_; }
@@ -126,6 +143,9 @@ class RecDB {
                     const std::vector<std::vector<Value>>& rows);
 
  private:
+  /// Execute() body; split out so the caller can finish/render the tracer
+  /// on every path, including mid-script errors.
+  Result<ResultSet> ExecuteScript(const std::string& sql);
   Result<ResultSet> ExecuteStatement(const Statement& stmt);
   Result<ResultSet> ExecuteSelect(const SelectStatement& stmt);
   Result<ResultSet> ExecuteCreateTable(const CreateTableStatement& stmt);
@@ -171,6 +191,11 @@ class RecDB {
   const Clock* clock_;
   std::unordered_map<std::string, std::unique_ptr<CacheManager>>
       cache_managers_;
+  /// `SET trace = on` state; seeded from RecDBOptions::trace.
+  bool trace_enabled_ = false;
+  /// Live tracer for the Execute() call in flight (null when tracing off).
+  std::unique_ptr<obs::Tracer> active_tracer_;
+  std::string last_trace_;
 };
 
 }  // namespace recdb

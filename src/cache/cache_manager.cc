@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/task_scheduler.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace recdb {
 
@@ -12,6 +14,7 @@ void CacheManager::RecordQuery(int64_t user_id) {
   ++s.query_count;
   ++s.window_query_count;
   s.last_query_ts = clock_->Now();
+  obs::Count(obs::Counter::kCacheQueriesRecorded);
 }
 
 void CacheManager::RecordUpdate(int64_t item_id) {
@@ -19,6 +22,7 @@ void CacheManager::RecordUpdate(int64_t item_id) {
   ++s.update_count;
   ++s.window_update_count;
   s.last_update_ts = clock_->Now();
+  obs::Count(obs::Counter::kCacheUpdatesRecorded);
 }
 
 const UserStats* CacheManager::GetUserStats(int64_t user_id) const {
@@ -45,6 +49,10 @@ Result<CacheDecision> CacheManager::Run() {
     return Status::ExecutionError(
         "cache manager requires an initialized recommender");
   }
+  Stopwatch run_watch;
+  // Pairs that moved from cold to hot this run (the reverse direction is
+  // every eviction, by definition).
+  uint64_t crossings_up = 0;
   const double now = clock_->Now();
   const double window = std::max(now - last_run_ts_, 1e-9);
 
@@ -88,6 +96,7 @@ Result<CacheDecision> CacheManager::Run() {
       examined.emplace(uid, iid);
       double hot = Hotness(uid, iid);
       if (hot >= threshold_) {
+        if (!index->GetScore(uid, iid).has_value()) ++crossings_up;
         decision.admitted.emplace_back(uid, iid);
       } else if (index->GetScore(uid, iid).has_value()) {
         index->Erase(uid, iid);
@@ -141,6 +150,13 @@ Result<CacheDecision> CacheManager::Run() {
       decision.evicted.emplace_back(uid, iid);
     }
   }
+  obs::Count(obs::Counter::kCacheRuns);
+  obs::Count(obs::Counter::kCacheAdmissions, decision.admitted.size());
+  obs::Count(obs::Counter::kCacheEvictions, decision.evicted.size());
+  obs::Count(obs::Counter::kCacheHotnessCrossings,
+             crossings_up + decision.evicted.size());
+  obs::ObserveUs(obs::Histogram::kCacheRunUs,
+                 static_cast<uint64_t>(run_watch.ElapsedSeconds() * 1e6));
   return decision;
 }
 

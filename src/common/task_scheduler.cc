@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace recdb {
 
@@ -17,6 +18,8 @@ void TaskScheduler::StartWorkers() {
   for (size_t i = 0; i + 1 < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  obs::SetGauge(obs::Gauge::kSchedulerThreads,
+                static_cast<int64_t>(num_threads_));
 }
 
 void TaskScheduler::StopWorkers() {
@@ -71,8 +74,16 @@ void TaskScheduler::RunMorsels(Job* job) {
   uint64_t tasks = 0;
   while (true) {
     size_t begin = job->next.fetch_add(job->morsel, std::memory_order_relaxed);
-    if (begin >= job->n) break;
+    if (begin >= job->n) {
+      obs::SetGauge(obs::Gauge::kSchedulerQueueDepth, 0);
+      break;
+    }
     size_t end = std::min(begin + job->morsel, job->n);
+    // Morsels nobody has claimed yet; last-writer-wins across workers is
+    // fine for a depth gauge.
+    obs::SetGauge(obs::Gauge::kSchedulerQueueDepth,
+                  static_cast<int64_t>((job->n - end + job->morsel - 1) /
+                                       job->morsel));
     (*job->fn)(begin, end);
     ++tasks;
   }
@@ -117,6 +128,10 @@ TaskRunStats TaskScheduler::ParallelFor(
   total_worker_nanos_.fetch_add(
       job.worker_nanos.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+  obs::Count(obs::Counter::kSchedulerLoops);
+  obs::Count(obs::Counter::kSchedulerTasksSpawned, out.tasks_spawned);
+  obs::Count(obs::Counter::kSchedulerWorkerBusyUs,
+             job.worker_nanos.load(std::memory_order_relaxed) / 1000);
   return out;
 }
 

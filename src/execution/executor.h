@@ -6,11 +6,13 @@
 // recommendation operator finishes all predictions.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "obs/tracer.h"
 #include "planner/plan_node.h"
 #include "types/tuple.h"
 
@@ -40,6 +42,10 @@ struct ExecContext {
   /// Actual rows emitted per plan node (EXPLAIN ANALYZE), keyed by node
   /// address; filled by the Executor::Next wrapper as tuples flow.
   ActualRowMap actual_rows;
+  /// Non-null when `SET trace = on`: the Next wrapper times each NextImpl
+  /// call and accumulates per-node inclusive durations into the tracer.
+  /// Null (the default) keeps the hot path untimed and allocation-free.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Executor {
@@ -52,8 +58,13 @@ class Executor {
   virtual Status Init() = 0;
 
   /// Produce the next tuple, or nullopt when exhausted. Counts emitted
-  /// tuples into ExecContext::actual_rows for EXPLAIN ANALYZE.
+  /// tuples into ExecContext::actual_rows for EXPLAIN ANALYZE, and — when a
+  /// tracer is attached — accumulates this node's inclusive NextImpl time
+  /// for the per-executor trace spans.
   Result<std::optional<Tuple>> Next() {
+    if (exec_ctx_ != nullptr && exec_ctx_->tracer != nullptr) {
+      return TracedNext();
+    }
     auto r = NextImpl();
     if (r.ok() && r.value().has_value() && exec_ctx_ != nullptr) {
       ++exec_ctx_->actual_rows[node_];
@@ -65,6 +76,19 @@ class Executor {
   virtual Result<std::optional<Tuple>> NextImpl() = 0;
 
  private:
+  Result<std::optional<Tuple>> TracedNext() {
+    const auto start = std::chrono::steady_clock::now();
+    auto r = NextImpl();
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    const bool produced = r.ok() && r.value().has_value();
+    exec_ctx_->tracer->RecordNode(node_, ns, produced);
+    if (produced) ++exec_ctx_->actual_rows[node_];
+    return r;
+  }
+
   const PlanNode* node_;
   ExecContext* exec_ctx_;
 };

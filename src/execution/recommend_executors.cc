@@ -5,6 +5,7 @@
 #include <span>
 
 #include "common/task_scheduler.h"
+#include "obs/metrics.h"
 
 namespace recdb {
 
@@ -235,26 +236,41 @@ Status JoinRecommendExecutor::FillWindow() {
   window_.clear();
   window_items_.clear();
   window_known_.clear();
+  window_scores_.clear();
+  window_skip_.clear();
   window_slot_ = 0;
   window_user_ = 0;
+  // Stats and window state are committed only once the fill completes: an
+  // outer error mid-fill must leave neither a partial window (whose score/
+  // skip arrays still have the previous window's size — a retrying caller
+  // would emit garbage or read out of bounds) nor already-counted probes
+  // (a re-Init re-run sharing this ExecContext would double-count them).
+  uint64_t probes = 0;
   while (window_.size() < kJoinProbeWindow) {
-    RECDB_ASSIGN_OR_RETURN(auto next, outer_->Next());
-    if (!next.has_value()) {
+    auto next = outer_->Next();
+    if (!next.ok()) {
+      window_.clear();
+      window_items_.clear();
+      window_known_.clear();
+      return next.status();
+    }
+    if (!next.value().has_value()) {
       outer_done_ = true;
       break;
     }
-    ++ctx_->stats.join_probes;
-    const Value& item_val = next->At(plan_.outer_item_col);
+    ++probes;
+    const Value& item_val = next.value()->At(plan_.outer_item_col);
     int64_t item_id = 0;
     bool known = false;
     if (!item_val.is_null() && item_val.type() == TypeId::kInt64) {
       item_id = item_val.AsInt();
       known = snapshot.ItemIndex(item_id).has_value();
     }
-    window_.push_back(std::move(*next));
+    window_.push_back(std::move(*next.value()));
     window_items_.push_back(item_id);
     window_known_.push_back(known ? 1 : 0);
   }
+  ctx_->stats.join_probes += probes;
   const size_t w = window_.size();
   window_scores_.assign(valid_users_.size() * w, 0.0);
   window_skip_.assign(valid_users_.size() * w, 0);
@@ -383,6 +399,7 @@ Status IndexRecommendExecutor::LoadCurrentUser() {
     // Phase II/III of Algorithm 3: walk the user's RecTree best-first,
     // stopping at the rating bound; filter items; cap at the limit.
     ++ctx_->stats.index_hits;
+    obs::Count(obs::Counter::kRecIndexUserHits);
     index.Scan(user_id, plan_.min_score, [&](int64_t item, double score) {
       if (item_ok(item)) current_.emplace_back(item, score);
       return plan_.per_user_limit == 0 ||
@@ -394,6 +411,7 @@ Status IndexRecommendExecutor::LoadCurrentUser() {
   // Cache miss: fall back to the model — collect the user's unseen
   // candidates, score them in one batch, then sort and cap.
   ++ctx_->stats.index_misses;
+  obs::Count(obs::Counter::kRecIndexUserMisses);
   const RecModel* model = plan_.rec->model();
   const RatingMatrix& snapshot = model->ratings();
   const std::vector<int64_t>& items =

@@ -2,7 +2,17 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace recdb {
+namespace {
+
+void PublishSizeGauges(size_t users, size_t entries) {
+  obs::SetGauge(obs::Gauge::kRecIndexUsers, static_cast<int64_t>(users));
+  obs::SetGauge(obs::Gauge::kRecIndexEntries, static_cast<int64_t>(entries));
+}
+
+}  // namespace
 
 void RecScoreIndex::Put(int64_t user_id, int64_t item_id, double score) {
   auto& entry = users_[user_id];
@@ -18,6 +28,8 @@ void RecScoreIndex::Put(int64_t user_id, int64_t item_id, double score) {
     ++num_entries_;
   }
   entry.tree->Insert(RecScoreKey{score, item_id}, 0);
+  obs::Count(obs::Counter::kRecIndexPuts);
+  PublishSizeGauges(users_.size(), num_entries_);
 }
 
 bool RecScoreIndex::Erase(int64_t user_id, int64_t item_id) {
@@ -30,14 +42,19 @@ bool RecScoreIndex::Erase(int64_t user_id, int64_t item_id) {
   entry.item_scores.erase(it);
   --num_entries_;
   if (entry.item_scores.empty()) users_.erase(uit);
+  obs::Count(obs::Counter::kRecIndexErases);
+  PublishSizeGauges(users_.size(), num_entries_);
   return true;
 }
 
 void RecScoreIndex::EraseUser(int64_t user_id) {
   auto uit = users_.find(user_id);
   if (uit == users_.end()) return;
-  num_entries_ -= uit->second.item_scores.size();
+  const size_t dropped = uit->second.item_scores.size();
+  num_entries_ -= dropped;
   users_.erase(uit);
+  obs::Count(obs::Counter::kRecIndexErases, dropped);
+  PublishSizeGauges(users_.size(), num_entries_);
 }
 
 std::optional<double> RecScoreIndex::GetScore(int64_t user_id,

@@ -1,0 +1,117 @@
+// Single source of truth for every engine metric name.
+//
+// Each metric is declared exactly once in one of the X-macro tables below and
+// expanded into (a) the Counter/Gauge/Histogram enums in obs/metrics.h and
+// (b) the name/unit/help arrays used by snapshots, `\metrics`, and
+// MetricsJson(). docs/OPERATIONS.md documents every name listed here;
+// tools/docs_lint.py cross-checks the two files and CI fails on drift, so a
+// metric added (or renamed) here must be documented in the same change.
+//
+// Naming convention: "<subsystem>.<what>", lower_snake within components.
+// Counters are monotonic over the process lifetime; gauges are last-writer
+// instantaneous values; histograms record latency in microseconds.
+#pragma once
+
+// X(enum_id, "name", "unit", "help")
+#define RECDB_COUNTER_METRICS(X)                                              \
+  X(kBufferPoolHits, "bufferpool.hits", "pages",                              \
+    "Fetch() served from a resident frame")                                   \
+  X(kBufferPoolMisses, "bufferpool.misses", "pages",                          \
+    "Fetch() that had to read the page from disk")                            \
+  X(kBufferPoolEvictions, "bufferpool.evictions", "pages",                    \
+    "LRU victim frames reclaimed to make room")                               \
+  X(kBufferPoolFlushes, "bufferpool.flushes", "pages",                        \
+    "dirty pages written back to the disk manager")                           \
+  X(kDiskReads, "disk.reads", "pages", "page reads issued to the disk layer") \
+  X(kDiskWrites, "disk.writes", "pages",                                      \
+    "page writes issued to the disk layer")                                   \
+  X(kDiskReadFailures, "disk.read_failures", "ops",                           \
+    "reads that failed after retry was exhausted")                            \
+  X(kDiskWriteFailures, "disk.write_failures", "ops",                         \
+    "writes that failed after retry was exhausted")                           \
+  X(kDiskRetries, "disk.retries", "ops",                                      \
+    "transient-fault retries attempted by RunWithRetry")                      \
+  X(kDiskChecksumFailures, "disk.checksum_failures", "pages",                 \
+    "page reads rejected by the CRC32 checksum")                              \
+  X(kRecIndexPuts, "recindex.puts", "entries",                                \
+    "(user,item,score) entries inserted/overwritten in RecScoreIndex")        \
+  X(kRecIndexErases, "recindex.erases", "entries",                            \
+    "entries removed from RecScoreIndex (incl. user erases)")                 \
+  X(kRecIndexUserHits, "recindex.user_hits", "lookups",                       \
+    "IndexRecommend found the query user materialized in the index")          \
+  X(kRecIndexUserMisses, "recindex.user_misses", "lookups",                   \
+    "IndexRecommend fell back to the model for an un-materialized user")      \
+  X(kCacheRuns, "cache.runs", "runs",                                         \
+    "CacheManager::Run maintenance sweeps executed")                          \
+  X(kCacheAdmissions, "cache.admissions", "users",                            \
+    "users admitted (materialized) by a maintenance run")                     \
+  X(kCacheEvictions, "cache.evictions", "users",                              \
+    "users evicted from the index by a maintenance run")                      \
+  X(kCacheHotnessCrossings, "cache.hotness_crossings", "users",              \
+    "hotness-threshold crossings observed (either direction)")                \
+  X(kCacheQueriesRecorded, "cache.queries_recorded", "events",                \
+    "RECOMMEND demand events recorded via RecordQuery")                       \
+  X(kCacheUpdatesRecorded, "cache.updates_recorded", "events",                \
+    "rating-update events recorded via RecordUpdate")                         \
+  X(kSchedulerLoops, "scheduler.loops", "loops",                              \
+    "ParallelFor invocations dispatched to the worker pool")                  \
+  X(kSchedulerTasksSpawned, "scheduler.tasks_spawned", "morsels",             \
+    "morsels claimed and run by workers")                                     \
+  X(kSchedulerWorkerBusyUs, "scheduler.worker_busy_us", "us",                 \
+    "cumulative per-worker busy time across all loops")                       \
+  X(kModelBuilds, "model.builds", "builds",                                   \
+    "full model (re)builds via Recommender::Build")                           \
+  X(kModelPredictCalls, "model.predict_calls", "predictions",                 \
+    "individual (user,item) scores produced by PredictBatch")                 \
+  X(kModelPredictBatches, "model.predict_batches", "batches",                 \
+    "PredictBatch invocations (batch-of-one Predict included)")               \
+  X(kPlannerRuleMergeFilters, "planner.rule_merge_filters", "hits",           \
+    "MergeFilters rewrite applications")                                      \
+  X(kPlannerRuleFilterPushdown, "planner.rule_filter_pushdown", "hits",       \
+    "PushFilterThroughJoin rewrite applications")                             \
+  X(kPlannerRuleFilterRecommend, "planner.rule_filter_recommend", "hits",     \
+    "PushFilterIntoRecommend rewrite applications")                           \
+  X(kPlannerRuleHashJoin, "planner.rule_hash_join", "hits",                   \
+    "NljToHashJoin rewrite applications")                                     \
+  X(kPlannerRuleJoinRecommend, "planner.rule_join_recommend", "hits",         \
+    "JoinToJoinRecommend rewrite applications")                               \
+  X(kPlannerRuleIndexRecommend, "planner.rule_index_recommend", "hits",       \
+    "TopNToIndexRecommend rewrite applications")                              \
+  X(kPlannerCostFlips, "planner.cost_flips", "flips",                         \
+    "phase-2 cost pass decisions that undid/declined a phase-1 rewrite")      \
+  X(kQueryStatements, "query.statements", "statements",                       \
+    "statements executed through RecDB::Execute")                             \
+  X(kQuerySelects, "query.selects", "queries",                                \
+    "SELECT (incl. RECOMMEND) queries executed")                              \
+  X(kQueryRowsEmitted, "query.rows_emitted", "rows",                          \
+    "result rows returned to clients")                                        \
+  X(kExecTuplesScanned, "exec.tuples_scanned", "tuples",                      \
+    "tuples produced by table scans (promoted from ExecStats)")               \
+  X(kExecPredictions, "exec.predictions", "predictions",                      \
+    "candidate scores computed on the query path (promoted from ExecStats)")  \
+  X(kExecJoinProbes, "exec.join_probes", "tuples",                            \
+    "outer tuples probed by join operators (promoted from ExecStats)")
+
+#define RECDB_GAUGE_METRICS(X)                                                \
+  X(kBufferPoolResidentPages, "bufferpool.resident_pages", "pages",           \
+    "frames currently holding a page")                                        \
+  X(kSchedulerThreads, "scheduler.threads", "threads",                        \
+    "worker threads in the global TaskScheduler")                             \
+  X(kSchedulerQueueDepth, "scheduler.queue_depth", "morsels",                 \
+    "morsels still unclaimed in the most recent loop")                        \
+  X(kRecIndexEntries, "recindex.entries", "entries",                          \
+    "(user,item) pairs currently materialized in RecScoreIndex")              \
+  X(kRecIndexUsers, "recindex.users", "users",                                \
+    "distinct users currently materialized in RecScoreIndex")
+
+#define RECDB_HISTOGRAM_METRICS(X)                                            \
+  X(kQueryLatencyUs, "query.latency_us", "us",                                \
+    "end-to-end SELECT latency (plan + execute)")                             \
+  X(kModelTrainUs, "model.train_us", "us",                                    \
+    "Recommender::Build wall-clock per build")                                \
+  X(kModelNeighborhoodUs, "model.neighborhood_us", "us",                      \
+    "BuildNeighborhoods wall-clock per similarity build")                     \
+  X(kCacheRunUs, "cache.run_us", "us",                                        \
+    "CacheManager::Run wall-clock per maintenance sweep")                     \
+  X(kCacheMaterializeUs, "cache.materialize_us", "us",                        \
+    "MaterializeUser wall-clock per admitted user")

@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace recdb::obs {
+namespace {
+
+constexpr const char* kCounterNames[] = {
+#define X(id, name, unit, help) name,
+    RECDB_COUNTER_METRICS(X)
+#undef X
+};
+constexpr const char* kCounterUnits[] = {
+#define X(id, name, unit, help) unit,
+    RECDB_COUNTER_METRICS(X)
+#undef X
+};
+constexpr const char* kCounterHelp[] = {
+#define X(id, name, unit, help) help,
+    RECDB_COUNTER_METRICS(X)
+#undef X
+};
+constexpr const char* kGaugeNames[] = {
+#define X(id, name, unit, help) name,
+    RECDB_GAUGE_METRICS(X)
+#undef X
+};
+constexpr const char* kGaugeUnits[] = {
+#define X(id, name, unit, help) unit,
+    RECDB_GAUGE_METRICS(X)
+#undef X
+};
+constexpr const char* kGaugeHelp[] = {
+#define X(id, name, unit, help) help,
+    RECDB_GAUGE_METRICS(X)
+#undef X
+};
+constexpr const char* kHistogramNames[] = {
+#define X(id, name, unit, help) name,
+    RECDB_HISTOGRAM_METRICS(X)
+#undef X
+};
+constexpr const char* kHistogramUnits[] = {
+#define X(id, name, unit, help) unit,
+    RECDB_HISTOGRAM_METRICS(X)
+#undef X
+};
+constexpr const char* kHistogramHelp[] = {
+#define X(id, name, unit, help) help,
+    RECDB_HISTOGRAM_METRICS(X)
+#undef X
+};
+
+}  // namespace
+
+const char* CounterName(Counter c) {
+  return kCounterNames[static_cast<size_t>(c)];
+}
+const char* CounterUnit(Counter c) {
+  return kCounterUnits[static_cast<size_t>(c)];
+}
+const char* CounterHelp(Counter c) {
+  return kCounterHelp[static_cast<size_t>(c)];
+}
+const char* GaugeName(Gauge g) { return kGaugeNames[static_cast<size_t>(g)]; }
+const char* GaugeUnit(Gauge g) { return kGaugeUnits[static_cast<size_t>(g)]; }
+const char* GaugeHelp(Gauge g) { return kGaugeHelp[static_cast<size_t>(g)]; }
+const char* HistogramName(Histogram h) {
+  return kHistogramNames[static_cast<size_t>(h)];
+}
+const char* HistogramUnit(Histogram h) {
+  return kHistogramUnits[static_cast<size_t>(h)];
+}
+const char* HistogramHelp(Histogram h) {
+  return kHistogramHelp[static_cast<size_t>(h)];
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumHistogramBuckets; ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate within [lower, upper] by the fraction of the bucket's
+      // population below the target rank.
+      const double lower = i == 0 ? 0.0
+                                  : static_cast<double>(
+                                        kHistogramBoundsUs[i - 1]);
+      const double upper = i < kNumHistogramBounds
+                               ? static_cast<double>(kHistogramBoundsUs[i])
+                               : lower * 2.0;
+      const double frac =
+          (target - static_cast<double>(cumulative)) / in_bucket;
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(kHistogramBoundsUs[kNumHistogramBounds - 1]);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    snap.gauges[i] = gauges_[i].load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    HistogramSnapshot& h = snap.histograms[i];
+    h.name = kHistogramNames[i];
+    h.count = hists_[i].count.load(std::memory_order_relaxed);
+    h.sum_us = hists_[i].sum_us.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kNumHistogramBuckets; ++b) {
+      h.buckets[b] = hists_[i].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToTable(bool only_nonzero) const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  out += "counters:\n";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (only_nonzero && snap.counters[i] == 0) continue;
+    out += StringFormat("  %-32s %12llu %s\n", kCounterNames[i],
+                        static_cast<unsigned long long>(snap.counters[i]),
+                        kCounterUnits[i]);
+  }
+  out += "gauges:\n";
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    if (only_nonzero && snap.gauges[i] == 0) continue;
+    out += StringFormat("  %-32s %12lld %s\n", kGaugeNames[i],
+                        static_cast<long long>(snap.gauges[i]),
+                        kGaugeUnits[i]);
+  }
+  out += "histograms (us):\n";
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    if (only_nonzero && h.count == 0) continue;
+    const double mean =
+        h.count > 0 ? static_cast<double>(h.sum_us) / h.count : 0.0;
+    out += StringFormat(
+        "  %-32s count=%-8llu mean=%-10.1f p50=%-10.1f p99=%.1f\n",
+        kHistogramNames[i], static_cast<unsigned long long>(h.count), mean,
+        h.Quantile(0.5), h.Quantile(0.99));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    out += StringFormat("%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                        kCounterNames[i],
+                        static_cast<unsigned long long>(snap.counters[i]));
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    out += StringFormat("%s\n    \"%s\": %lld", i == 0 ? "" : ",",
+                        kGaugeNames[i],
+                        static_cast<long long>(snap.gauges[i]));
+  }
+  out += "\n  },\n  \"histogram_bounds_us\": [";
+  for (size_t b = 0; b < kNumHistogramBounds; ++b) {
+    out += StringFormat("%s%llu", b == 0 ? "" : ", ",
+                        static_cast<unsigned long long>(
+                            kHistogramBoundsUs[b]));
+  }
+  out += "],\n  \"histograms\": {";
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    out += StringFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum_us\": %llu, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"buckets\": [",
+        i == 0 ? "" : ",", kHistogramNames[i],
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum_us), h.Quantile(0.5),
+        h.Quantile(0.99));
+    for (size_t b = 0; b < kNumHistogramBuckets; ++b) {
+      out += StringFormat("%s%llu", b == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(h.buckets[b]));
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  for (auto& h : hists_) {
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum_us.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace recdb::obs

@@ -1,0 +1,172 @@
+// MetricsRegistry: lock-cheap process-wide engine telemetry.
+//
+// Three metric kinds, all declared in obs/metric_names.h:
+//   counters   — monotonic uint64 event counts (relaxed atomic adds)
+//   gauges     — instantaneous int64 values (relaxed atomic stores/adds)
+//   histograms — fixed-bucket latency distributions in microseconds
+//                (1-2-5 series, upper-inclusive bounds, + overflow bucket)
+//
+// Update paths are wait-free: one relaxed atomic RMW per counter bump, two
+// per histogram observation (bucket + sum) plus a count. There is no
+// per-metric allocation, no lock, and no hashing — metrics are addressed by
+// enum index into fixed arrays. Snapshots read the atomics with relaxed
+// loads; values observed concurrently with updates are each individually
+// consistent but not a cross-metric atomic cut, which is fine for telemetry.
+//
+// Compiling with -DRECDB_NO_METRICS turns every update into a no-op with the
+// storage kept, so read paths still link; bench_kernels uses this to ablate
+// collection overhead (acceptance: <= 2%).
+//
+// The registry is process-global (`MetricsRegistry::Global()`), matching the
+// process-global TaskScheduler and the one-RecDB-per-process usage of the
+// shell and benches. Tests that assert on absolute values should either
+// ResetForTest() first or assert on deltas.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.h"
+
+namespace recdb::obs {
+
+enum class Counter : size_t {
+#define X(id, name, unit, help) id,
+  RECDB_COUNTER_METRICS(X)
+#undef X
+      kCount
+};
+
+enum class Gauge : size_t {
+#define X(id, name, unit, help) id,
+  RECDB_GAUGE_METRICS(X)
+#undef X
+      kCount
+};
+
+enum class Histogram : size_t {
+#define X(id, name, unit, help) id,
+  RECDB_HISTOGRAM_METRICS(X)
+#undef X
+      kCount
+};
+
+constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount);
+constexpr size_t kNumGauges = static_cast<size_t>(Gauge::kCount);
+constexpr size_t kNumHistograms = static_cast<size_t>(Histogram::kCount);
+
+/// Upper-inclusive bucket bounds in microseconds (1-2-5 series, 1us .. 5s);
+/// one extra overflow bucket catches everything above the last bound.
+inline constexpr uint64_t kHistogramBoundsUs[] = {
+    1,      2,      5,      10,      20,      50,      100,
+    200,    500,    1000,   2000,    5000,    10000,   20000,
+    50000,  100000, 200000, 500000,  1000000, 2000000, 5000000};
+constexpr size_t kNumHistogramBounds =
+    sizeof(kHistogramBoundsUs) / sizeof(kHistogramBoundsUs[0]);
+constexpr size_t kNumHistogramBuckets = kNumHistogramBounds + 1;
+
+const char* CounterName(Counter c);
+const char* CounterUnit(Counter c);
+const char* CounterHelp(Counter c);
+const char* GaugeName(Gauge g);
+const char* GaugeUnit(Gauge g);
+const char* GaugeHelp(Gauge g);
+const char* HistogramName(Histogram h);
+const char* HistogramUnit(Histogram h);
+const char* HistogramHelp(Histogram h);
+
+struct HistogramSnapshot {
+  const char* name;
+  uint64_t count;
+  uint64_t sum_us;
+  uint64_t buckets[kNumHistogramBuckets];
+  /// Linear-interpolated quantile in microseconds (q in [0,1]); 0 when empty.
+  double Quantile(double q) const;
+};
+
+/// A point-in-time copy of every metric, safe to format without touching the
+/// live atomics again.
+struct MetricsSnapshot {
+  uint64_t counters[kNumCounters];
+  int64_t gauges[kNumGauges];
+  HistogramSnapshot histograms[kNumHistograms];
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+#ifdef RECDB_NO_METRICS
+  void Add(Counter, uint64_t = 1) {}
+  void GaugeSet(Gauge, int64_t) {}
+  void GaugeAdd(Gauge, int64_t) {}
+  void Observe(Histogram, uint64_t) {}
+#else
+  void Add(Counter c, uint64_t delta = 1) {
+    counters_[static_cast<size_t>(c)].fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+  void GaugeSet(Gauge g, int64_t value) {
+    gauges_[static_cast<size_t>(g)].store(value, std::memory_order_relaxed);
+  }
+  void GaugeAdd(Gauge g, int64_t delta) {
+    gauges_[static_cast<size_t>(g)].fetch_add(delta,
+                                              std::memory_order_relaxed);
+  }
+  void Observe(Histogram h, uint64_t value_us) {
+    Hist& hist = hists_[static_cast<size_t>(h)];
+    hist.buckets[BucketIndex(value_us)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    hist.count.fetch_add(1, std::memory_order_relaxed);
+    hist.sum_us.fetch_add(value_us, std::memory_order_relaxed);
+  }
+#endif
+
+  MetricsSnapshot Snapshot() const;
+  /// Aligned text table grouped by kind — the shell's `\metrics` body.
+  /// With only_nonzero, rows whose value (or count) is zero are omitted.
+  std::string ToTable(bool only_nonzero = false) const;
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum_us, p50_us, p99_us, buckets}}, plus a
+  /// top-level "histogram_bounds_us" array shared by all histograms.
+  std::string ToJson() const;
+  /// Zeroes everything; only for tests (races with concurrent updaters).
+  void ResetForTest();
+
+  static size_t BucketIndex(uint64_t value_us) {
+    size_t i = 0;
+    while (i < kNumHistogramBounds && value_us > kHistogramBoundsUs[i]) ++i;
+    return i;
+  }
+
+ private:
+  struct Hist {
+    std::atomic<uint64_t> buckets[kNumHistogramBuckets];
+    std::atomic<uint64_t> count;
+    std::atomic<uint64_t> sum_us;
+  };
+
+  std::atomic<uint64_t> counters_[kNumCounters] = {};
+  std::atomic<int64_t> gauges_[kNumGauges] = {};
+  Hist hists_[kNumHistograms] = {};
+};
+
+// Free-function shorthands used at instrumentation sites.
+inline void Count(Counter c, uint64_t delta = 1) {
+  MetricsRegistry::Global().Add(c, delta);
+}
+inline void SetGauge(Gauge g, int64_t value) {
+  MetricsRegistry::Global().GaugeSet(g, value);
+}
+inline void AddGauge(Gauge g, int64_t delta) {
+  MetricsRegistry::Global().GaugeAdd(g, delta);
+}
+inline void ObserveUs(Histogram h, uint64_t value_us) {
+  MetricsRegistry::Global().Observe(h, value_us);
+}
+
+}  // namespace recdb::obs

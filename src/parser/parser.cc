@@ -344,9 +344,17 @@ Result<StatementPtr> Parser::ParseSet() {
     stmt->value = Value::Double(negative ? -v : v);
   } else if (t.type == TokenType::kStringLiteral && !negative) {
     stmt->value = Value::String(Advance().text);
+  } else if (t.type == TokenType::kIdentifier && !negative) {
+    // Bare words as option values (`SET trace = off`); carried as strings.
+    stmt->value = Value::String(Advance().text);
+  } else if (t.type == TokenType::kKeyword && !negative &&
+             (t.text == "ON" || t.text == "TRUE" || t.text == "FALSE")) {
+    // ON / TRUE / FALSE are reserved words but legal option values
+    // (`SET trace = on`); carried as strings like any bare word.
+    stmt->value = Value::String(Advance().text);
   } else {
-    return Error("expected a number or string after SET " + stmt->option +
-                 " =");
+    return Error("expected a number, string, or bare word after SET " +
+                 stmt->option + " =");
   }
   return StatementPtr(std::move(stmt));
 }

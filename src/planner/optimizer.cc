@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "planner/cost_model.h"
 
 namespace recdb {
@@ -190,6 +191,7 @@ Result<PlanNodePtr> Optimizer::MergeFilters(PlanNodePtr node, bool* changed) {
   PlanNodePtr grandchild = std::move(inner->children[0]);
   filter->children[0] = std::move(grandchild);
   *changed = true;
+  obs::Count(obs::Counter::kPlannerRuleMergeFilters);
   return node;
 }
 
@@ -231,6 +233,7 @@ Result<PlanNodePtr> Optimizer::PushFilterThroughJoin(PlanNodePtr node,
     return node;
   }
   *changed = true;
+  obs::Count(obs::Counter::kPlannerRuleFilterPushdown);
 
   if (!left_preds.empty()) {
     child->children[0] = WrapFilter(std::move(child->children[0]),
@@ -303,6 +306,7 @@ Result<PlanNodePtr> Optimizer::PushFilterIntoRecommend(PlanNodePtr node,
     return node;
   }
   *changed = true;
+  obs::Count(obs::Counter::kPlannerRuleFilterRecommend);
   rec->type = PlanNodeType::kFilterRecommend;
   PlanNodePtr rec_node = std::move(filter->children[0]);
   return WrapFilter(std::move(rec_node), CombineConjuncts(std::move(keep)));
@@ -339,6 +343,7 @@ Result<PlanNodePtr> Optimizer::NljToHashJoin(PlanNodePtr node, bool* changed) {
     return node;
   }
   *changed = true;
+  obs::Count(obs::Counter::kPlannerRuleHashJoin);
 
   auto hj = std::make_unique<HashJoinPlan>();
   hj->schema = nlj->schema;
@@ -388,6 +393,7 @@ Result<PlanNodePtr> Optimizer::JoinToJoinRecommend(PlanNodePtr node,
   if (!rec->user_ids.has_value() || rec->user_ids->empty()) return node;
   if (rec->item_ids.has_value()) return node;
   *changed = true;
+  obs::Count(obs::Counter::kPlannerRuleJoinRecommend);
 
   size_t rec_width = rec->schema.NumColumns();
   PlanNodePtr outer = std::move(hj->children[1 - rec_side]);
@@ -463,6 +469,7 @@ Result<PlanNodePtr> Optimizer::TopNToIndexRecommend(PlanNodePtr node,
   // cost pass still weighs per-user coverage before committing.)
   if (rec->rec->score_index()->NumUsers() == 0) return node;
   *changed = true;
+  obs::Count(obs::Counter::kPlannerRuleIndexRecommend);
 
   auto ir = std::make_unique<IndexRecommendPlan>();
   ir->rec = rec->rec;
@@ -539,6 +546,7 @@ Result<PlanNodePtr> Optimizer::ReconsiderItemPushdown(PlanNodePtr node) {
   double cost_push = users * n_items * (p.predict + p.item_probe);
   double cost_scan = users * per_user * (p.predict + p.filter_eval);
   if (cost_push <= cost_scan) return node;
+  obs::Count(obs::Counter::kPlannerCostFlips);
 
   auto pred = std::make_unique<BoundExpr>();
   pred->kind = BoundExprKind::kInList;
@@ -567,6 +575,7 @@ Result<PlanNodePtr> Optimizer::ReconsiderJoinRecommend(PlanNodePtr node) {
   double cost_hash = users * rs.avg_unseen * p.predict +
                      (outer_rows + users * rs.avg_unseen) * p.hash_probe;
   if (cost_join <= cost_hash) return node;
+  obs::Count(obs::Counter::kPlannerCostFlips);
 
   size_t outer_w = outer.schema.NumColumns();
   size_t rec_w = jr->schema.NumColumns() - outer_w;
@@ -613,6 +622,7 @@ Result<PlanNodePtr> Optimizer::ReconsiderIndexRecommend(PlanNodePtr node) {
                (1.0 - coverage) * rs.avg_unseen * (p.predict + p.index_entry));
   double cost_model = users * rs.avg_unseen * (p.predict + p.topn_entry);
   if (cost_index <= cost_model) return node;
+  obs::Count(obs::Counter::kPlannerCostFlips);
 
   // Decline the index: recompute from the model; the TopN above still
   // applies the per-user limit.

@@ -98,7 +98,7 @@ std::unique_ptr<ItemCFModel> ItemCFModel::Build(
       new ItemCFModel(std::move(ratings), centered, std::move(neighborhoods)));
 }
 
-void ItemCFModel::PredictBatch(int64_t user_id, std::span<const int64_t> items,
+void ItemCFModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
                                std::span<double> out) const {
   RECDB_DCHECK(items.size() == out.size());
   auto u = ratings_->UserIndex(user_id);
@@ -169,7 +169,7 @@ std::unique_ptr<UserCFModel> UserCFModel::Build(
       new UserCFModel(std::move(ratings), centered, std::move(neighborhoods)));
 }
 
-void UserCFModel::PredictBatch(int64_t user_id, std::span<const int64_t> items,
+void UserCFModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
                                std::span<double> out) const {
   RECDB_DCHECK(items.size() == out.size());
   auto u = ratings_->UserIndex(user_id);

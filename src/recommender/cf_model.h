@@ -30,8 +30,8 @@ class ItemCFModel : public RecModel {
   /// Eq. (2) for every candidate: the user's rated items are scattered once
   /// into a dense thread-local accumulator, then each candidate's
   /// neighborhood is gathered against it (no per-neighbor binary search).
-  void PredictBatch(int64_t user_id, std::span<const int64_t> items,
-                    std::span<double> out) const override;
+  void DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
+                      std::span<double> out) const override;
 
   /// Similarity of two items by external id (0 when either is unknown or
   /// the pair is not in the neighborhood list). Binary search over an
@@ -70,8 +70,8 @@ class UserCFModel : public RecModel {
   /// Symmetric to ItemCF over the user side: the user's neighbor sims are
   /// scattered once into a dense accumulator, then each candidate item's
   /// contiguous rater row (flat CSR) is gathered against it.
-  void PredictBatch(int64_t user_id, std::span<const int64_t> items,
-                    std::span<double> out) const override;
+  void DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
+                      std::span<double> out) const override;
 
   double Similarity(int64_t user_a, int64_t user_b) const;
 

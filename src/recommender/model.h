@@ -7,6 +7,7 @@
 #include <optional>
 #include <span>
 
+#include "obs/metrics.h"
 #include "recommender/algorithm.h"
 #include "recommender/rating_matrix.h"
 
@@ -27,8 +28,17 @@ class RecModel {
   /// Each out[k] depends only on (user_id, items[k]) — never on the other
   /// batch members — so any batching of the same pairs is bit-identical.
   /// Thread-safe: const read of the model with thread-local scratch.
-  virtual void PredictBatch(int64_t user_id, std::span<const int64_t> items,
-                            std::span<double> out) const = 0;
+  ///
+  /// Non-virtual choke point: every scoring path in the engine (executors,
+  /// cache admission, materialization, evaluation, OnTop baseline) funnels
+  /// through here, so this is where model.predict_calls/predict_batches are
+  /// counted. Implementations override DoPredictBatch.
+  void PredictBatch(int64_t user_id, std::span<const int64_t> items,
+                    std::span<double> out) const {
+    obs::Count(obs::Counter::kModelPredictCalls, items.size());
+    obs::Count(obs::Counter::kModelPredictBatches);
+    DoPredictBatch(user_id, items, out);
+  }
 
   /// RecScore(u, i) for external ids: a thin wrapper over a batch of one.
   double Predict(int64_t user_id, int64_t item_id) const {
@@ -46,6 +56,9 @@ class RecModel {
   std::shared_ptr<const RatingMatrix> ratings_ptr() const { return ratings_; }
 
  protected:
+  virtual void DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
+                              std::span<double> out) const = 0;
+
   std::shared_ptr<const RatingMatrix> ratings_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/task_scheduler.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace recdb {
 
@@ -41,6 +42,9 @@ Result<double> Recommender::Build() {
   model_ = std::move(model);
   base_size_ = snapshot->NumRatings();
   pending_updates_ = 0;
+  obs::Count(obs::Counter::kModelBuilds);
+  obs::ObserveUs(obs::Histogram::kModelTrainUs,
+                 static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
   return watch.ElapsedSeconds();
 }
 
@@ -49,6 +53,7 @@ Status Recommender::MaterializeUser(int64_t user_id) {
     return Status::ExecutionError("recommender " + config_.name +
                                   " has no built model");
   }
+  Stopwatch watch;
   const RatingMatrix& r = *snapshot_;
   auto uopt = r.UserIndex(user_id);
   if (!uopt) return Status::NotFound("unknown user");
@@ -85,6 +90,8 @@ Status Recommender::MaterializeUser(int64_t user_id) {
   for (size_t i = 0; i < unseen.size(); ++i) {
     score_index_.Put(user_id, unseen[i], scores[i]);
   }
+  obs::ObserveUs(obs::Histogram::kCacheMaterializeUs,
+                 static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
   return Status::OK();
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/status.h"
 #include "common/task_scheduler.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace recdb {
 
@@ -29,6 +31,7 @@ namespace {
 std::vector<std::vector<Neighbor>> BuildNeighborhoods(
     size_t num_vectors, const std::vector<std::vector<RatingEntry>>& dims,
     const std::vector<double>& means, const SimilarityOptions& opts) {
+  Stopwatch watch;
   const size_t n = num_vectors;
   std::vector<double> norms(n, 0.0);
   // Dense accumulators. n is at most a few thousand for the paper's
@@ -120,6 +123,8 @@ std::vector<std::vector<Neighbor>> BuildNeighborhoods(
       result[p] = row;
     }
   });
+  obs::ObserveUs(obs::Histogram::kModelNeighborhoodUs,
+                 static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
   return result;
 }
 

@@ -146,7 +146,7 @@ double SvdModel::PredictByIndex(int32_t u, int32_t i) const {
   return pred;
 }
 
-void SvdModel::PredictBatch(int64_t user_id, std::span<const int64_t> items,
+void SvdModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
                             std::span<double> out) const {
   RECDB_DCHECK(items.size() == out.size());
   auto u = ratings_->UserIndex(user_id);

@@ -44,8 +44,8 @@ class SvdModel : public RecModel {
   /// The user's factor row is resolved once; each candidate is a dot
   /// product over contiguous row-major factor storage — a tight,
   /// auto-vectorizable inner loop (see RECDB_NATIVE in CMakeLists.txt).
-  void PredictBatch(int64_t user_id, std::span<const int64_t> items,
-                    std::span<double> out) const override;
+  void DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
+                      std::span<double> out) const override;
 
   /// Training RMSE at the end of each epoch (monotonicity checks).
   const std::vector<double>& epoch_rmse() const { return epoch_rmse_; }

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace recdb {
 
 BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
@@ -45,10 +47,14 @@ Result<frame_id_t> BufferPool::GetVictim() {
         continue;
       }
       victim->is_dirty_ = false;
+      obs::Count(obs::Counter::kBufferPoolFlushes);
     }
     page_table_.erase(victim->page_id());
     EraseLru(fid);
     victim->Reset();
+    obs::Count(obs::Counter::kBufferPoolEvictions);
+    obs::SetGauge(obs::Gauge::kBufferPoolResidentPages,
+                  static_cast<int64_t>(page_table_.size()));
     return fid;
   }
   if (!write_back_error.ok()) return write_back_error;
@@ -59,12 +65,14 @@ Result<Page*> BufferPool::Fetch(page_id_t pid) {
   auto it = page_table_.find(pid);
   if (it != page_table_.end()) {
     ++hits_;
+    obs::Count(obs::Counter::kBufferPoolHits);
     Page* page = frames_[it->second].get();
     ++page->pin_count_;
     TouchLru(it->second);
     return page;
   }
   ++misses_;
+  obs::Count(obs::Counter::kBufferPoolMisses);
   RECDB_ASSIGN_OR_RETURN(frame_id_t fid, GetVictim());
   Page* page = frames_[fid].get();
   Status st = disk_->ReadPage(pid, page->data());
@@ -77,6 +85,8 @@ Result<Page*> BufferPool::Fetch(page_id_t pid) {
   page->is_dirty_ = false;
   page_table_[pid] = fid;
   TouchLru(fid);
+  obs::SetGauge(obs::Gauge::kBufferPoolResidentPages,
+                static_cast<int64_t>(page_table_.size()));
   return page;
 }
 
@@ -90,6 +100,8 @@ Result<Page*> BufferPool::New(page_id_t* pid_out) {
   page->is_dirty_ = true;  // a new page must reach disk even if untouched
   page_table_[pid] = fid;
   TouchLru(fid);
+  obs::SetGauge(obs::Gauge::kBufferPoolResidentPages,
+                static_cast<int64_t>(page_table_.size()));
   if (pid_out != nullptr) *pid_out = pid;
   return page;
 }
@@ -128,6 +140,7 @@ Status BufferPool::Flush(page_id_t pid) {
   if (page->is_dirty_) {
     RECDB_RETURN_NOT_OK(disk_->WritePage(pid, page->data()));
     page->is_dirty_ = false;
+    obs::Count(obs::Counter::kBufferPoolFlushes);
   }
   return Status::OK();
 }

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace recdb {
 
 namespace {
@@ -97,6 +99,7 @@ Status DiskManager::RunWithRetry(OpKind kind, page_id_t pid, char* out,
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       ++num_retries_;
+      obs::Count(obs::Counter::kDiskRetries);
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
         backoff_us *= 2;
@@ -106,18 +109,25 @@ Status DiskManager::RunWithRetry(OpKind kind, page_id_t pid, char* out,
     if (st.ok()) {
       if (kind == OpKind::kRead) {
         ++num_reads_;
+        obs::Count(obs::Counter::kDiskReads);
       } else {
         ++num_writes_;
+        obs::Count(obs::Counter::kDiskWrites);
       }
       return st;
     }
-    if (st.code() == StatusCode::kDataLoss) ++num_checksum_failures_;
+    if (st.code() == StatusCode::kDataLoss) {
+      ++num_checksum_failures_;
+      obs::Count(obs::Counter::kDiskChecksumFailures);
+    }
     if (!st.IsTransient()) break;  // permanent: retrying cannot help
   }
   if (kind == OpKind::kRead) {
     ++num_read_failures_;
+    obs::Count(obs::Counter::kDiskReadFailures);
   } else {
     ++num_write_failures_;
+    obs::Count(obs::Counter::kDiskWriteFailures);
   }
   return st;
 }
