@@ -42,6 +42,85 @@ void PublishExecStats(const ExecStats& stats) {
   obs::Count(obs::Counter::kExecJoinProbes, stats.join_probes);
 }
 
+// Statements that mutate engine state run under the exclusive lock and are
+// the only ones that may append WAL records. SET and ANALYZE are exclusive
+// but unlogged: SET is runtime configuration, and ANALYZE statistics are
+// recomputable and persist with the next checkpoint.
+bool IsWriteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+    case StatementKind::kExplain:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// RecommenderConfig wire format, shared by the catalog meta pages and
+// kCreateRecommender WAL records so the two can never drift.
+void WriteRecommenderConfig(ByteWriter* w, const RecommenderConfig& cfg) {
+  w->Str(cfg.name);
+  w->Str(cfg.ratings_table);
+  w->Str(cfg.user_col);
+  w->Str(cfg.item_col);
+  w->Str(cfg.rating_col);
+  w->Num(static_cast<uint8_t>(cfg.algorithm));
+  w->Num(cfg.rebuild_threshold);
+  w->Num(cfg.sim_opts.top_k);
+  w->Num(cfg.sim_opts.min_overlap);
+  w->Num(cfg.svd_opts.num_factors);
+  w->Num(cfg.svd_opts.num_epochs);
+  w->Num(cfg.svd_opts.learning_rate);
+  w->Num(cfg.svd_opts.regularization);
+  w->Num(cfg.svd_opts.seed);
+  w->Num(static_cast<uint8_t>(cfg.svd_opts.use_biases ? 1 : 0));
+}
+
+Result<RecommenderConfig> ReadRecommenderConfig(ByteReader* r) {
+  RecommenderConfig cfg;
+  RECDB_ASSIGN_OR_RETURN(cfg.name, r->Str());
+  RECDB_ASSIGN_OR_RETURN(cfg.ratings_table, r->Str());
+  RECDB_ASSIGN_OR_RETURN(cfg.user_col, r->Str());
+  RECDB_ASSIGN_OR_RETURN(cfg.item_col, r->Str());
+  RECDB_ASSIGN_OR_RETURN(cfg.rating_col, r->Str());
+  RECDB_ASSIGN_OR_RETURN(uint8_t algo, r->Num<uint8_t>());
+  if (algo > static_cast<uint8_t>(RecAlgorithm::kSVD)) {
+    return Status::DataLoss("catalog has unknown algorithm");
+  }
+  cfg.algorithm = static_cast<RecAlgorithm>(algo);
+  RECDB_ASSIGN_OR_RETURN(cfg.rebuild_threshold, r->Num<double>());
+  RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.top_k, r->Num<int32_t>());
+  RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.min_overlap, r->Num<int32_t>());
+  RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_factors, r->Num<int32_t>());
+  RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_epochs, r->Num<int32_t>());
+  RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.learning_rate, r->Num<double>());
+  RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.regularization, r->Num<double>());
+  RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.seed, r->Num<uint64_t>());
+  RECDB_ASSIGN_OR_RETURN(uint8_t biases, r->Num<uint8_t>());
+  cfg.svd_opts.use_biases = biases != 0;
+  return cfg;
+}
+
+// kCreateTable WAL payload: name | column list | first heap page.
+std::vector<uint8_t> EncodeCreateTableRecord(const TableInfo& table) {
+  ByteWriter w;
+  w.Str(table.name);
+  w.Num(static_cast<uint32_t>(table.schema.NumColumns()));
+  for (const auto& col : table.schema.columns()) {
+    w.Str(col.name);
+    w.Num(static_cast<uint8_t>(col.type));
+  }
+  w.Num(static_cast<int32_t>(table.heap->first_page_id()));
+  return w.bytes();
+}
+
+// Single-string WAL payloads (kDropTable, kDropRecommender).
+std::vector<uint8_t> EncodeNameRecord(const std::string& name) {
+  ByteWriter w;
+  w.Str(name);
+  return w.bytes();
+}
+
 }  // namespace
 
 RecDB::RecDB(RecDBOptions options, std::unique_ptr<DiskManager> disk)
@@ -72,35 +151,215 @@ RecDB::~RecDB() {
 
 Result<std::unique_ptr<RecDB>> RecDB::Open(const std::string& path,
                                            RecDBOptions options) {
-  RECDB_ASSIGN_OR_RETURN(auto disk, FileDiskManager::Open(path));
-  bool existing = disk->NumPages() > 0;
-  auto db = std::unique_ptr<RecDB>(new RecDB(options, std::move(disk)));
-  if (existing) {
-    Status st = db->LoadMeta();
-    if (!st.ok()) {
-      // A half-loaded database must never checkpoint: the destructor would
-      // overwrite the on-disk catalog with the partial in-memory state.
+  RECDB_ASSIGN_OR_RETURN(auto data, FileDiskManager::Open(path));
+  RECDB_ASSIGN_OR_RETURN(auto wal, FileDiskManager::Open(path + ".wal"));
+  return OpenWithDisks(std::move(data), std::move(wal), options);
+}
+
+Result<std::unique_ptr<RecDB>> RecDB::OpenWithDisks(
+    std::unique_ptr<DiskManager> data, std::unique_ptr<DiskManager> wal,
+    RecDBOptions options) {
+  bool existing = data != nullptr && data->NumPages() > 0;
+  auto db = std::unique_ptr<RecDB>(new RecDB(options, std::move(data)));
+  if (wal != nullptr) {
+    auto log = LogManager::Open(std::move(wal));
+    if (!log.ok()) {
       db->closed_ = true;
-      return st;
+      return log.status();
     }
+    db->log_ = std::move(log.value());
+    db->pool_->SetWal(db->log_.get());
+  }
+  Status st = db->Recover(existing);
+  if (!st.ok()) {
+    // A half-recovered database must never checkpoint: the destructor would
+    // overwrite the on-disk catalog with the partial in-memory state.
+    db->closed_ = true;
+    return st;
   }
   return db;
 }
 
+Status RecDB::Recover(bool existing) {
+  std::vector<RecommenderConfig> configs;
+  if (existing) RECDB_RETURN_NOT_OK(LoadMeta(&configs));
+  size_t replayed = 0;
+  bool repaired = false;
+  if (log_ != nullptr) {
+    RECDB_RETURN_NOT_OK(
+        Redo(log_->TakeRecoveredRecords(), &configs, &replayed));
+    // Tail repair reads every heap's last page, so only do it when the log
+    // proves the previous process crashed (a post-checkpoint page can only
+    // have reached disk after its records were durable — the WAL rule). A
+    // cleanly-closed file keeps the lazy-read contract: a corrupt heap page
+    // surfaces when the table is scanned, not at open.
+    if (existing && replayed > 0) {
+      RECDB_RETURN_NOT_OK(RepairHeapTails(&repaired));
+    }
+  }
+  // Train recommenders only now, over the final recovered heaps, so a
+  // reopened database answers RECOMMEND queries identically to the
+  // pre-crash one (training is deterministic). A config whose ratings table
+  // was dropped later in the log trains against nothing: skip it.
+  for (auto& cfg : configs) {
+    auto rec = CreateRecommenderLocked(std::move(cfg), /*write_log=*/false);
+    if (!rec.ok() && rec.status().code() != StatusCode::kNotFound) {
+      return rec.status();
+    }
+  }
+  AttachWalToHeaps();
+  if (replayed > 0 || repaired) {
+    // Fold the replayed suffix into a fresh checkpoint so the next open
+    // starts from a truncated log.
+    RECDB_RETURN_NOT_OK(CheckpointLocked());
+  }
+  return Status::OK();
+}
+
+Status RecDB::Redo(std::vector<WalRecord> records,
+                   std::vector<RecommenderConfig>* configs, size_t* replayed) {
+  for (const WalRecord& rec : records) {
+    // Records at or below the checkpoint are already reflected in the
+    // catalog snapshot (a truncation failure can leave them in the log).
+    if (rec.lsn <= checkpoint_lsn_) continue;
+    switch (rec.type) {
+      case WalRecordType::kInsert:
+      case WalRecordType::kDelete:
+      case WalRecordType::kUpdate: {
+        RECDB_ASSIGN_OR_RETURN(WalTupleRecord t,
+                               DecodeWalTupleRecord(rec.payload));
+        RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(t.table));
+        if (rec.type == WalRecordType::kInsert) {
+          RECDB_RETURN_NOT_OK(table->heap->RedoInsert(t.rid, t.bytes, rec.lsn));
+        } else if (rec.type == WalRecordType::kDelete) {
+          RECDB_RETURN_NOT_OK(table->heap->RedoDelete(t.rid, rec.lsn));
+        } else {
+          RECDB_RETURN_NOT_OK(table->heap->RedoUpdate(t.rid, t.bytes, rec.lsn));
+        }
+        break;
+      }
+      case WalRecordType::kCreateTable: {
+        ByteReader r(rec.payload);
+        RECDB_ASSIGN_OR_RETURN(std::string name, r.Str());
+        RECDB_ASSIGN_OR_RETURN(uint32_t ncols, r.Num<uint32_t>());
+        std::vector<Column> cols;
+        for (uint32_t c = 0; c < ncols; ++c) {
+          RECDB_ASSIGN_OR_RETURN(std::string col_name, r.Str());
+          RECDB_ASSIGN_OR_RETURN(uint8_t type, r.Num<uint8_t>());
+          if (type > static_cast<uint8_t>(TypeId::kGeometry)) {
+            return Status::DataLoss("WAL create-table has unknown type");
+          }
+          cols.emplace_back(std::move(col_name), static_cast<TypeId>(type));
+        }
+        RECDB_ASSIGN_OR_RETURN(int32_t first_pid, r.Num<int32_t>());
+        // The heap's first page may never have reached the data file.
+        pool_->EnsureAllocated(first_pid);
+        {
+          RECDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchGuard(first_pid));
+          TablePage tp(guard.page());
+          if (!tp.initialized()) {
+            tp.Init();
+            guard.MarkDirty();
+          }
+          RECDB_RETURN_NOT_OK(guard.Drop());
+        }
+        RECDB_RETURN_NOT_OK(
+            catalog_
+                ->AttachTable(name, Schema(std::move(cols)),
+                              TableHeap::Attach(pool_.get(), first_pid,
+                                                first_pid, 0))
+                .status());
+        break;
+      }
+      case WalRecordType::kDropTable: {
+        ByteReader r(rec.payload);
+        RECDB_ASSIGN_OR_RETURN(std::string name, r.Str());
+        RECDB_RETURN_NOT_OK(catalog_->DropTable(name));
+        break;
+      }
+      case WalRecordType::kCreateRecommender: {
+        ByteReader r(rec.payload);
+        RECDB_ASSIGN_OR_RETURN(RecommenderConfig cfg,
+                               ReadRecommenderConfig(&r));
+        configs->push_back(std::move(cfg));
+        break;
+      }
+      case WalRecordType::kDropRecommender: {
+        ByteReader r(rec.payload);
+        RECDB_ASSIGN_OR_RETURN(std::string name, r.Str());
+        std::string key = ToLower(name);
+        configs->erase(std::remove_if(configs->begin(), configs->end(),
+                                      [&](const RecommenderConfig& cfg) {
+                                        return ToLower(cfg.name) == key;
+                                      }),
+                       configs->end());
+        break;
+      }
+    }
+    ++*replayed;
+    obs::Count(obs::Counter::kWalRecordsReplayed);
+  }
+  return Status::OK();
+}
+
+Status RecDB::RepairHeapTails(bool* repaired) {
+  for (const auto& name : catalog_->TableNames()) {
+    RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(name));
+    RECDB_RETURN_NOT_OK(table->heap->RepairTail(repaired));
+  }
+  return Status::OK();
+}
+
+void RecDB::AttachWalToHeaps() {
+  if (log_ == nullptr) return;
+  for (const auto& name : catalog_->TableNames()) {
+    auto table = catalog_->GetTable(name);
+    if (table.ok()) {
+      table.value()->heap->EnableLogging(log_.get(), table.value()->name);
+    }
+  }
+}
+
 Status RecDB::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return CheckpointLocked();
+}
+
+Status RecDB::CheckpointLocked() {
   if (!disk_->persistent() || closed_) return Status::OK();
-  RECDB_RETURN_NOT_OK(PersistMeta());
-  return pool_->FlushAll();
+  Lsn cp = log_ != nullptr ? log_->newest_lsn() : 0;
+  // Crash-safety ordering: (1) data pages first — the buffer pool's WAL
+  // rule makes the log durable up to each page's LSN before writing it
+  // back; (2) the catalog snapshot naming `cp`; (3) flush the snapshot;
+  // (4) only then may the log truncate. A crash between any two steps
+  // leaves either the old checkpoint + full log or the new checkpoint +
+  // (possibly stale, filtered-on-replay) log.
+  RECDB_RETURN_NOT_OK(pool_->FlushAll());
+  RECDB_RETURN_NOT_OK(PersistMeta(cp));
+  RECDB_RETURN_NOT_OK(pool_->FlushAll());
+  if (log_ != nullptr) RECDB_RETURN_NOT_OK(log_->Reset(cp));
+  checkpoint_lsn_ = cp;
+  return Status::OK();
 }
 
 Status RecDB::Close() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (closed_) return Status::OK();
-  Status st = Checkpoint();
-  closed_ = true;
-  return st;
+  // Leave the database open (and retryable) if the checkpoint failed —
+  // marking it closed here would silently drop the un-checkpointed state.
+  RECDB_RETURN_NOT_OK(CheckpointLocked());
+  closed_.store(true);
+  return Status::OK();
 }
 
-Status RecDB::PersistMeta() {
+Status RecDB::CommitWal() {
+  if (log_ == nullptr) return Status::OK();
+  Lsn target = log_->newest_lsn();
+  if (target == 0) return Status::OK();
+  return log_->Commit(target);
+}
+
+Status RecDB::PersistMeta(Lsn checkpoint_lsn) {
   ByteWriter w;
   w.Raw(kMetaMagic, kMetaMagicLen);
 
@@ -123,22 +382,7 @@ Status RecDB::PersistMeta() {
   w.Num(static_cast<uint32_t>(rec_names.size()));
   for (const auto& name : rec_names) {
     RECDB_ASSIGN_OR_RETURN(Recommender * rec, registry_.Get(name));
-    const RecommenderConfig& cfg = rec->config();
-    w.Str(cfg.name);
-    w.Str(cfg.ratings_table);
-    w.Str(cfg.user_col);
-    w.Str(cfg.item_col);
-    w.Str(cfg.rating_col);
-    w.Num(static_cast<uint8_t>(cfg.algorithm));
-    w.Num(cfg.rebuild_threshold);
-    w.Num(cfg.sim_opts.top_k);
-    w.Num(cfg.sim_opts.min_overlap);
-    w.Num(cfg.svd_opts.num_factors);
-    w.Num(cfg.svd_opts.num_epochs);
-    w.Num(cfg.svd_opts.learning_rate);
-    w.Num(cfg.svd_opts.regularization);
-    w.Num(cfg.svd_opts.seed);
-    w.Num(static_cast<uint8_t>(cfg.svd_opts.use_biases ? 1 : 0));
+    WriteRecommenderConfig(&w, rec->config());
   }
 
   // Optional trailing section: ANALYZE statistics, keyed by table name so
@@ -153,6 +397,10 @@ Status RecDB::PersistMeta() {
     w.Str(table->name);
     table->stats->Serialize(&w);
   }
+
+  // Trailing since the WAL existed: the log position this snapshot covers.
+  // REDO skips records at or below it. Absent in older files (reads as 0).
+  w.Num(static_cast<uint64_t>(checkpoint_lsn));
 
   const std::vector<uint8_t>& payload = w.bytes();
   size_t num_chunks =
@@ -187,7 +435,7 @@ Status RecDB::PersistMeta() {
   return Status::OK();
 }
 
-Status RecDB::LoadMeta() {
+Status RecDB::LoadMeta(std::vector<RecommenderConfig>* configs) {
   std::vector<uint8_t> payload;
   meta_pages_.clear();
   page_id_t pid = 0;
@@ -197,6 +445,13 @@ Status RecDB::LoadMeta() {
     uint32_t magic;
     std::memcpy(&magic, data, sizeof(magic));
     if (magic != kMetaPageMagic) {
+      if (pid == 0 && magic == 0) {
+        // Crash before the first checkpoint: heap write-backs extended the
+        // data file but page 0 was never written (reads as zeros). The
+        // catalog is empty; REDO rebuilds everything from the log.
+        meta_pages_.assign(1, 0);
+        return guard.Drop();
+      }
       return Status::DataLoss("page " + std::to_string(pid) +
                               " is not a catalog meta page");
     }
@@ -252,28 +507,10 @@ Status RecDB::LoadMeta() {
 
   RECDB_ASSIGN_OR_RETURN(uint32_t num_recs, r.Num<uint32_t>());
   for (uint32_t i = 0; i < num_recs; ++i) {
-    RecommenderConfig cfg;
-    RECDB_ASSIGN_OR_RETURN(cfg.name, r.Str());
-    RECDB_ASSIGN_OR_RETURN(cfg.ratings_table, r.Str());
-    RECDB_ASSIGN_OR_RETURN(cfg.user_col, r.Str());
-    RECDB_ASSIGN_OR_RETURN(cfg.item_col, r.Str());
-    RECDB_ASSIGN_OR_RETURN(cfg.rating_col, r.Str());
-    RECDB_ASSIGN_OR_RETURN(uint8_t algo, r.Num<uint8_t>());
-    if (algo > static_cast<uint8_t>(RecAlgorithm::kSVD)) {
-      return Status::DataLoss("catalog has unknown algorithm");
-    }
-    cfg.algorithm = static_cast<RecAlgorithm>(algo);
-    RECDB_ASSIGN_OR_RETURN(cfg.rebuild_threshold, r.Num<double>());
-    RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.top_k, r.Num<int32_t>());
-    RECDB_ASSIGN_OR_RETURN(cfg.sim_opts.min_overlap, r.Num<int32_t>());
-    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_factors, r.Num<int32_t>());
-    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.num_epochs, r.Num<int32_t>());
-    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.learning_rate, r.Num<double>());
-    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.regularization, r.Num<double>());
-    RECDB_ASSIGN_OR_RETURN(cfg.svd_opts.seed, r.Num<uint64_t>());
-    RECDB_ASSIGN_OR_RETURN(uint8_t biases, r.Num<uint8_t>());
-    cfg.svd_opts.use_biases = biases != 0;
-    RECDB_RETURN_NOT_OK(CreateRecommender(std::move(cfg)).status());
+    // Collected, not created: recovery trains models only after REDO has
+    // restored the final heap contents.
+    RECDB_ASSIGN_OR_RETURN(RecommenderConfig cfg, ReadRecommenderConfig(&r));
+    configs->push_back(std::move(cfg));
   }
 
   // Optional trailing section (absent in pre-ANALYZE files): persisted
@@ -287,22 +524,59 @@ Status RecDB::LoadMeta() {
       table->stats = std::move(stats);
     }
   }
+  // Optional trailing checkpoint LSN (absent in pre-WAL files).
+  if (r.Remaining() >= sizeof(uint64_t)) {
+    RECDB_ASSIGN_OR_RETURN(uint64_t cp, r.Num<uint64_t>());
+    checkpoint_lsn_ = cp;
+  }
   return Status::OK();
 }
 
 Result<ResultSet> RecDB::Execute(const std::string& sql) {
-  if (closed_) return Status::InvalidArgument("database is closed");
-  if (trace_enabled_) {
-    active_tracer_ = std::make_unique<obs::Tracer>("query");
+  if (closed_.load()) return Status::InvalidArgument("database is closed");
+  if (trace_enabled_.load()) return ExecuteTraced(sql);
+  RECDB_ASSIGN_OR_RETURN(auto stmts, Parser::Parse(sql));
+  bool writer = false;
+  for (const auto& stmt : stmts) {
+    if (IsWriteStatement(*stmt)) writer = true;
   }
-  auto result = ExecuteScript(sql);
-  if (active_tracer_ != nullptr) {
-    // Render even on error so a failing query's partial trace is visible.
-    active_tracer_->Finish();
-    last_trace_ = active_tracer_->Render();
-    active_tracer_.reset();
-    if (result.ok()) result.value().trace = last_trace_;
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    if (writer) {
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      return RunStatements(stmts);
+    }
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    return RunStatements(stmts);
+  }();
+  if (writer) {
+    // Group-commit outside the lock: the fsync never blocks readers, and a
+    // concurrent writer's commit piggybacks on the same flush. On a
+    // mid-script statement error the committed prefix still matches the
+    // in-memory state, so the records are committed rather than dropped;
+    // the statement error keeps reporting priority.
+    Status commit = CommitWal();
+    if (!commit.ok() && result.ok()) return commit;
   }
+  return result;
+}
+
+Result<ResultSet> RecDB::ExecuteTraced(const std::string& sql) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  active_tracer_ = std::make_unique<obs::Tracer>("query");
+  int parse_span = active_tracer_->BeginSpan("parse");
+  auto parsed = Parser::Parse(sql);
+  active_tracer_->EndSpan(parse_span);
+  Result<ResultSet> result = parsed.ok()
+                                 ? RunStatements(parsed.value())
+                                 : Result<ResultSet>(parsed.status());
+  // Render even on error so a failing query's partial trace is visible.
+  active_tracer_->Finish();
+  last_trace_ = active_tracer_->Render();
+  active_tracer_.reset();
+  if (result.ok()) result.value().trace = last_trace_;
+  lock.unlock();
+  Status commit = CommitWal();
+  if (!commit.ok() && result.ok()) return commit;
   return result;
 }
 
@@ -310,13 +584,9 @@ std::string RecDB::MetricsJson() {
   return obs::MetricsRegistry::Global().ToJson();
 }
 
-Result<ResultSet> RecDB::ExecuteScript(const std::string& sql) {
-  int parse_span = active_tracer_ != nullptr
-                       ? active_tracer_->BeginSpan("parse")
-                       : -1;
-  auto parsed = Parser::Parse(sql);
-  if (parse_span >= 0) active_tracer_->EndSpan(parse_span);
-  RECDB_ASSIGN_OR_RETURN(auto stmts, std::move(parsed));
+Result<ResultSet> RecDB::RunStatements(
+    const std::vector<std::unique_ptr<Statement>>& stmts) {
+  if (closed_.load()) return Status::InvalidArgument("database is closed");
   uint64_t read_failures = disk_->num_read_failures();
   uint64_t write_failures = disk_->num_write_failures();
   uint64_t retries = disk_->num_retries();
@@ -335,6 +605,7 @@ Result<ResultSet> RecDB::ExecuteScript(const std::string& sql) {
 }
 
 Result<std::string> RecDB::Explain(const std::string& sql) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   RECDB_ASSIGN_OR_RETURN(auto stmt, Parser::ParseSingle(sql));
   if (stmt->kind != StatementKind::kSelect) {
     return Status::InvalidArgument("EXPLAIN supports SELECT only");
@@ -356,6 +627,10 @@ Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
     case StatementKind::kDropTable: {
       const auto& drop = static_cast<const DropTableStatement&>(stmt);
       RECDB_RETURN_NOT_OK(catalog_->DropTable(drop.table_name));
+      if (log_ != nullptr) {
+        log_->Append(WalRecordType::kDropTable,
+                     EncodeNameRecord(drop.table_name));
+      }
       ResultSet rs;
       rs.message = "dropped table " + drop.table_name;
       return rs;
@@ -410,6 +685,10 @@ Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
       const auto& drop = static_cast<const DropRecommenderStatement&>(stmt);
       cache_managers_.erase(ToLower(drop.name));
       RECDB_RETURN_NOT_OK(registry_.Drop(drop.name));
+      if (log_ != nullptr) {
+        log_->Append(WalRecordType::kDropRecommender,
+                     EncodeNameRecord(drop.name));
+      }
       ResultSet rs;
       rs.message = "dropped recommender " + drop.name;
       return rs;
@@ -533,9 +812,13 @@ Result<ResultSet> RecDB::ExecuteCreateTable(const CreateTableStatement& stmt) {
     RECDB_ASSIGN_OR_RETURN(TypeId type, TypeIdFromName(type_name));
     cols.emplace_back(name, type);
   }
-  RECDB_RETURN_NOT_OK(
-      catalog_->CreateTable(stmt.table_name, Schema(std::move(cols)))
-          .status());
+  RECDB_ASSIGN_OR_RETURN(
+      TableInfo * table,
+      catalog_->CreateTable(stmt.table_name, Schema(std::move(cols))));
+  if (log_ != nullptr) {
+    table->heap->EnableLogging(log_.get(), table->name);
+    log_->Append(WalRecordType::kCreateTable, EncodeCreateTableRecord(*table));
+  }
   ResultSet rs;
   rs.message = "created table " + stmt.table_name;
   return rs;
@@ -584,6 +867,16 @@ Result<ResultSet> RecDB::ExecuteInsert(const InsertStatement& stmt) {
 }
 
 Result<Recommender*> RecDB::CreateRecommender(RecommenderConfig config) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  auto rec = CreateRecommenderLocked(std::move(config), /*write_log=*/true);
+  lock.unlock();
+  Status commit = CommitWal();
+  if (!commit.ok() && rec.ok()) return commit;
+  return rec;
+}
+
+Result<Recommender*> RecDB::CreateRecommenderLocked(RecommenderConfig config,
+                                                    bool write_log) {
   RECDB_ASSIGN_OR_RETURN(TableInfo * table,
                          catalog_->GetTable(config.ratings_table));
   const Schema& schema = table->schema;
@@ -624,6 +917,13 @@ Result<Recommender*> RecDB::CreateRecommender(RecommenderConfig config) {
     registry_.Drop(name);
     return build.status();
   }
+  if (write_log && log_ != nullptr) {
+    // The record carries the full (canonicalized) config; replay re-trains
+    // deterministically from the recovered ratings table.
+    ByteWriter w;
+    WriteRecommenderConfig(&w, rec->config());
+    log_->Append(WalRecordType::kCreateRecommender, w.bytes());
+  }
   return rec;
 }
 
@@ -643,8 +943,11 @@ Result<ResultSet> RecDB::ExecuteCreateRecommender(
                            RecAlgorithmFromString(*stmt.algorithm));
   }
   Stopwatch watch;
-  RECDB_ASSIGN_OR_RETURN(Recommender * rec,
-                         CreateRecommender(std::move(config)));
+  // Already under the exclusive lock (CREATE RECOMMENDER is a write
+  // statement); the script-level commit covers the appended record.
+  RECDB_ASSIGN_OR_RETURN(
+      Recommender * rec,
+      CreateRecommenderLocked(std::move(config), /*write_log=*/true));
   ResultSet rs;
   rs.elapsed_seconds = watch.ElapsedSeconds();
   rs.message = StringFormat(
@@ -780,6 +1083,13 @@ Status RecDB::NotifyInsert(const std::string& table, const Schema& schema,
 }
 
 void RecDB::NotifyRecommendQuery(const PlanNode& plan) {
+  // Readers hold state_mu_ shared, but demand recording mutates cache-
+  // manager histograms; funnel concurrent RECOMMEND scans through here.
+  std::lock_guard<std::mutex> lock(demand_mu_);
+  NotifyRecommendQueryLocked(plan);
+}
+
+void RecDB::NotifyRecommendQueryLocked(const PlanNode& plan) {
   const std::vector<int64_t>* user_ids = nullptr;
   Recommender* rec = nullptr;
   switch (plan.type) {
@@ -812,11 +1122,12 @@ void RecDB::NotifyRecommendQuery(const PlanNode& plan) {
       for (int64_t uid : *user_ids) cm->second->RecordQuery(uid);
     }
   }
-  for (const auto& child : plan.children) NotifyRecommendQuery(*child);
+  for (const auto& child : plan.children) NotifyRecommendQueryLocked(*child);
 }
 
 Result<CacheManager*> RecDB::GetCacheManager(const std::string& recommender,
                                              double hotness_threshold) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   std::string key = ToLower(recommender);
   auto it = cache_managers_.find(key);
   if (it != cache_managers_.end()) return it->second.get();
@@ -830,23 +1141,30 @@ Result<CacheManager*> RecDB::GetCacheManager(const std::string& recommender,
 
 Status RecDB::BulkInsert(const std::string& table,
                          const std::vector<std::vector<Value>>& rows) {
-  RECDB_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
-  const Schema& schema = info->schema;
-  for (const auto& row : rows) {
-    if (row.size() != schema.NumColumns()) {
-      return Status::InvalidArgument("bulk row width mismatch");
+  Status st = [&]() -> Status {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    RECDB_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
+    const Schema& schema = info->schema;
+    for (const auto& row : rows) {
+      if (row.size() != schema.NumColumns()) {
+        return Status::InvalidArgument("bulk row width mismatch");
+      }
+      std::vector<Value> vals;
+      vals.reserve(row.size());
+      for (size_t i = 0; i < row.size(); ++i) {
+        RECDB_ASSIGN_OR_RETURN(Value v, row[i].CastTo(schema.ColumnAt(i).type));
+        vals.push_back(std::move(v));
+      }
+      Tuple tuple(std::move(vals));
+      RECDB_RETURN_NOT_OK(info->heap->Insert(tuple).status());
+      RECDB_RETURN_NOT_OK(NotifyInsert(info->name, schema, tuple));
     }
-    std::vector<Value> vals;
-    vals.reserve(row.size());
-    for (size_t i = 0; i < row.size(); ++i) {
-      RECDB_ASSIGN_OR_RETURN(Value v, row[i].CastTo(schema.ColumnAt(i).type));
-      vals.push_back(std::move(v));
-    }
-    Tuple tuple(std::move(vals));
-    RECDB_RETURN_NOT_OK(info->heap->Insert(tuple).status());
-    RECDB_RETURN_NOT_OK(NotifyInsert(info->name, schema, tuple));
-  }
-  return Status::OK();
+    return Status::OK();
+  }();
+  // Commit whatever was appended even on partial failure: the applied rows
+  // are live in memory and must stay durable-consistent with it.
+  Status commit = CommitWal();
+  return st.ok() ? commit : st;
 }
 
 std::string ResultSet::ToString(size_t max_rows) const {

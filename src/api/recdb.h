@@ -11,7 +11,10 @@
 //                        "ORDER BY R.ratingval DESC LIMIT 10");
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -23,8 +26,11 @@
 #include "planner/optimizer.h"
 #include "planner/planner.h"
 #include "storage/catalog.h"
+#include "storage/log_manager.h"
 
 namespace recdb {
+
+class Session;
 
 struct RecDBOptions {
   /// Buffer-pool frames (pages of kPageSize bytes).
@@ -80,13 +86,21 @@ class RecDB {
   RecDB(const RecDB&) = delete;
   RecDB& operator=(const RecDB&) = delete;
 
-  /// Open (or create) a file-backed database at `path`. Reopening a file
-  /// restores every table and re-trains every recommender from its
-  /// persisted catalog (training is deterministic, so a reopened database
-  /// answers RECOMMEND queries identically). Corrupt pages surface as
-  /// kDataLoss.
+  /// Open (or create) a file-backed database at `path`, with its WAL at
+  /// `path + ".wal"`. Reopening a file restores every table from its
+  /// persisted catalog, REDO-replays the durable log suffix over the last
+  /// checkpoint, and re-trains every recommender from the recovered heaps
+  /// (training is deterministic, so a reopened database answers RECOMMEND
+  /// queries identically). Corrupt pages surface as kDataLoss.
   static Result<std::unique_ptr<RecDB>> Open(const std::string& path,
                                              RecDBOptions options = {});
+
+  /// Open over explicit devices — how fault tests wrap both the data file
+  /// and the WAL in FaultInjectingDiskManagers. `wal` may be null for a
+  /// log-less database (in-memory semantics over any device).
+  static Result<std::unique_ptr<RecDB>> OpenWithDisks(
+      std::unique_ptr<DiskManager> data, std::unique_ptr<DiskManager> wal,
+      RecDBOptions options = {});
 
   /// Flush dirty pages, persist the catalog + recommender registry, and
   /// issue the durability barrier. No-op for in-memory databases.
@@ -97,7 +111,17 @@ class RecDB {
   Status Close();
 
   /// Parse and execute a script; returns the last statement's result.
+  ///
+  /// Concurrency: scripts containing only SELECT/EXPLAIN run under a shared
+  /// lock (any number in parallel); scripts with any mutating statement
+  /// take the exclusive lock. WAL group commit happens after the lock is
+  /// released, so an INSERT's fsync never blocks concurrent RECOMMEND
+  /// scans — they read the consistent pre- or post-statement snapshot.
   Result<ResultSet> Execute(const std::string& sql);
+
+  /// A per-caller handle for concurrent use; see api/session.h. Sessions
+  /// share this RecDB's state and must not outlive it.
+  std::unique_ptr<Session> CreateSession();
 
   /// Plan a SELECT without executing (EXPLAIN).
   Result<std::string> Explain(const std::string& sql);
@@ -116,6 +140,7 @@ class RecDB {
   RecommenderRegistry* registry() { return &registry_; }
   BufferPool* buffer_pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }
+  LogManager* wal() { return log_.get(); }
   PlannerOptions* mutable_planner_options() { return &options_.planner; }
   const RecDBOptions& options() const { return options_; }
 
@@ -143,9 +168,14 @@ class RecDB {
                     const std::vector<std::vector<Value>>& rows);
 
  private:
-  /// Execute() body; split out so the caller can finish/render the tracer
-  /// on every path, including mid-script errors.
-  Result<ResultSet> ExecuteScript(const std::string& sql);
+  friend class Session;
+
+  /// Tracing path of Execute(): always exclusive (the tracer is shared
+  /// state), parses inside the lock so the parse span lands in the trace.
+  Result<ResultSet> ExecuteTraced(const std::string& sql);
+  /// Statement loop + per-script I/O fault deltas. Caller holds state_mu_.
+  Result<ResultSet> RunStatements(
+      const std::vector<std::unique_ptr<Statement>>& stmts);
   Result<ResultSet> ExecuteStatement(const Statement& stmt);
   Result<ResultSet> ExecuteSelect(const SelectStatement& stmt);
   Result<ResultSet> ExecuteCreateTable(const CreateTableStatement& stmt);
@@ -170,20 +200,54 @@ class RecDB {
   Status NotifyDelete(const std::string& table, const Schema& schema,
                       const Tuple& tuple);
 
-  /// Record query demand (user histogram) for a RECOMMEND query.
+  /// Record query demand (user histogram) for a RECOMMEND query. Takes
+  /// demand_mu_: concurrent shared-lock readers funnel through here.
   void NotifyRecommendQuery(const PlanNode& plan);
+  void NotifyRecommendQueryLocked(const PlanNode& plan);
+
+  /// CreateRecommender body; caller holds the exclusive lock. With
+  /// `write_log`, appends a kCreateRecommender WAL record on success
+  /// (recovery passes false — replayed records must not re-log).
+  Result<Recommender*> CreateRecommenderLocked(RecommenderConfig config,
+                                               bool write_log);
 
   /// Serialize the catalog + recommender configs into the meta-page chain
-  /// rooted at page 0 (file-backed databases only).
-  Status PersistMeta();
+  /// rooted at page 0 (file-backed databases only). `checkpoint_lsn` names
+  /// the log position this snapshot covers; recovery skips records at or
+  /// below it.
+  Status PersistMeta(Lsn checkpoint_lsn);
 
-  /// Rebuild catalog and recommenders from the meta-page chain.
-  Status LoadMeta();
+  /// Rebuild the catalog from the meta-page chain. Recommender configs are
+  /// collected into `configs` rather than created: recovery trains models
+  /// only after REDO has restored the final heap contents.
+  Status LoadMeta(std::vector<RecommenderConfig>* configs);
+
+  /// Post-LoadMeta recovery: REDO the recovered log suffix, repair dangling
+  /// heap tail links, train recommenders over the final heaps, and
+  /// checkpoint if anything changed.
+  Status Recover(bool existing);
+  Status Redo(std::vector<WalRecord> records,
+              std::vector<RecommenderConfig>* configs, size_t* replayed);
+  Status RepairHeapTails(bool* repaired);
+  void AttachWalToHeaps();
+
+  /// Checkpoint body; caller holds the exclusive lock. Order matters for
+  /// crash safety: data pages flush first, then the catalog snapshot naming
+  /// `checkpoint_lsn` becomes durable, and only then may the log truncate.
+  Status CheckpointLocked();
+
+  /// Group-commit every record up to the log's current newest LSN. Called
+  /// after the exclusive lock is released so the fsync never blocks
+  /// readers.
+  Status CommitWal();
 
   RecDBOptions options_;
   std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<LogManager> log_;
   std::vector<page_id_t> meta_pages_;
-  bool closed_ = false;
+  /// Log position covered by the on-disk catalog snapshot.
+  Lsn checkpoint_lsn_ = 0;
+  std::atomic<bool> closed_{false};
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   RecommenderRegistry registry_;
@@ -191,9 +255,20 @@ class RecDB {
   const Clock* clock_;
   std::unordered_map<std::string, std::unique_ptr<CacheManager>>
       cache_managers_;
+
+  /// Reader-writer discipline over all engine state: SELECT/EXPLAIN scripts
+  /// hold it shared, anything mutating holds it exclusive. WAL commit
+  /// (fsync) happens outside it. Lock order: state_mu_ -> pool mutex ->
+  /// log mutex; never the reverse.
+  mutable std::shared_mutex state_mu_;
+  /// Serializes cache-manager demand recording among concurrent readers.
+  std::mutex demand_mu_;
+  std::atomic<uint64_t> next_session_id_{1};
+
   /// `SET trace = on` state; seeded from RecDBOptions::trace.
-  bool trace_enabled_ = false;
-  /// Live tracer for the Execute() call in flight (null when tracing off).
+  std::atomic<bool> trace_enabled_{false};
+  /// Live tracer for the Execute() call in flight (null when tracing off;
+  /// guarded by the exclusive lock — tracing scripts never run shared).
   std::unique_ptr<obs::Tracer> active_tracer_;
   std::string last_trace_;
 };

@@ -1,0 +1,32 @@
+#include "api/session.h"
+
+#include "obs/metrics.h"
+
+namespace recdb {
+
+std::unique_ptr<Session> RecDB::CreateSession() {
+  return std::unique_ptr<Session>(
+      new Session(this, next_session_id_.fetch_add(1)));
+}
+
+Session::Session(RecDB* db, uint64_t id) : db_(db), id_(id) {
+  obs::Count(obs::Counter::kSessionsOpened);
+  obs::AddGauge(obs::Gauge::kSessionsActive, 1);
+}
+
+Session::~Session() {
+  obs::Count(obs::Counter::kSessionsClosed);
+  obs::AddGauge(obs::Gauge::kSessionsActive, -1);
+}
+
+Result<ResultSet> Session::Execute(const std::string& sql) {
+  statements_.fetch_add(1);
+  obs::Count(obs::Counter::kSessionStatements);
+  return db_->Execute(sql);
+}
+
+Result<std::string> Session::Explain(const std::string& sql) {
+  return db_->Explain(sql);
+}
+
+}  // namespace recdb

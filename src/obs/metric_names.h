@@ -90,7 +90,25 @@
   X(kExecPredictions, "exec.predictions", "predictions",                      \
     "candidate scores computed on the query path (promoted from ExecStats)")  \
   X(kExecJoinProbes, "exec.join_probes", "tuples",                            \
-    "outer tuples probed by join operators (promoted from ExecStats)")
+    "outer tuples probed by join operators (promoted from ExecStats)")        \
+  X(kWalAppends, "wal.appends", "records",                                    \
+    "log records buffered via LogManager::Append")                            \
+  X(kWalBytesAppended, "wal.bytes_appended", "bytes",                         \
+    "framed log bytes buffered (len+crc header included)")                    \
+  X(kWalCommits, "wal.commits", "commits",                                    \
+    "Commit/EnsureDurable calls that reached durability")                     \
+  X(kWalFsyncs, "wal.fsyncs", "syncs",                                        \
+    "group-commit flush batches (one device Sync each)")                      \
+  X(kWalRecordsReplayed, "wal.records_replayed", "records",                   \
+    "log records REDO-applied by RecDB::Open recovery")                       \
+  X(kWalResets, "wal.resets", "resets",                                       \
+    "checkpoint truncations (epoch bumps) via LogManager::Reset")             \
+  X(kSessionsOpened, "session.opened", "sessions",                            \
+    "Session objects handed out by RecDB::CreateSession")                     \
+  X(kSessionsClosed, "session.closed", "sessions",                            \
+    "Session objects destroyed")                                              \
+  X(kSessionStatements, "session.statements", "statements",                   \
+    "statements executed through a Session handle")
 
 #define RECDB_GAUGE_METRICS(X)                                                \
   X(kBufferPoolResidentPages, "bufferpool.resident_pages", "pages",           \
@@ -102,7 +120,11 @@
   X(kRecIndexEntries, "recindex.entries", "entries",                          \
     "(user,item) pairs currently materialized in RecScoreIndex")              \
   X(kRecIndexUsers, "recindex.users", "users",                                \
-    "distinct users currently materialized in RecScoreIndex")
+    "distinct users currently materialized in RecScoreIndex")                 \
+  X(kWalDurableLsn, "wal.durable_lsn", "lsn",                                 \
+    "highest LSN known durable on the log device")                            \
+  X(kSessionsActive, "session.active", "sessions",                            \
+    "Session handles currently alive")
 
 #define RECDB_HISTOGRAM_METRICS(X)                                            \
   X(kQueryLatencyUs, "query.latency_us", "us",                                \
@@ -114,4 +136,6 @@
   X(kCacheRunUs, "cache.run_us", "us",                                        \
     "CacheManager::Run wall-clock per maintenance sweep")                     \
   X(kCacheMaterializeUs, "cache.materialize_us", "us",                        \
-    "MaterializeUser wall-clock per admitted user")
+    "MaterializeUser wall-clock per admitted user")                           \
+  X(kWalCommitUs, "wal.commit_us", "us",                                      \
+    "Commit wall-clock per caller (incl. group-commit waits)")

@@ -110,15 +110,30 @@ void ItemCFModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items
   // accumulator, then gather per candidate. Addition order per candidate is
   // the candidate's neighborhood order — the same order the per-pair scalar
   // path always used, so results are bit-identical at any batch size.
-  const CsrRow rated = ratings_->UserCsrRow(*u);
+  //
+  // When the matrix has been updated since the model froze it, the CSR
+  // snapshot is stale; fall back to the mutable row — same entries in the
+  // same idx order, so the accumulation (and the result) is unchanged.
   DenseScratch& scratch = TlsScratch();
   scratch.Reset(ratings_->NumItems());
-  for (size_t k = 0; k < rated.n; ++k) {
-    scratch.Set(rated.idx[k], rated.rating[k]);
+  size_t num_rated = 0;
+  if (ratings_->frozen()) {
+    const CsrRow rated = ratings_->UserCsrRow(*u);
+    for (size_t k = 0; k < rated.n; ++k) {
+      scratch.Set(rated.idx[k], rated.rating[k]);
+    }
+    num_rated = rated.n;
+  } else {
+    const auto& rated = ratings_->UserVector(*u);
+    for (const auto& e : rated) scratch.Set(e.idx, e.rating);
+    num_rated = rated.size();
   }
   for (size_t c = 0; c < items.size(); ++c) {
     auto i = ratings_->ItemIndex(items[c]);
-    if (!i || rated.n == 0) {
+    if (!i || num_rated == 0 ||
+        static_cast<size_t>(*i) >= neighborhoods_.size()) {
+      // Unknown candidate, nothing rated, or an item interned after this
+      // model was built (no neighborhood yet).
       out[c] = 0;
       continue;
     }
@@ -181,25 +196,42 @@ void UserCFModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items
   // once, then each candidate item's contiguous rater row is gathered.
   // Addition order per candidate is the item's rater order (user-idx
   // ascending) — fixed per candidate, so independent of batch composition.
+  if (static_cast<size_t>(*u) >= neighborhoods_.size()) {
+    // A user interned after this model was built has no neighborhood yet.
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
   const auto& neighbors = neighborhoods_[*u];
   DenseScratch& scratch = TlsScratch();
   scratch.Reset(ratings_->NumUsers());
   for (const auto& nb : neighbors) {
     scratch.Set(nb.idx, static_cast<double>(nb.sim));
   }
+  // As in ItemCF, an unfrozen matrix routes through the mutable rows; the
+  // per-candidate accumulation order (user-idx ascending) is identical.
+  const bool frozen = ratings_->frozen();
   for (size_t c = 0; c < items.size(); ++c) {
     auto i = ratings_->ItemIndex(items[c]);
     if (!i) {
       out[c] = 0;
       continue;
     }
-    const CsrRow raters = ratings_->ItemCsrRow(*i);
     double num = 0, den = 0;
-    for (size_t k = 0; k < raters.n; ++k) {
+    auto accumulate = [&](int32_t rater_idx, double rating) {
       double sim;
-      if (!scratch.Get(raters.idx[k], &sim)) continue;
-      num += sim * raters.rating[k];
+      if (!scratch.Get(rater_idx, &sim)) return;
+      num += sim * rating;
       den += std::fabs(sim);
+    };
+    if (frozen) {
+      const CsrRow raters = ratings_->ItemCsrRow(*i);
+      for (size_t k = 0; k < raters.n; ++k) {
+        accumulate(raters.idx[k], raters.rating[k]);
+      }
+    } else {
+      for (const auto& e : ratings_->ItemVector(*i)) {
+        accumulate(e.idx, e.rating);
+      }
     }
     out[c] = den == 0 ? 0 : num / den;
   }

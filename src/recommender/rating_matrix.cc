@@ -86,7 +86,9 @@ void RatingMatrix::Add(int64_t user_id, int64_t item_id, double rating) {
 }
 
 bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
-  frozen_ = false;
+  // Un-freeze only after the rating is actually erased: a Remove of an
+  // absent pair mutates nothing, so the CSR snapshot stays valid and the
+  // models reading it must keep doing so.
   auto u = UserIndex(user_id);
   auto i = ItemIndex(item_id);
   if (!u || !i) return false;
@@ -100,6 +102,7 @@ bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
   };
   auto existing = GetByIndex(*u, *i);
   if (!existing) return false;
+  frozen_ = false;
   bool a = erase_from(&by_user_[*u], *i);
   bool b = erase_from(&by_item_[*i], *u);
   RECDB_DCHECK(a && b);

@@ -100,15 +100,25 @@ class RatingMatrix {
   void Freeze();
   bool frozen() const { return frozen_; }
 
-  /// CSR row views; only valid while frozen().
+  /// CSR row views. The guard is a real check, not a debug assertion: when
+  /// the matrix is not frozen (or the row post-dates the snapshot) the CSR
+  /// arrays are stale or empty, so the row reads as empty instead of as
+  /// out-of-bounds garbage. Callers that must see fresh entries fall back
+  /// to UserVector/ItemVector while !frozen().
   CsrRow UserCsrRow(int32_t user_idx) const {
-    RECDB_DCHECK(frozen_);
+    if (!frozen_ || user_idx < 0 ||
+        static_cast<size_t>(user_idx) + 1 >= user_csr_.offsets.size()) {
+      return {};
+    }
     int64_t b = user_csr_.offsets[user_idx];
     return {user_csr_.idx.data() + b, user_csr_.rating.data() + b,
             static_cast<size_t>(user_csr_.offsets[user_idx + 1] - b)};
   }
   CsrRow ItemCsrRow(int32_t item_idx) const {
-    RECDB_DCHECK(frozen_);
+    if (!frozen_ || item_idx < 0 ||
+        static_cast<size_t>(item_idx) + 1 >= item_csr_.offsets.size()) {
+      return {};
+    }
     int64_t b = item_csr_.offsets[item_idx];
     return {item_csr_.idx.data() + b, item_csr_.rating.data() + b,
             static_cast<size_t>(item_csr_.offsets[item_idx + 1] - b)};

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "obs/metrics.h"
+#include "storage/log_manager.h"
 
 namespace recdb {
 
@@ -39,7 +40,11 @@ Result<frame_id_t> BufferPool::GetVictim() {
     if (frames_[fid]->pin_count() != 0) continue;
     Page* victim = frames_[fid].get();
     if (victim->is_dirty()) {
-      Status st = disk_->WritePage(victim->page_id(), victim->data());
+      // WAL rule: the log records this frame's mutations rode on must be
+      // durable before the data page overwrites its on-disk image.
+      Status st = log_ != nullptr ? log_->EnsureDurable(victim->lsn())
+                                  : Status::OK();
+      if (st.ok()) st = disk_->WritePage(victim->page_id(), victim->data());
       if (!st.ok()) {
         // The victim keeps its (dirty, resident, consistent) frame; try the
         // next candidate so one bad write-back doesn't wedge the pool.
@@ -62,6 +67,7 @@ Result<frame_id_t> BufferPool::GetVictim() {
 }
 
 Result<Page*> BufferPool::Fetch(page_id_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(pid);
   if (it != page_table_.end()) {
     ++hits_;
@@ -91,6 +97,7 @@ Result<Page*> BufferPool::Fetch(page_id_t pid) {
 }
 
 Result<Page*> BufferPool::New(page_id_t* pid_out) {
+  std::lock_guard<std::mutex> lock(mu_);
   RECDB_ASSIGN_OR_RETURN(frame_id_t fid, GetVictim());
   page_id_t pid = disk_->AllocatePage();
   Page* page = frames_[fid].get();
@@ -119,6 +126,7 @@ Result<PageGuard> BufferPool::NewGuard(page_id_t* pid_out) {
 }
 
 Status BufferPool::Unpin(page_id_t pid, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(pid);
   if (it == page_table_.end()) {
     return Status::NotFound("unpin of non-resident page " +
@@ -133,11 +141,14 @@ Status BufferPool::Unpin(page_id_t pid, bool dirty) {
   return Status::OK();
 }
 
-Status BufferPool::Flush(page_id_t pid) {
+Status BufferPool::FlushLocked(page_id_t pid) {
   auto it = page_table_.find(pid);
   if (it == page_table_.end()) return Status::OK();
   Page* page = frames_[it->second].get();
   if (page->is_dirty_) {
+    if (log_ != nullptr) {
+      RECDB_RETURN_NOT_OK(log_->EnsureDurable(page->lsn()));
+    }
     RECDB_RETURN_NOT_OK(disk_->WritePage(pid, page->data()));
     page->is_dirty_ = false;
     obs::Count(obs::Counter::kBufferPoolFlushes);
@@ -145,15 +156,29 @@ Status BufferPool::Flush(page_id_t pid) {
   return Status::OK();
 }
 
+Status BufferPool::Flush(page_id_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked(pid);
+}
+
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [pid, fid] : page_table_) {
     (void)fid;
-    RECDB_RETURN_NOT_OK(Flush(pid));
+    RECDB_RETURN_NOT_OK(FlushLocked(pid));
   }
   return disk_->Sync();
 }
 
+void BufferPool::EnsureAllocated(page_id_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (disk_->NumPages() <= static_cast<size_t>(pid)) {
+    disk_->AllocatePage();
+  }
+}
+
 size_t BufferPool::NumPinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const auto& f : frames_) {
     if (f->pin_count() > 0) ++n;

@@ -5,6 +5,17 @@
 // PageGuard makes a leaked pin impossible on error paths. Pinned pages are
 // never evicted; evicting a dirty page writes it back.
 //
+// Thread safety: every public entry point takes the internal mutex, so
+// concurrent sessions can fetch/unpin safely. Page *contents* are not
+// guarded here — RecDB's reader-writer discipline guarantees at most one
+// writer (or any number of readers) touches tuple bytes at a time.
+//
+// WAL rule: when a log manager is attached via SetWal, a dirty frame is
+// written back only after EnsureDurable(frame.lsn()) — the log records for
+// every mutation the frame carries reach the log device before the data
+// page can. An eviction whose log flush fails skips that candidate, same
+// as a failed write-back.
+//
 // Failure model: a failed write-back during eviction leaves the victim
 // resident and dirty (no data is lost) and the pool tries the next LRU
 // candidate; a failed read into a victim frame returns the frame to the
@@ -14,6 +25,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -24,9 +36,15 @@
 
 namespace recdb {
 
+class LogManager;
+
 class BufferPool {
  public:
   BufferPool(size_t pool_size, DiskManager* disk);
+
+  /// Attach the WAL for the flush-order rule. Call before any logged
+  /// mutation; not thread-safe against in-flight operations.
+  void SetWal(LogManager* log) { log_ = log; }
 
   /// Fetch an existing page, pinning it. IOError if unallocated; kDataLoss
   /// if corrupt on disk; ResourceExhausted if every frame is pinned.
@@ -52,21 +70,40 @@ class BufferPool {
   /// barrier (fsync for file-backed devices).
   Status FlushAll();
 
+  /// Grow the device until `pid` is a valid page (REDO replays records that
+  /// reference pages whose allocation never reached the data file).
+  void EnsureAllocated(page_id_t pid);
+
   size_t pool_size() const { return frames_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void ResetCounters() { hits_ = misses_ = 0; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ = misses_ = 0;
+  }
 
   /// Number of currently pinned frames (test/debug aid).
   size_t NumPinned() const;
 
  private:
   /// Pick a victim frame: free list first, else LRU among unpinned.
+  /// Requires mu_ held (log flushes happen with it held; LogManager never
+  /// calls back into the pool, so the ordering pool-mutex -> log-mutex is
+  /// acyclic).
   Result<frame_id_t> GetVictim();
+  Status FlushLocked(page_id_t pid);
   void TouchLru(frame_id_t fid);
   void EraseLru(frame_id_t fid);
 
   DiskManager* disk_;
+  LogManager* log_ = nullptr;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<page_id_t, frame_id_t> page_table_;
   std::list<frame_id_t> lru_;  // front = least recently used

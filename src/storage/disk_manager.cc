@@ -386,6 +386,25 @@ Status FaultInjectingDiskManager::DoReadPage(page_id_t pid, char* out) {
   return inner_->ReadPage(pid, out);
 }
 
+Status FaultInjectingDiskManager::Sync() {
+  ++sync_attempts_;
+  auto it = sync_faults_.find(sync_attempts_);
+  if (it != sync_faults_.end()) {
+    FaultKind kind = it->second;
+    sync_faults_.erase(it);
+    ++num_injected_;
+    if (kind == FaultKind::kTransient) {
+      return Status::Unavailable("injected transient sync fault (attempt " +
+                                 std::to_string(sync_attempts_) + ")");
+    }
+    // kTorn has no meaning for a barrier; treat as a hard failure. Nothing
+    // written since the last successful Sync is guaranteed durable.
+    return Status::IOError("injected sync fault (attempt " +
+                           std::to_string(sync_attempts_) + ")");
+  }
+  return inner_->Sync();
+}
+
 Status FaultInjectingDiskManager::DoWritePage(page_id_t pid, const char* src) {
   ++write_attempts_;
   auto fault = NextFault(&write_faults_, write_attempts_, write_rate_);

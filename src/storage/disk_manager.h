@@ -21,6 +21,7 @@
 // maintained here so every layer above can observe fault behaviour.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -75,15 +76,28 @@ class DiskManager {
   /// above use this to decide whether catalog metadata must be persisted.
   virtual bool persistent() const { return false; }
 
-  // I/O accounting.
-  uint64_t num_reads() const { return num_reads_; }
-  uint64_t num_writes() const { return num_writes_; }
+  // I/O accounting. Counters are relaxed atomics: concurrent sessions read
+  // them (per-script I/O deltas) while other sessions issue I/O.
+  uint64_t num_reads() const {
+    return num_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_writes() const {
+    return num_writes_.load(std::memory_order_relaxed);
+  }
   // Fault accounting (ReadPage/WritePage calls that failed after retries,
   // transient-fault retries performed, checksum verification failures).
-  uint64_t num_read_failures() const { return num_read_failures_; }
-  uint64_t num_write_failures() const { return num_write_failures_; }
-  uint64_t num_retries() const { return num_retries_; }
-  uint64_t num_checksum_failures() const { return num_checksum_failures_; }
+  uint64_t num_read_failures() const {
+    return num_read_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_write_failures() const {
+    return num_write_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_retries() const {
+    return num_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_checksum_failures() const {
+    return num_checksum_failures_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
     num_reads_ = num_writes_ = 0;
     num_read_failures_ = num_write_failures_ = 0;
@@ -110,12 +124,12 @@ class DiskManager {
   Status RunWithRetry(OpKind kind, page_id_t pid, char* out, const char* src);
 
   RetryPolicy retry_policy_;
-  uint64_t num_reads_ = 0;
-  uint64_t num_writes_ = 0;
-  uint64_t num_read_failures_ = 0;
-  uint64_t num_write_failures_ = 0;
-  uint64_t num_retries_ = 0;
-  uint64_t num_checksum_failures_ = 0;
+  std::atomic<uint64_t> num_reads_{0};
+  std::atomic<uint64_t> num_writes_{0};
+  std::atomic<uint64_t> num_read_failures_{0};
+  std::atomic<uint64_t> num_write_failures_{0};
+  std::atomic<uint64_t> num_retries_{0};
+  std::atomic<uint64_t> num_checksum_failures_{0};
   uint64_t page_latency_ns_ = 0;
 };
 
@@ -217,6 +231,12 @@ class FaultInjectingDiskManager : public DiskManager {
   void FailNthWrite(uint64_t attempt, FaultKind kind = FaultKind::kTransient) {
     write_faults_[attempt] = kind;
   }
+  /// Fail the `attempt`-th Sync() call (1-based). kTorn is not meaningful
+  /// for a barrier and is treated as kPermanent. Crash-recovery tests use
+  /// this as the "inside the group-commit fsync" kill point.
+  void FailNthSync(uint64_t attempt, FaultKind kind = FaultKind::kPermanent) {
+    sync_faults_[attempt] = kind;
+  }
 
   /// Seeded random faults: each attempt fails with probability `rate`.
   void SetRandomFaults(double read_rate, double write_rate, uint64_t seed,
@@ -230,19 +250,21 @@ class FaultInjectingDiskManager : public DiskManager {
   void ClearFaults() {
     read_faults_.clear();
     write_faults_.clear();
+    sync_faults_.clear();
     read_rate_ = write_rate_ = 0;
-    read_attempts_ = write_attempts_ = 0;
+    read_attempts_ = write_attempts_ = sync_attempts_ = 0;
   }
 
   uint64_t num_injected_faults() const { return num_injected_; }
   uint64_t read_attempts() const { return read_attempts_; }
   uint64_t write_attempts() const { return write_attempts_; }
+  uint64_t sync_attempts() const { return sync_attempts_; }
 
   DiskManager* inner() { return inner_.get(); }
 
   page_id_t AllocatePage() override { return inner_->AllocatePage(); }
   size_t NumPages() const override { return inner_->NumPages(); }
-  Status Sync() override { return inner_->Sync(); }
+  Status Sync() override;
   bool persistent() const override { return inner_->persistent(); }
 
  protected:
@@ -258,8 +280,10 @@ class FaultInjectingDiskManager : public DiskManager {
   std::unique_ptr<DiskManager> inner_;
   std::map<uint64_t, FaultKind> read_faults_;
   std::map<uint64_t, FaultKind> write_faults_;
+  std::map<uint64_t, FaultKind> sync_faults_;
   uint64_t read_attempts_ = 0;
   uint64_t write_attempts_ = 0;
+  uint64_t sync_attempts_ = 0;
   double read_rate_ = 0;
   double write_rate_ = 0;
   FaultKind random_kind_ = FaultKind::kTransient;

@@ -1,0 +1,278 @@
+#include "storage/log_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace recdb {
+
+Result<std::unique_ptr<LogManager>> LogManager::Open(
+    std::unique_ptr<DiskManager> disk) {
+  auto log = std::unique_ptr<LogManager>(new LogManager(std::move(disk)));
+  RECDB_RETURN_NOT_OK(log->InitOrRecover());
+  return log;
+}
+
+Status LogManager::WriteHeaderPage(uint64_t epoch, Lsn base) {
+  alignas(8) char buf[kPageSize];
+  std::memset(buf, 0, kPageSize);
+  std::memcpy(buf, &kHeaderMagic, sizeof(kHeaderMagic));
+  std::memcpy(buf + 8, &epoch, sizeof(epoch));
+  std::memcpy(buf + 16, &base, sizeof(base));
+  return disk_->WritePage(0, buf);
+}
+
+Status LogManager::InitOrRecover() {
+  if (disk_->NumPages() == 0) {
+    disk_->AllocatePage();  // page 0 = header
+    RECDB_RETURN_NOT_OK(WriteHeaderPage(epoch_, base_lsn_));
+    return disk_->Sync();
+  }
+
+  alignas(8) char buf[kPageSize];
+  Status hst = disk_->ReadPage(0, buf);
+  uint32_t magic = 0;
+  if (hst.ok()) std::memcpy(&magic, buf, sizeof(magic));
+  bool adopt = false;
+  if (hst.ok() && magic == kHeaderMagic) {
+    std::memcpy(&epoch_, buf + 8, sizeof(epoch_));
+    std::memcpy(&base_lsn_, buf + 16, sizeof(base_lsn_));
+  } else if (!hst.ok() && hst.code() != StatusCode::kDataLoss) {
+    return hst;  // failing device — do not guess
+  } else {
+    // Torn or foreign header (crash during create or checkpoint truncation).
+    // The header is rewritten only after a completed checkpoint, so any
+    // records still on disk are covered by the checkpoint image; adopt the
+    // first log page's epoch so that prefix is still readable, and let the
+    // caller's checkpoint-LSN filter drop what the checkpoint covered.
+    adopt = true;
+    if (disk_->NumPages() > 1) {
+      alignas(8) char p1[kPageSize];
+      Status rst = disk_->ReadPage(1, p1);
+      uint32_t m1 = 0;
+      if (rst.ok()) std::memcpy(&m1, p1, sizeof(m1));
+      if (rst.ok() && m1 == kPageMagic) {
+        std::memcpy(&epoch_, p1 + 8, sizeof(epoch_));
+      }
+    }
+  }
+
+  newest_lsn_.store(base_lsn_, std::memory_order_release);
+  durable_lsn_.store(base_lsn_, std::memory_order_release);
+  RECDB_RETURN_NOT_OK(ScanLog(adopt));
+  if (adopt) {
+    RECDB_RETURN_NOT_OK(WriteHeaderPage(epoch_, base_lsn_));
+    RECDB_RETURN_NOT_OK(disk_->Sync());
+  }
+  return Status::OK();
+}
+
+Status LogManager::ScanLog(bool adopt_base) {
+  // Page-level pass: concatenate the payloads of consecutive current-epoch
+  // pages from page 1. A hole (never-written zeros), foreign epoch, torn
+  // page (kDataLoss), or nonsense header ends the log region; a hard read
+  // error aborts the open rather than silently truncating committed records.
+  std::vector<uint8_t> stream;
+  std::vector<size_t> page_end;  // cumulative stream size after each page
+  const size_t total = disk_->NumPages();
+  for (page_id_t pid = 1; static_cast<size_t>(pid) < total; ++pid) {
+    alignas(8) char buf[kPageSize];
+    Status st = disk_->ReadPage(pid, buf);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kDataLoss) break;  // torn tail
+      return st;
+    }
+    uint32_t magic, used;
+    uint64_t epoch;
+    std::memcpy(&magic, buf, sizeof(magic));
+    std::memcpy(&used, buf + 4, sizeof(used));
+    std::memcpy(&epoch, buf + 8, sizeof(epoch));
+    if (magic != kPageMagic || epoch != epoch_ || used == 0 ||
+        used > kPagePayload) {
+      break;
+    }
+    stream.insert(stream.end(), buf + kPageHeaderSize,
+                  buf + kPageHeaderSize + used);
+    page_end.push_back(stream.size());
+    // A sealed page (used < capacity) ends one batch, but the next batch
+    // starts on the following page — keep scanning.
+  }
+
+  // Frame-level pass: parse records until the first inconsistency. Bytes
+  // past a failed (never-acknowledged) batch can survive as stale pages of
+  // the current epoch; the CRC and LSN-continuity checks reject them, and
+  // the next flush position rewinds over them so they get overwritten.
+  size_t pos = 0;
+  size_t last_valid_end = 0;
+  Lsn last_lsn = base_lsn_;
+  while (stream.size() - pos >= 8) {
+    uint32_t len, crc;
+    std::memcpy(&len, stream.data() + pos, sizeof(len));
+    std::memcpy(&crc, stream.data() + pos + 4, sizeof(crc));
+    if (len < 9 || len > stream.size() - pos - 8) break;
+    const uint8_t* body = stream.data() + pos + 8;
+    if (Crc32(body, len) != crc) break;
+    Lsn lsn;
+    std::memcpy(&lsn, body, sizeof(lsn));
+    if (adopt_base && recovered_.empty()) {
+      base_lsn_ = lsn - 1;
+      last_lsn = base_lsn_;
+    }
+    if (lsn != last_lsn + 1) break;
+    const uint8_t type = body[8];
+    if (type < static_cast<uint8_t>(WalRecordType::kInsert) ||
+        type > static_cast<uint8_t>(WalRecordType::kDropRecommender)) {
+      break;
+    }
+    WalRecord rec;
+    rec.lsn = lsn;
+    rec.type = static_cast<WalRecordType>(type);
+    rec.payload.assign(body + 9, body + len);
+    recovered_.push_back(std::move(rec));
+    last_lsn = lsn;
+    pos += 8 + static_cast<size_t>(len);
+    last_valid_end = pos;
+  }
+
+  // Keep the pages fully covered by valid records; the next flush starts
+  // right after them. Batches are page-aligned, so the valid prefix always
+  // ends exactly at a page boundary.
+  size_t kept = 0;
+  for (size_t k = 0; k < page_end.size(); ++k) {
+    if (page_end[k] <= last_valid_end) {
+      kept = k + 1;
+    } else {
+      break;
+    }
+  }
+  next_log_page_ = 1 + static_cast<page_id_t>(kept);
+  newest_lsn_.store(last_lsn, std::memory_order_release);
+  durable_lsn_.store(last_lsn, std::memory_order_release);
+  obs::SetGauge(obs::Gauge::kWalDurableLsn, static_cast<int64_t>(last_lsn));
+  return Status::OK();
+}
+
+Lsn LogManager::Append(WalRecordType type, const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Lsn lsn = newest_lsn_.load(std::memory_order_relaxed) + 1;
+  newest_lsn_.store(lsn, std::memory_order_release);
+  const uint32_t len = static_cast<uint32_t>(9 + payload.size());
+  const size_t base = pending_.size();
+  pending_.resize(base + 8 + len);
+  uint8_t* frame = pending_.data() + base;
+  uint8_t* body = frame + 8;
+  std::memcpy(body, &lsn, sizeof(lsn));
+  body[8] = static_cast<uint8_t>(type);
+  if (!payload.empty()) std::memcpy(body + 9, payload.data(), payload.size());
+  const uint32_t crc = Crc32(body, len);
+  std::memcpy(frame, &len, sizeof(len));
+  std::memcpy(frame + 4, &crc, sizeof(crc));
+  num_appended_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kWalAppends);
+  obs::Count(obs::Counter::kWalBytesAppended, 8 + len);
+  return lsn;
+}
+
+Status LogManager::WriteBatch(page_id_t first_page,
+                              const std::vector<uint8_t>& bytes,
+                              size_t* pages_out) {
+  const size_t n = bytes.size();
+  const size_t pages = (n + kPagePayload - 1) / kPagePayload;
+  for (size_t k = 0; k < pages; ++k) {
+    while (disk_->NumPages() <= static_cast<size_t>(first_page) + k) {
+      disk_->AllocatePage();
+    }
+    alignas(8) char buf[kPageSize];
+    std::memset(buf, 0, kPageSize);
+    const size_t off = k * kPagePayload;
+    const uint32_t used = static_cast<uint32_t>(std::min(kPagePayload, n - off));
+    std::memcpy(buf, &kPageMagic, sizeof(kPageMagic));
+    std::memcpy(buf + 4, &used, sizeof(used));
+    std::memcpy(buf + 8, &epoch_, sizeof(epoch_));
+    std::memcpy(buf + kPageHeaderSize, bytes.data() + off, used);
+    RECDB_RETURN_NOT_OK(
+        disk_->WritePage(first_page + static_cast<page_id_t>(k), buf));
+  }
+  RECDB_RETURN_NOT_OK(disk_->Sync());  // the one fsync of this group commit
+  num_flushes_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Counter::kWalFsyncs);
+  *pages_out = pages;
+  return Status::OK();
+}
+
+Status LogManager::Commit(Lsn lsn) {
+  Stopwatch watch;
+  std::unique_lock<std::mutex> lock(mu_);
+  const Lsn newest = newest_lsn_.load(std::memory_order_relaxed);
+  if (lsn > newest) lsn = newest;
+  while (durable_lsn_.load(std::memory_order_acquire) < lsn &&
+         flush_in_progress_) {
+    cv_.wait(lock);
+  }
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) {
+    // A concurrent leader's batch covered this commit (group commit).
+    obs::Count(obs::Counter::kWalCommits);
+    obs::ObserveUs(obs::Histogram::kWalCommitUs,
+                   static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+    return Status::OK();
+  }
+
+  // Leader: flush every buffered record in one batch. The device I/O runs
+  // outside the mutex so sessions keep appending while the batch syncs.
+  flush_in_progress_ = true;
+  const Lsn target = newest_lsn_.load(std::memory_order_relaxed);
+  std::vector<uint8_t> batch = pending_;
+  const page_id_t first_page = next_log_page_;
+  lock.unlock();
+  size_t pages = 0;
+  Status st =
+      batch.empty() ? Status::OK() : WriteBatch(first_page, batch, &pages);
+  lock.lock();
+  flush_in_progress_ = false;
+  if (st.ok()) {
+    // Records appended during the flush stayed behind the copied prefix.
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(batch.size()));
+    next_log_page_ = first_page + static_cast<page_id_t>(pages);
+    durable_lsn_.store(target, std::memory_order_release);
+    obs::SetGauge(obs::Gauge::kWalDurableLsn, static_cast<int64_t>(target));
+  }
+  // On failure the buffered bytes stay pending: the pages they would have
+  // occupied were never acknowledged, so a retrying Commit simply rewrites
+  // them from the same position.
+  cv_.notify_all();
+  lock.unlock();
+  if (!st.ok()) return st;
+  obs::Count(obs::Counter::kWalCommits);
+  obs::ObserveUs(obs::Histogram::kWalCommitUs,
+                 static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return Status::OK();
+}
+
+Status LogManager::Reset(Lsn new_base) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (flush_in_progress_) cv_.wait(lock);
+  // Persist the new epoch first; only then mutate in-memory state. If the
+  // header write fails the log keeps running in the old epoch and the old
+  // records stay replayable (they are harmless duplicates of the checkpoint
+  // image, filtered out by the checkpoint LSN on recovery).
+  const uint64_t new_epoch = epoch_ + 1;
+  RECDB_RETURN_NOT_OK(WriteHeaderPage(new_epoch, new_base));
+  RECDB_RETURN_NOT_OK(disk_->Sync());
+  epoch_ = new_epoch;
+  base_lsn_ = new_base;
+  if (newest_lsn_.load(std::memory_order_relaxed) < new_base) {
+    newest_lsn_.store(new_base, std::memory_order_release);
+  }
+  pending_.clear();
+  const Lsn newest = newest_lsn_.load(std::memory_order_relaxed);
+  durable_lsn_.store(newest, std::memory_order_release);
+  next_log_page_ = 1;
+  obs::Count(obs::Counter::kWalResets);
+  obs::SetGauge(obs::Gauge::kWalDurableLsn, static_cast<int64_t>(newest));
+  return Status::OK();
+}
+
+}  // namespace recdb

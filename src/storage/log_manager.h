@@ -1,0 +1,165 @@
+// LogManager: the write-ahead log behind RecDB's durability guarantee.
+//
+// The paper positions RecDB as a DBMS serving live recommendation traffic;
+// continuous rating ingest needs commit durability cheaper than a full
+// checkpoint per statement. The WAL provides it: every mutation appends an
+// LSN-stamped logical record to an append-only log device, and a statement
+// is acknowledged only after its records are fsynced. RecDB::Open replays
+// the durable log suffix (REDO) over the last checkpoint image.
+//
+// Device layout (own DiskManager, normally `<db>.wal`):
+//   page 0  — header: u32 magic | u32 reserved | u64 epoch | u64 base_lsn
+//   page 1+ — log pages: u32 magic | u32 used | u64 epoch | payload
+//
+// Record framing inside the concatenated page payloads:
+//   u32 len | u32 crc32(body) | body
+//   body = u64 lsn | u8 type | type-specific payload
+//
+// Torn-tail safety comes from batch-aligned pages: every flush starts on a
+// fresh page and seals the batch's final page (used < capacity), so a torn
+// write can only corrupt pages holding bytes that were never acknowledged.
+// The recovery scan stops at the first hole, foreign-epoch page, CRC
+// mismatch, or LSN discontinuity — everything before that point is exactly
+// the durable record prefix.
+//
+// Group commit: Append() only buffers (cheap, under a short mutex);
+// Commit(lsn) elects one waiting thread as leader, which writes and fsyncs
+// every buffered record in one batch while followers wait on a condvar —
+// one fsync per batch regardless of how many sessions committed.
+//
+// Checkpoint truncation: Reset(lsn) bumps the epoch and rewinds to page 1.
+// Old-epoch pages become unreachable without being rewritten.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace recdb {
+
+/// Log sequence number: 1-based, strictly monotonic per log, 0 = "none".
+using Lsn = uint64_t;
+
+/// Logical record types. Payload encodings are owned by the layer that
+/// writes them (TableHeap for tuple records, RecDB for DDL records); the
+/// LogManager treats payloads as opaque bytes.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,             // table | rid | tuple bytes
+  kDelete = 2,             // table | rid
+  kUpdate = 3,             // table | rid | tuple bytes (in-place)
+  kCreateTable = 4,        // name | schema | first page id
+  kDropTable = 5,          // name
+  kCreateRecommender = 6,  // serialized RecommenderConfig
+  kDropRecommender = 7,    // name
+};
+
+/// One parsed log record, as returned by the recovery scan.
+struct WalRecord {
+  Lsn lsn = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  std::vector<uint8_t> payload;
+};
+
+class LogManager {
+ public:
+  /// Open (or initialize) a log on `disk`. Scans the durable record prefix;
+  /// retrieve it with TakeRecoveredRecords(). An unreadable header page is
+  /// tolerated (it is rewritten only during checkpoint truncation, whose
+  /// records are already covered by the checkpoint image): the epoch is
+  /// adopted from the first log page when possible, else the log starts
+  /// fresh. A hard I/O error on a log page fails the open — truncating at
+  /// a failing sector would silently drop committed records.
+  static Result<std::unique_ptr<LogManager>> Open(
+      std::unique_ptr<DiskManager> disk);
+
+  /// Buffer one record, assigning the next LSN. Does not touch the device;
+  /// the record is durable only once Commit()/EnsureDurable() covers it.
+  Lsn Append(WalRecordType type, const std::vector<uint8_t>& payload);
+
+  /// Block until every record up to `lsn` is durable (group commit). On
+  /// flush failure the buffered records stay pending, so a later Commit can
+  /// retry; the in-memory database state is then ahead of the durable log.
+  Status Commit(Lsn lsn);
+
+  /// WAL rule hook for the buffer pool: make `lsn` durable before a data
+  /// page stamped with it is written back. Lock-free when already durable.
+  Status EnsureDurable(Lsn lsn) {
+    if (lsn == 0 || durable_lsn() >= lsn) return Status::OK();
+    return Commit(lsn);
+  }
+
+  /// Checkpoint truncation: records up to `new_base` are covered by the
+  /// checkpoint image; drop them, bump the epoch, rewind to page 1.
+  Status Reset(Lsn new_base);
+
+  /// Records recovered by Open(), in LSN order (moved out; one shot).
+  std::vector<WalRecord> TakeRecoveredRecords() {
+    return std::move(recovered_);
+  }
+
+  Lsn newest_lsn() const {
+    return newest_lsn_.load(std::memory_order_acquire);
+  }
+  Lsn durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  Lsn base_lsn() const { return base_lsn_; }
+
+  /// Flush batches executed (each is one device Sync). With group commit,
+  /// flushes() <= commits served; tests assert the piggyback behaviour.
+  uint64_t flushes() const {
+    return num_flushes_.load(std::memory_order_relaxed);
+  }
+  uint64_t records_appended() const {
+    return num_appended_.load(std::memory_order_relaxed);
+  }
+
+  DiskManager* disk() { return disk_.get(); }
+
+ private:
+  static constexpr uint32_t kHeaderMagic = 0x4C415752u;  // "RWAL"
+  static constexpr uint32_t kPageMagic = 0x47504C57u;    // "WLPG"
+  static constexpr size_t kPageHeaderSize = 16;
+  static constexpr size_t kPagePayload = kPageSize - kPageHeaderSize;
+
+  explicit LogManager(std::unique_ptr<DiskManager> disk)
+      : disk_(std::move(disk)) {}
+
+  Status InitOrRecover();
+  Status WriteHeaderPage(uint64_t epoch, Lsn base);
+  /// Write `bytes` as log pages starting at `first_page`, then Sync. Returns
+  /// the page count through `pages_out` on success.
+  Status WriteBatch(page_id_t first_page, const std::vector<uint8_t>& bytes,
+                    size_t* pages_out);
+  /// Scan the current epoch's pages from page 1, filling recovered_ and
+  /// positioning next_log_page_ / the LSN watermarks. With `adopt_base`
+  /// (unreadable header), base_lsn_ is inferred from the first record.
+  Status ScanLog(bool adopt_base);
+
+  std::unique_ptr<DiskManager> disk_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Serialized frames not yet durable (guarded by mu_).
+  std::vector<uint8_t> pending_;
+  bool flush_in_progress_ = false;
+  /// First device page the next flush will write (guarded by mu_).
+  page_id_t next_log_page_ = 1;
+
+  uint64_t epoch_ = 1;
+  Lsn base_lsn_ = 0;
+  std::atomic<Lsn> newest_lsn_{0};
+  std::atomic<Lsn> durable_lsn_{0};
+  std::atomic<uint64_t> num_flushes_{0};
+  std::atomic<uint64_t> num_appended_{0};
+
+  std::vector<WalRecord> recovered_;
+};
+
+}  // namespace recdb

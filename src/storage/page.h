@@ -24,11 +24,19 @@ class Page {
   int pin_count() const { return pin_count_; }
   bool is_dirty() const { return is_dirty_; }
 
+  /// WAL watermark: LSN of the newest log record whose effect this frame
+  /// carries. In-memory only (never serialized): a page read from disk
+  /// restarts at 0, which is safe — its on-disk bytes got there through a
+  /// write-back that already enforced the WAL rule for every earlier LSN.
+  uint64_t lsn() const { return lsn_; }
+  void set_lsn(uint64_t lsn) { lsn_ = lsn; }
+
   void Reset() {
     std::memset(data_, 0, kPageSize);
     page_id_ = kInvalidPageId;
     pin_count_ = 0;
     is_dirty_ = false;
+    lsn_ = 0;
   }
 
  private:
@@ -38,6 +46,7 @@ class Page {
   page_id_t page_id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool is_dirty_ = false;
+  uint64_t lsn_ = 0;
 };
 
 }  // namespace recdb

@@ -2,9 +2,17 @@
 //
 // Access pattern matches the paper's operators: sequential block-at-a-time
 // scans through the buffer pool, append-mostly inserts.
+//
+// With a LogManager attached (EnableLogging), every mutation appends a
+// logical WAL record and stamps both the on-disk page_lsn (REDO idempotency
+// watermark) and the in-memory Page lsn (buffer-pool WAL rule) while the
+// page is still pinned, so an eviction can never write back an unstamped
+// mutation. The Redo* entry points replay those records over a checkpoint
+// image in LSN order.
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
@@ -12,6 +20,22 @@
 #include "types/tuple.h"
 
 namespace recdb {
+
+class LogManager;
+
+/// Decoded payload of a tuple-level WAL record (kInsert/kDelete/kUpdate).
+struct WalTupleRecord {
+  std::string table;
+  Rid rid{};
+  std::vector<uint8_t> bytes;  // serialized tuple; empty for kDelete
+};
+
+/// Payload codec for tuple-level WAL records; `bytes` is null for kDelete.
+std::vector<uint8_t> EncodeWalTupleRecord(const std::string& table,
+                                          const Rid& rid,
+                                          const std::vector<uint8_t>* bytes);
+Result<WalTupleRecord> DecodeWalTupleRecord(
+    const std::vector<uint8_t>& payload);
 
 class TableHeap {
  public:
@@ -25,6 +49,14 @@ class TableHeap {
                                            page_id_t last_page_id,
                                            size_t num_tuples);
 
+  /// Start WAL-logging mutations under `table_name` (the name REDO uses to
+  /// route records back to this heap). Records are buffered; the caller
+  /// owns commit timing.
+  void EnableLogging(LogManager* log, std::string table_name) {
+    log_ = log;
+    table_name_ = std::move(table_name);
+  }
+
   /// Insert a tuple, returning its record id.
   Result<Rid> Insert(const Tuple& tuple);
 
@@ -37,6 +69,21 @@ class TableHeap {
   /// Update in place when possible; otherwise delete + re-insert.
   /// Returns the (possibly new) rid.
   Result<Rid> Update(const Rid& rid, const Tuple& tuple);
+
+  // REDO entry points: re-apply a recovered WAL record over the checkpoint
+  // image. Must be called in LSN order. Page mutations are skipped when the
+  // page's persisted page_lsn already covers the record, but the in-memory
+  // tuple count always adjusts (catalog counts are checkpoint-time).
+  Status RedoInsert(const Rid& rid, const std::vector<uint8_t>& bytes,
+                    uint64_t lsn);
+  Status RedoDelete(const Rid& rid, uint64_t lsn);
+  Status RedoUpdate(const Rid& rid, const std::vector<uint8_t>& bytes,
+                    uint64_t lsn);
+
+  /// Clear a dangling next-page link on the tail page — left behind when a
+  /// crashed run flushed the tail after chaining a fresh page whose insert
+  /// never committed. Scans would otherwise walk into unformatted pages.
+  Status RepairTail(bool* repaired);
 
   page_id_t first_page_id() const { return first_page_id_; }
   page_id_t last_page_id() const { return last_page_id_; }
@@ -72,6 +119,8 @@ class TableHeap {
   explicit TableHeap(BufferPool* pool) : pool_(pool) {}
 
   BufferPool* pool_;
+  LogManager* log_ = nullptr;
+  std::string table_name_;
   page_id_t first_page_id_ = kInvalidPageId;
   page_id_t last_page_id_ = kInvalidPageId;
   size_t num_tuples_ = 0;

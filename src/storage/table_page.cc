@@ -21,6 +21,7 @@ void TablePage::Init() {
   set_next_page_id(kInvalidPageId);
   set_num_slots(0);
   set_free_end(static_cast<uint16_t>(kPageSize));
+  set_page_lsn(0);
 }
 
 page_id_t TablePage::next_page_id() const {
@@ -41,6 +42,17 @@ uint16_t TablePage::free_end() const {
   return v == 0 ? static_cast<uint16_t>(kPageSize) : v;
 }
 void TablePage::set_free_end(uint16_t v) { Store(page_->data() + 6, v); }
+
+uint64_t TablePage::page_lsn() const {
+  return Load<uint64_t>(page_->data() + 8);
+}
+void TablePage::set_page_lsn(uint64_t lsn) { Store(page_->data() + 8, lsn); }
+
+bool TablePage::initialized() const {
+  // Init() stores kPageSize (4096) into free_end; a never-written device
+  // page reads back as zeros.
+  return Load<uint16_t>(page_->data() + 6) != 0;
+}
 
 std::pair<uint16_t, uint16_t> TablePage::slot_at(uint16_t i) const {
   const char* p = page_->data() + kHeaderSize + i * kSlotSize;

@@ -1,12 +1,15 @@
 // TablePage: slotted-page layout over a raw buffer-pool frame.
 //
 // Layout (little-endian):
-//   [0..3]  next_page_id (int32)   — forward link of the heap file
-//   [4..5]  num_slots    (uint16)
-//   [6..7]  free_end     (uint16)  — lowest byte offset used by tuple data;
+//   [0..3]   next_page_id (int32)  — forward link of the heap file
+//   [4..5]   num_slots    (uint16)
+//   [6..7]   free_end     (uint16) — lowest byte offset used by tuple data;
 //                                    data grows downward from kPageSize
-//   [8..]   slot array: {uint16 offset, uint16 size} per slot.
-//           size == 0 marks a deleted slot (offset then unused).
+//   [8..15]  page_lsn     (uint64) — LSN of the newest logged mutation
+//                                    persisted on this page; REDO skips
+//                                    records at or below it (idempotency)
+//   [16..]   slot array: {uint16 offset, uint16 size} per slot.
+//            size == 0 marks a deleted slot (offset then unused).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +46,15 @@ class TablePage {
   page_id_t next_page_id() const;
   void set_next_page_id(page_id_t pid);
 
+  /// On-disk REDO watermark (see layout comment). Distinct from the
+  /// in-memory Page::lsn() WAL-rule watermark, which is never serialized.
+  uint64_t page_lsn() const;
+  void set_page_lsn(uint64_t lsn);
+
+  /// False for a never-formatted (all-zero) page: recovery uses this to
+  /// detect heap pages whose formatting write never reached the device.
+  bool initialized() const;
+
   uint16_t num_slots() const;
 
   /// Bytes available for a new tuple (accounting for a possible new slot).
@@ -65,7 +77,7 @@ class TablePage {
   Status UpdateInPlace(uint16_t slot, const std::vector<uint8_t>& bytes);
 
  private:
-  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kHeaderSize = 16;
   static constexpr size_t kSlotSize = 4;
 
   uint16_t free_end() const;

@@ -97,6 +97,81 @@ TEST(RatingMatrixTest, FreezeBuildsCsrAndMutationInvalidates) {
   EXPECT_FALSE(m->frozen());
 }
 
+TEST(RatingMatrixTest, FailedRemoveKeepsMatrixFrozen) {
+  // Regression: Remove used to un-freeze before checking existence, so a
+  // Remove of an absent pair (which mutates nothing) invalidated the CSR
+  // snapshot that models were still reading.
+  auto m = Figure1Ratings();
+  m->Freeze();
+  ASSERT_TRUE(m->frozen());
+
+  EXPECT_FALSE(m->Remove(99, 1));    // unknown user
+  EXPECT_TRUE(m->frozen());
+  EXPECT_FALSE(m->Remove(1, 99));    // unknown item
+  EXPECT_TRUE(m->frozen());
+  EXPECT_FALSE(m->Remove(1, 2));     // both known, pair not rated
+  EXPECT_TRUE(m->frozen());
+  EXPECT_EQ(m->NumRatings(), 7u);
+
+  // A successful Remove still invalidates.
+  EXPECT_TRUE(m->Remove(1, 1));
+  EXPECT_FALSE(m->frozen());
+  EXPECT_EQ(m->NumRatings(), 6u);
+}
+
+TEST(RatingMatrixTest, UnfrozenCsrAccessorsReturnEmptyRows) {
+  // The frozen guard is a real runtime check (not a debug-only assertion):
+  // reading a CSR row of an unfrozen matrix yields an empty row, never
+  // stale offsets or out-of-bounds pointers — also in release builds.
+  RatingMatrix m;
+  m.Add(1, 10, 3.0);
+  CsrRow row = m.UserCsrRow(0);
+  EXPECT_EQ(row.n, 0u);
+  EXPECT_EQ(row.idx, nullptr);
+  row = m.ItemCsrRow(0);
+  EXPECT_EQ(row.n, 0u);
+
+  m.Freeze();
+  EXPECT_EQ(m.UserCsrRow(0).n, 1u);
+  // Rows interned after the snapshot (and negative indices) read as empty.
+  EXPECT_EQ(m.UserCsrRow(5).n, 0u);
+  EXPECT_EQ(m.UserCsrRow(-1).n, 0u);
+
+  m.Add(2, 20, 4.0);  // un-freezes; row 0 must stop serving the stale CSR
+  EXPECT_EQ(m.UserCsrRow(0).n, 0u);
+}
+
+TEST(CFModelTest, PredictionsIdenticalFrozenAndUnfrozen) {
+  // Models fall back to the mutable rows while the matrix is unfrozen; the
+  // entries and accumulation order are the same, so predictions must be
+  // bit-identical, not merely close.
+  auto frozen = Figure1Ratings();
+  auto item_model = ItemCFModel::Build(frozen, /*centered=*/false);
+  auto user_model = UserCFModel::Build(frozen, /*centered=*/false);
+  ASSERT_TRUE(frozen->frozen());
+
+  std::vector<std::pair<int64_t, int64_t>> probes = {
+      {1, 1}, {1, 2}, {1, 3}, {2, 2}, {3, 3}, {4, 1}, {4, 3}};
+  std::vector<double> item_expected, user_expected;
+  for (auto [u, i] : probes) {
+    item_expected.push_back(item_model->Predict(u, i));
+    user_expected.push_back(user_model->Predict(u, i));
+  }
+
+  // Un-freeze without changing contents: add then remove a fresh rating.
+  frozen->Add(9, 9, 2.0);
+  ASSERT_TRUE(frozen->Remove(9, 9));
+  ASSERT_FALSE(frozen->frozen());
+
+  for (size_t k = 0; k < probes.size(); ++k) {
+    auto [u, i] = probes[k];
+    EXPECT_EQ(item_model->Predict(u, i), item_expected[k])
+        << "ItemCF (" << u << "," << i << ")";
+    EXPECT_EQ(user_model->Predict(u, i), user_expected[k])
+        << "UserCF (" << u << "," << i << ")";
+  }
+}
+
 TEST(SimilarityTest, PairwiseCosineMatchesHandComputation) {
   // a = (1, 2, 0), b = (2, 0, 3) over dims {0,1,2}: dot = 2,
   // |a| = sqrt(5), |b| = sqrt(13).
