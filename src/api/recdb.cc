@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/string_util.h"
@@ -129,6 +132,7 @@ RecDB::RecDB(RecDBOptions options, std::unique_ptr<DiskManager> disk)
                             : std::make_unique<InMemoryDiskManager>()),
       clock_(&default_clock_),
       trace_enabled_(options.trace) {
+  background_refresh_.store(options_.background_refresh);
   if (options_.parallelism > 0) {
     TaskScheduler::SetGlobalParallelism(options_.parallelism);
   }
@@ -146,7 +150,15 @@ RecDB::RecDB(RecDBOptions options, std::unique_ptr<DiskManager> disk)
 }
 
 RecDB::~RecDB() {
-  if (disk_ != nullptr && disk_->persistent() && !closed_) (void)Close();
+  // A queued background refresh captures `this`; it must finish (or see
+  // closed_ and bail) before any member is torn down — even for in-memory
+  // databases that never Close().
+  const bool was_closed = closed_.exchange(true);
+  TaskScheduler::Global().DrainBackground();
+  if (disk_ != nullptr && disk_->persistent() && !was_closed) {
+    closed_.store(false);
+    (void)Close();
+  }
 }
 
 Result<std::unique_ptr<RecDB>> RecDB::Open(const std::string& path,
@@ -201,8 +213,30 @@ Status RecDB::Recover(bool existing) {
   // reopened database answers RECOMMEND queries identically to the
   // pre-crash one (training is deterministic). A config whose ratings table
   // was dropped later in the log trains against nothing: skip it.
+  //
+  // Recommenders sharing one ratings source (same table + column triplet)
+  // share a single heap scan and CSR freeze: the first loads a template
+  // matrix, the rest copy it — a copy carries the frozen CSR, so their
+  // Build() goes straight to model training without another build pass.
+  std::unordered_map<std::string, std::shared_ptr<RatingMatrix>> loaded;
   for (auto& cfg : configs) {
-    auto rec = CreateRecommenderLocked(std::move(cfg), /*write_log=*/false);
+    std::string key = ToLower(cfg.ratings_table) + '\0' + cfg.user_col + '\0' +
+                      cfg.item_col + '\0' + cfg.rating_col;
+    std::shared_ptr<RatingMatrix> preloaded;
+    auto it = loaded.find(key);
+    if (it != loaded.end()) {
+      preloaded = std::make_shared<RatingMatrix>(*it->second);
+    } else {
+      auto tmpl = LoadRatingsMatrix(cfg);
+      if (!tmpl.ok()) {
+        if (tmpl.status().code() == StatusCode::kNotFound) continue;
+        return tmpl.status();
+      }
+      preloaded = tmpl.value();
+      loaded.emplace(std::move(key), std::move(tmpl).value());
+    }
+    auto rec = CreateRecommenderLocked(std::move(cfg), /*write_log=*/false,
+                                       std::move(preloaded));
     if (!rec.ok() && rec.status().code() != StatusCode::kNotFound) {
       return rec.status();
     }
@@ -761,6 +795,30 @@ Result<ResultSet> RecDB::ExecuteSet(const SetStatement& stmt) {
     rs.message = std::string("trace ") + (enable ? "enabled" : "disabled");
     return rs;
   }
+  if (stmt.option == "background_refresh") {
+    bool enable;
+    if (stmt.value.type() == TypeId::kInt64) {
+      enable = stmt.value.AsInt() != 0;
+    } else if (stmt.value.type() == TypeId::kString) {
+      std::string v = ToLower(stmt.value.AsString());
+      if (v == "on" || v == "true" || v == "1") {
+        enable = true;
+      } else if (v == "off" || v == "false" || v == "0") {
+        enable = false;
+      } else {
+        return Status::InvalidArgument(
+            "SET background_refresh expects on/off (got '" +
+            stmt.value.AsString() + "')");
+      }
+    } else {
+      return Status::InvalidArgument("SET background_refresh expects on/off");
+    }
+    background_refresh_.store(enable);
+    ResultSet rs;
+    rs.message =
+        std::string("background_refresh ") + (enable ? "enabled" : "disabled");
+    return rs;
+  }
   return Status::InvalidArgument("unknown option in SET: " + stmt.option);
 }
 
@@ -875,8 +933,9 @@ Result<Recommender*> RecDB::CreateRecommender(RecommenderConfig config) {
   return rec;
 }
 
-Result<Recommender*> RecDB::CreateRecommenderLocked(RecommenderConfig config,
-                                                    bool write_log) {
+Result<Recommender*> RecDB::CreateRecommenderLocked(
+    RecommenderConfig config, bool write_log,
+    std::shared_ptr<RatingMatrix> preloaded) {
   RECDB_ASSIGN_OR_RETURN(TableInfo * table,
                          catalog_->GetTable(config.ratings_table));
   const Schema& schema = table->schema;
@@ -888,28 +947,34 @@ Result<Recommender*> RecDB::CreateRecommenderLocked(RecommenderConfig config,
   std::string name = config.name;
   RECDB_ASSIGN_OR_RETURN(Recommender * rec, registry_.Create(std::move(config)));
 
-  // Load the ratings table into the recommender's live matrix.
-  auto it = table->heap->Begin(schema.NumColumns());
-  while (true) {
-    auto next = it.Next();
-    if (!next.ok()) {
-      registry_.Drop(name);
-      return next.status();
+  if (preloaded != nullptr) {
+    // Recovery path: adopt an already-loaded (and typically frozen) matrix
+    // instead of re-scanning the heap for every recommender on the table.
+    rec->SeedMatrix(std::move(preloaded));
+  } else {
+    // Load the ratings table into the recommender's matrix.
+    auto it = table->heap->Begin(schema.NumColumns());
+    while (true) {
+      auto next = it.Next();
+      if (!next.ok()) {
+        registry_.Drop(name);
+        return next.status();
+      }
+      if (!next.value().has_value()) break;
+      const Tuple& t = next.value()->second;
+      const Value& u = t.At(user_idx);
+      const Value& i = t.At(item_idx);
+      const Value& r = t.At(rating_idx);
+      if (u.is_null() || i.is_null() || r.is_null()) continue;
+      if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64 ||
+          !r.is_numeric()) {
+        registry_.Drop(name);
+        return Status::InvalidArgument(
+            "ratings table columns must be INT user id, INT item id, "
+            "numeric rating");
+      }
+      rec->AddRating(u.AsInt(), i.AsInt(), r.AsNumeric());
     }
-    if (!next.value().has_value()) break;
-    const Tuple& t = next.value()->second;
-    const Value& u = t.At(user_idx);
-    const Value& i = t.At(item_idx);
-    const Value& r = t.At(rating_idx);
-    if (u.is_null() || i.is_null() || r.is_null()) continue;
-    if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64 ||
-        !r.is_numeric()) {
-      registry_.Drop(name);
-      return Status::InvalidArgument(
-          "ratings table columns must be INT user id, INT item id, "
-          "numeric rating");
-    }
-    rec->AddRating(u.AsInt(), i.AsInt(), r.AsNumeric());
   }
 
   auto build = rec->Build();
@@ -927,6 +992,93 @@ Result<Recommender*> RecDB::CreateRecommenderLocked(RecommenderConfig config,
   return rec;
 }
 
+Result<std::shared_ptr<RatingMatrix>> RecDB::LoadRatingsMatrix(
+    const RecommenderConfig& config) {
+  RECDB_ASSIGN_OR_RETURN(TableInfo * table,
+                         catalog_->GetTable(config.ratings_table));
+  const Schema& schema = table->schema;
+  RECDB_ASSIGN_OR_RETURN(size_t user_idx, schema.IndexOf(config.user_col));
+  RECDB_ASSIGN_OR_RETURN(size_t item_idx, schema.IndexOf(config.item_col));
+  RECDB_ASSIGN_OR_RETURN(size_t rating_idx,
+                         schema.IndexOf(config.rating_col));
+  auto matrix = std::make_shared<RatingMatrix>();
+  auto it = table->heap->Begin(schema.NumColumns());
+  while (true) {
+    RECDB_ASSIGN_OR_RETURN(auto next, it.Next());
+    if (!next.has_value()) break;
+    const Tuple& t = next->second;
+    const Value& u = t.At(user_idx);
+    const Value& i = t.At(item_idx);
+    const Value& r = t.At(rating_idx);
+    if (u.is_null() || i.is_null() || r.is_null()) continue;
+    if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64 ||
+        !r.is_numeric()) {
+      return Status::InvalidArgument(
+          "ratings table columns must be INT user id, INT item id, "
+          "numeric rating");
+    }
+    matrix->Add(u.AsInt(), i.AsInt(), r.AsNumeric());
+  }
+  matrix->Freeze();
+  return matrix;
+}
+
+void RecDB::ScheduleBackgroundRefresh(const std::string& name) {
+  auto rec = registry_.Get(name);
+  if (!rec.ok()) return;
+  // One in-flight job per recommender; the flag clears when it finishes.
+  if (!rec.value()->TryMarkRefreshScheduled()) return;
+  obs::Count(obs::Counter::kIngestRefreshesScheduled);
+  TaskScheduler::Global().Submit([this, name] { BackgroundRefreshJob(name); });
+}
+
+void RecDB::BackgroundRefreshJob(const std::string& name) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Recommender::RefreshPlan plan;
+    {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      if (closed_.load()) return;
+      // Re-resolve by name under every lock acquisition: the recommender
+      // may have been DROPped (and destroyed) while this job was queued.
+      auto rec = registry_.Get(name);
+      if (!rec.ok()) return;
+      auto prepared = rec.value()->PrepareRefresh();
+      if (!prepared.ok() || !prepared.value().valid) {
+        // Nothing to merge (a foreground refresh beat us) or the prepare
+        // failed; either way the slot frees up for the next trigger.
+        rec.value()->ClearRefreshScheduled();
+        return;
+      }
+      plan = std::move(prepared).value();
+    }
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (closed_.load()) return;
+    auto rec = registry_.Get(name);
+    if (!rec.ok()) return;
+    if (rec.value()->CommitRefresh(std::move(plan))) {
+      rec.value()->ClearRefreshScheduled();
+      return;
+    }
+    // Version conflict: writes landed between prepare and commit. Retry
+    // once off-lock, then give up racing and merge under the writer lock.
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  auto rec = registry_.Get(name);
+  if (!rec.ok()) return;
+  rec.value()->ClearRefreshScheduled();
+  if (closed_.load()) return;
+  (void)rec.value()->Refresh();
+}
+
+Result<bool> RecDB::RefreshRecommender(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (closed_.load()) return Status::InvalidArgument("database is closed");
+  RECDB_ASSIGN_OR_RETURN(Recommender * rec, registry_.Get(name));
+  return rec->Refresh();
+}
+
+void RecDB::DrainBackgroundWork() { TaskScheduler::Global().DrainBackground(); }
+
 Result<ResultSet> RecDB::ExecuteCreateRecommender(
     const CreateRecommenderStatement& stmt) {
   RecommenderConfig config;
@@ -936,6 +1088,8 @@ Result<ResultSet> RecDB::ExecuteCreateRecommender(
   config.item_col = stmt.item_col;
   config.rating_col = stmt.rating_col;
   config.rebuild_threshold = options_.rebuild_threshold;
+  config.refresh_threshold = options_.refresh_threshold;
+  config.min_refresh_ops = options_.min_refresh_ops;
   config.sim_opts = options_.sim_opts;
   config.svd_opts = options_.svd_opts;
   if (stmt.algorithm.has_value()) {
@@ -1049,6 +1203,8 @@ Status RecDB::NotifyDelete(const std::string& table, const Schema& schema,
     }
     if (options_.auto_maintain) {
       RECDB_RETURN_NOT_OK(rec->MaintainIfNeeded().status());
+    } else if (background_refresh_.load() && rec->NeedsRefresh()) {
+      ScheduleBackgroundRefresh(rec->name());
     }
   }
   return Status::OK();
@@ -1077,6 +1233,8 @@ Status RecDB::NotifyInsert(const std::string& table, const Schema& schema,
     }
     if (options_.auto_maintain) {
       RECDB_RETURN_NOT_OK(rec->MaintainIfNeeded().status());
+    } else if (background_refresh_.load() && rec->NeedsRefresh()) {
+      ScheduleBackgroundRefresh(rec->name());
     }
   }
   return Status::OK();
@@ -1135,6 +1293,13 @@ Result<CacheManager*> RecDB::GetCacheManager(const std::string& recommender,
   auto mgr =
       std::make_unique<CacheManager>(rec, clock_, hotness_threshold);
   CacheManager* raw = mgr.get();
+  // Ingest invalidations feed the manager's lazy re-materialization queue.
+  // DROP RECOMMENDER erases the manager and the recommender together, so
+  // the captured pointer cannot outlive its target.
+  rec->SetInvalidationListener(
+      [raw](const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+        raw->NotifyInvalidated(pairs);
+      });
   cache_managers_[key] = std::move(mgr);
   return raw;
 }

@@ -42,8 +42,20 @@ struct RecDBOptions {
   /// Model hyperparameters for new recommenders.
   SimilarityOptions sim_opts;
   SvdOptions svd_opts;
-  /// Check the rebuild threshold after every ratings insert.
+  /// Check the rebuild threshold after every ratings insert. Since PR 7
+  /// reaching it triggers an incremental refresh (delta merge + model row
+  /// updates), never a full retrain.
   bool auto_maintain = false;
+  /// Hand re-freeze/merge work to the TaskScheduler's background lane when
+  /// a recommender's delta log reaches its refresh trigger (ignored when
+  /// auto_maintain already refreshes inline). Runtime-adjustable via
+  /// `SET background_refresh = on|off`. Off by default: tests and
+  /// single-threaded embedders keep fully deterministic timing.
+  bool background_refresh = false;
+  /// Background refresh trigger for new recommenders: refresh once the
+  /// delta log reaches max(min_refresh_ops, refresh_threshold * base).
+  double refresh_threshold = 0.05;
+  size_t min_refresh_ops = 32;
   /// Worker threads for morsel-parallel scoring and model builds; 0 leaves
   /// the process-wide scheduler unchanged (it defaults to 1 = serial).
   /// Runtime-adjustable via `SET parallelism = N`.
@@ -154,9 +166,20 @@ class RecDB {
   /// uses this too; call it directly to set non-default hyperparameters.
   Result<Recommender*> CreateRecommender(RecommenderConfig config);
 
-  /// Cache manager for a recommender (created lazily, shared clock).
+  /// Cache manager for a recommender (created lazily, shared clock). Also
+  /// wires the recommender's invalidation listener so ingest-staled index
+  /// entries are queued for lazy re-materialization.
   Result<CacheManager*> GetCacheManager(const std::string& recommender,
                                         double hotness_threshold = 0.5);
+
+  /// Merge a recommender's pending delta into a fresh frozen base and
+  /// incrementally update its model (two-phase: prepare under the shared
+  /// lock, commit under the exclusive lock). Returns whether a merge
+  /// happened. The background refresh job runs exactly this.
+  Result<bool> RefreshRecommender(const std::string& name);
+
+  /// Block until the background-refresh lane is idle (tests).
+  void DrainBackgroundWork();
 
   /// The clock used by cache managers; swap in a ManualClock for
   /// deterministic experiments (must outlive the RecDB).
@@ -207,9 +230,22 @@ class RecDB {
 
   /// CreateRecommender body; caller holds the exclusive lock. With
   /// `write_log`, appends a kCreateRecommender WAL record on success
-  /// (recovery passes false — replayed records must not re-log).
-  Result<Recommender*> CreateRecommenderLocked(RecommenderConfig config,
-                                               bool write_log);
+  /// (recovery passes false — replayed records must not re-log). Recovery
+  /// may pass a `preloaded` ratings matrix (already frozen) so recommenders
+  /// sharing one ratings table share one CSR build instead of re-scanning
+  /// and re-freezing per model.
+  Result<Recommender*> CreateRecommenderLocked(
+      RecommenderConfig config, bool write_log,
+      std::shared_ptr<RatingMatrix> preloaded = nullptr);
+
+  /// Load a ratings table into a fresh matrix (recovery fast path).
+  Result<std::shared_ptr<RatingMatrix>> LoadRatingsMatrix(
+      const RecommenderConfig& config);
+
+  /// Queue a background re-freeze for `name` if none is in flight.
+  void ScheduleBackgroundRefresh(const std::string& name);
+  /// Background lane body: two-phase refresh with optimistic retry.
+  void BackgroundRefreshJob(const std::string& name);
 
   /// Serialize the catalog + recommender configs into the meta-page chain
   /// rooted at page 0 (file-backed databases only). `checkpoint_lsn` names
@@ -265,6 +301,8 @@ class RecDB {
   std::mutex demand_mu_;
   std::atomic<uint64_t> next_session_id_{1};
 
+  /// `SET background_refresh = on|off` state; seeded from RecDBOptions.
+  std::atomic<bool> background_refresh_{false};
   /// `SET trace = on` state; seeded from RecDBOptions::trace.
   std::atomic<bool> trace_enabled_{false};
   /// Live tracer for the Execute() call in flight (null when tracing off;

@@ -25,6 +25,11 @@ void CacheManager::RecordUpdate(int64_t item_id) {
   obs::Count(obs::Counter::kCacheUpdatesRecorded);
 }
 
+void CacheManager::NotifyInvalidated(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  invalidated_.insert(pairs.begin(), pairs.end());
+}
+
 const UserStats* CacheManager::GetUserStats(int64_t user_id) const {
   auto it = users_.find(user_id);
   return it == users_.end() ? nullptr : &it->second;
@@ -104,6 +109,23 @@ Result<CacheDecision> CacheManager::Run() {
       }
     }
   }
+  // STEP 2.5: lazy re-materialization (PR 7). Pairs evicted by ingest
+  // invalidation since the last run get one hotness re-check under the
+  // fresh windowed rates: still-hot pairs are re-admitted (scored with the
+  // current merge-view matrix), cold ones stay out. Pairs the active×active
+  // pass already decided are skipped; seen pairs never re-materialize.
+  for (const auto& pair : invalidated_) {
+    const auto& [uid, iid] = pair;
+    if (examined.count(pair) > 0) continue;
+    if (snapshot.Get(uid, iid).has_value()) continue;
+    if (Hotness(uid, iid) >= threshold_) {
+      if (!index->GetScore(uid, iid).has_value()) ++crossings_up;
+      decision.admitted.emplace_back(uid, iid);
+      examined.insert(pair);
+    }
+  }
+  invalidated_.clear();
+
   // Admitted pairs are grouped by user (the STEP 2 loops run user-major
   // over sorted ids), so each morsel decomposes into per-user runs that
   // score through one PredictBatch each. A morsel boundary can split a run

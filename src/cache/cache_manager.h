@@ -19,7 +19,9 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -61,6 +63,15 @@ class CacheManager {
   /// A rating was inserted for an item (updates UC_i, TS_i).
   void RecordUpdate(int64_t item_id);
 
+  /// Ingest invalidation hook (PR 7): (user, item) pairs whose cached
+  /// scores were just evicted from the RecScoreIndex because a delta op or
+  /// refresh commit staled them. They are queued, and the next Run()
+  /// lazily re-materializes exactly the ones still hot under the current
+  /// windowed rates — cold pairs stay evicted at zero cost.
+  void NotifyInvalidated(const std::vector<std::pair<int64_t, int64_t>>& pairs);
+
+  size_t pending_invalidated() const { return invalidated_.size(); }
+
   /// Algorithm 4: recompute windowed rates and maxima, then admit/evict
   /// (user, item) pairs in the recommender's RecScoreIndex. Admitted pairs
   /// get their score predicted through the model (batched in parallel via
@@ -90,6 +101,9 @@ class CacheManager {
   std::unordered_map<int64_t, ItemStats> items_;
   double max_demand_ = 0;       // D_MAX
   double max_consumption_ = 0;  // P_MAX
+  // Pairs invalidated since the last Run(), pending a hotness re-check.
+  // Ordered set: re-admission order is deterministic.
+  std::set<std::pair<int64_t, int64_t>> invalidated_;
 };
 
 }  // namespace recdb

@@ -12,7 +12,12 @@ TaskScheduler::TaskScheduler(size_t num_threads)
   StartWorkers();
 }
 
-TaskScheduler::~TaskScheduler() { StopWorkers(); }
+TaskScheduler::~TaskScheduler() {
+  // The background thread may issue ParallelFor, so it must die before the
+  // morsel pool does.
+  StopBackground();
+  StopWorkers();
+}
 
 void TaskScheduler::StartWorkers() {
   for (size_t i = 0; i + 1 < num_threads_; ++i) {
@@ -133,6 +138,60 @@ TaskRunStats TaskScheduler::ParallelFor(
   obs::Count(obs::Counter::kSchedulerWorkerBusyUs,
              job.worker_nanos.load(std::memory_order_relaxed) / 1000);
   return out;
+}
+
+void TaskScheduler::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (bg_shutdown_) return;
+    if (!bg_started_) {
+      bg_thread_ = std::thread([this] { BackgroundLoop(); });
+      bg_started_ = true;
+    }
+    bg_queue_.push_back(std::move(job));
+  }
+  bg_cv_.notify_one();
+}
+
+void TaskScheduler::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (true) {
+    bg_cv_.wait(lock, [&] { return bg_shutdown_ || !bg_queue_.empty(); });
+    if (bg_shutdown_) return;  // queued jobs are dropped at shutdown
+    std::function<void()> job = std::move(bg_queue_.front());
+    bg_queue_.pop_front();
+    bg_busy_ = true;
+    lock.unlock();
+    job();
+    lock.lock();
+    bg_busy_ = false;
+    if (bg_queue_.empty()) bg_done_cv_.notify_all();
+  }
+}
+
+void TaskScheduler::DrainBackground() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  bg_done_cv_.wait(lock, [&] { return bg_queue_.empty() && !bg_busy_; });
+}
+
+size_t TaskScheduler::background_pending() const {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  return bg_queue_.size() + (bg_busy_ ? 1 : 0);
+}
+
+void TaskScheduler::StopBackground() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_shutdown_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+  {
+    // Drop undrained jobs so a late DrainBackground cannot wait forever.
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_queue_.clear();
+  }
+  bg_done_cv_.notify_all();
 }
 
 TaskScheduler& TaskScheduler::Global() {

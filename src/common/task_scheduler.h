@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -54,6 +55,21 @@ class TaskScheduler {
   TaskRunStats ParallelFor(size_t n, size_t morsel,
                            const std::function<void(size_t, size_t)>& fn);
 
+  /// Background lane (PR 7): enqueue a job on a single dedicated thread,
+  /// independent of the morsel pool — re-freeze/merge work runs here while
+  /// the pool keeps serving query parallelism. Jobs run one at a time in
+  /// submission order; a background job may itself issue a root-level
+  /// ParallelFor (it serializes on the same submit lock as foreground
+  /// loops). The thread starts lazily on the first Submit.
+  void Submit(std::function<void()> job);
+
+  /// Block until the background queue is empty and no job is running.
+  /// Jobs submitted after the drain begins are waited on too.
+  void DrainBackground();
+
+  /// Background-lane introspection (tests).
+  size_t background_pending() const;
+
   /// Lifetime counters (shell \stats).
   uint64_t total_tasks() const {
     return total_tasks_.load(std::memory_order_relaxed);
@@ -83,6 +99,8 @@ class TaskScheduler {
   static void RunMorsels(Job* job);
   void StopWorkers();
   void StartWorkers();
+  void BackgroundLoop();
+  void StopBackground();
 
   std::mutex submit_mu_;  // serializes ParallelFor / Resize
   std::mutex mu_;         // guards job_, generation_, workers_active_
@@ -96,6 +114,16 @@ class TaskScheduler {
   bool shutdown_ = false;
   std::atomic<uint64_t> total_tasks_{0};
   std::atomic<uint64_t> total_worker_nanos_{0};
+
+  // Background lane: one dedicated thread, lazily started.
+  mutable std::mutex bg_mu_;
+  std::condition_variable bg_cv_;       // queue became non-empty / shutdown
+  std::condition_variable bg_done_cv_;  // queue drained and worker idle
+  std::deque<std::function<void()>> bg_queue_;
+  std::thread bg_thread_;
+  bool bg_started_ = false;
+  bool bg_busy_ = false;
+  bool bg_shutdown_ = false;
 };
 
 }  // namespace recdb

@@ -57,6 +57,49 @@ void RecScoreIndex::EraseUser(int64_t user_id) {
   PublishSizeGauges(users_.size(), num_entries_);
 }
 
+std::vector<std::pair<int64_t, int64_t>> RecScoreIndex::EraseUserCollect(
+    int64_t user_id) {
+  std::vector<std::pair<int64_t, int64_t>> erased;
+  auto uit = users_.find(user_id);
+  if (uit == users_.end()) return erased;
+  erased.reserve(uit->second.item_scores.size());
+  for (const auto& [item_id, score] : uit->second.item_scores) {
+    erased.emplace_back(user_id, item_id);
+  }
+  num_entries_ -= erased.size();
+  users_.erase(uit);
+  obs::Count(obs::Counter::kRecIndexErases, erased.size());
+  PublishSizeGauges(users_.size(), num_entries_);
+  return erased;
+}
+
+std::vector<std::pair<int64_t, int64_t>> RecScoreIndex::EraseItem(
+    int64_t item_id) {
+  std::vector<std::pair<int64_t, int64_t>> erased;
+  for (auto uit = users_.begin(); uit != users_.end();) {
+    auto& entry = uit->second;
+    auto it = entry.item_scores.find(item_id);
+    if (it == entry.item_scores.end()) {
+      ++uit;
+      continue;
+    }
+    entry.tree->Erase(RecScoreKey{it->second, item_id});
+    entry.item_scores.erase(it);
+    --num_entries_;
+    erased.emplace_back(uit->first, item_id);
+    if (entry.item_scores.empty()) {
+      uit = users_.erase(uit);
+    } else {
+      ++uit;
+    }
+  }
+  if (!erased.empty()) {
+    obs::Count(obs::Counter::kRecIndexErases, erased.size());
+    PublishSizeGauges(users_.size(), num_entries_);
+  }
+  return erased;
+}
+
 std::optional<double> RecScoreIndex::GetScore(int64_t user_id,
                                               int64_t item_id) const {
   auto uit = users_.find(user_id);

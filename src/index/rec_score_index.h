@@ -43,6 +43,15 @@ class RecScoreIndex {
   /// Drop every entry of a user.
   void EraseUser(int64_t user_id);
 
+  /// Drop every entry of a user, returning the (user, item) pairs removed
+  /// — ingest invalidation hands these to the cache manager so hot users
+  /// can be lazily re-materialized.
+  std::vector<std::pair<int64_t, int64_t>> EraseUserCollect(int64_t user_id);
+
+  /// Drop an item's entry from every user, returning the (user, item)
+  /// pairs removed. Walks all materialized users (invalidation-path only).
+  std::vector<std::pair<int64_t, int64_t>> EraseItem(int64_t item_id);
+
   /// Pre-computed score, if materialized.
   std::optional<double> GetScore(int64_t user_id, int64_t item_id) const;
 

@@ -108,7 +108,31 @@
   X(kSessionsClosed, "session.closed", "sessions",                            \
     "Session objects destroyed")                                              \
   X(kSessionStatements, "session.statements", "statements",                   \
-    "statements executed through a Session handle")
+    "statements executed through a Session handle")                           \
+  X(kIngestDeltaAdds, "ingest.delta_adds", "ops",                             \
+    "new (user,item) pairs landed in a frozen matrix's delta overlay")        \
+  X(kIngestDeltaOverwrites, "ingest.delta_overwrites", "ops",                 \
+    "value-changing overwrites landed in the delta overlay")                  \
+  X(kIngestDeltaRemoves, "ingest.delta_removes", "ops",                       \
+    "removals (tombstones) landed in the delta overlay")                      \
+  X(kIngestDeltaRowHits, "ingest.delta_row_hits", "rows",                     \
+    "CSR row lookups resolved from a delta side row")                         \
+  X(kIngestDeltaRowMisses, "ingest.delta_row_misses", "rows",                 \
+    "CSR row lookups that fell through the overlay to the frozen base")       \
+  X(kIngestRowUpdates, "ingest.incremental_row_updates", "rows",              \
+    "neighborhood rows recomputed by incremental CF maintenance")             \
+  X(kIngestSvdFoldIns, "ingest.svd_fold_ins", "rows",                         \
+    "factor rows folded in for users/items new since the last train")         \
+  X(kIngestRefreshes, "ingest.refreshes", "refreshes",                        \
+    "delta re-freeze/merge cycles committed (incremental maintenance)")       \
+  X(kIngestRefreshConflicts, "ingest.refresh_conflicts", "conflicts",         \
+    "re-freeze commits aborted because the matrix version moved")             \
+  X(kIngestRefreshesScheduled, "ingest.refreshes_scheduled", "jobs",          \
+    "background re-freeze jobs submitted to the TaskScheduler")               \
+  X(kIngestCsrBuilds, "ingest.csr_builds", "builds",                          \
+    "flat-CSR construction passes (freeze, re-freeze, merged rebuild)")       \
+  X(kIngestIndexInvalidations, "ingest.index_invalidations", "entries",       \
+    "RecScoreIndex entries evicted because a delta op made them stale")
 
 #define RECDB_GAUGE_METRICS(X)                                                \
   X(kBufferPoolResidentPages, "bufferpool.resident_pages", "pages",           \
@@ -124,7 +148,9 @@
   X(kWalDurableLsn, "wal.durable_lsn", "lsn",                                 \
     "highest LSN known durable on the log device")                            \
   X(kSessionsActive, "session.active", "sessions",                            \
-    "Session handles currently alive")
+    "Session handles currently alive")                                        \
+  X(kIngestDeltaPending, "ingest.delta_pending", "ops",                       \
+    "delta ops accumulated across recommenders, not yet re-frozen")
 
 #define RECDB_HISTOGRAM_METRICS(X)                                            \
   X(kQueryLatencyUs, "query.latency_us", "us",                                \
@@ -138,4 +164,8 @@
   X(kCacheMaterializeUs, "cache.materialize_us", "us",                        \
     "MaterializeUser wall-clock per admitted user")                           \
   X(kWalCommitUs, "wal.commit_us", "us",                                      \
-    "Commit wall-clock per caller (incl. group-commit waits)")
+    "Commit wall-clock per caller (incl. group-commit waits)")                \
+  X(kIngestRefreshUs, "ingest.refresh_us", "us",                              \
+    "re-freeze preparation (merged CSR + model row updates) per cycle")       \
+  X(kIngestSwapUs, "ingest.swap_us", "us",                                    \
+    "re-freeze commit/swap under the writer lock per cycle")

@@ -77,13 +77,98 @@ DenseScratch& TlsScratch() {
   return scratch;
 }
 
+/// Item rows a delta op set can reach: for each op (u, i) that is item i
+/// itself, every item sharing a rater with i (i's norm — and for Pearson
+/// its mean — changed, which moves sim(i, j) for every pair with nonzero
+/// dot), and every item rated by u (their dot with i gained or lost the
+/// shared dimension; after a remove u may no longer appear in i's merged
+/// rater list, so u is unioned in explicitly). Computed on the merged
+/// matrix; an over-approximation is always safe, a miss never is.
+std::vector<int32_t> TouchedItemRows(const RatingMatrix& m,
+                                     const std::vector<DeltaOp>& ops) {
+  std::vector<char> touched(m.NumItems(), 0);
+  std::vector<char> user_done(m.NumUsers(), 0);
+  auto mark_items_of = [&](int32_t v) {
+    if (v < 0 || static_cast<size_t>(v) >= user_done.size() || user_done[v]) {
+      return;
+    }
+    user_done[v] = 1;
+    for (const auto& e : m.UserVector(v)) touched[e.idx] = 1;
+  };
+  for (const auto& op : ops) {
+    if (op.item_idx >= 0 &&
+        static_cast<size_t>(op.item_idx) < touched.size()) {
+      touched[op.item_idx] = 1;
+      for (const auto& e : m.ItemVector(op.item_idx)) mark_items_of(e.idx);
+    }
+    mark_items_of(op.user_idx);
+  }
+  std::vector<int32_t> rows;
+  for (size_t i = 0; i < touched.size(); ++i) {
+    if (touched[i]) rows.push_back(static_cast<int32_t>(i));
+  }
+  return rows;
+}
+
+/// User-side mirror of TouchedItemRows.
+std::vector<int32_t> TouchedUserRows(const RatingMatrix& m,
+                                     const std::vector<DeltaOp>& ops) {
+  std::vector<char> touched(m.NumUsers(), 0);
+  std::vector<char> item_done(m.NumItems(), 0);
+  auto mark_raters_of = [&](int32_t j) {
+    if (j < 0 || static_cast<size_t>(j) >= item_done.size() || item_done[j]) {
+      return;
+    }
+    item_done[j] = 1;
+    for (const auto& e : m.ItemVector(j)) touched[e.idx] = 1;
+  };
+  for (const auto& op : ops) {
+    if (op.user_idx >= 0 &&
+        static_cast<size_t>(op.user_idx) < touched.size()) {
+      touched[op.user_idx] = 1;
+      for (const auto& e : m.UserVector(op.user_idx)) mark_raters_of(e.idx);
+    }
+    mark_raters_of(op.item_idx);
+  }
+  std::vector<int32_t> rows;
+  for (size_t u = 0; u < touched.size(); ++u) {
+    if (touched[u]) rows.push_back(static_cast<int32_t>(u));
+  }
+  return rows;
+}
+
+/// Install recomputed rows into the sim-sorted table and its idx-sorted
+/// shadow, growing both for entities interned since the model was built.
+void InstallNeighborRows(std::vector<std::vector<Neighbor>>* nb,
+                         std::vector<std::vector<Neighbor>>* by_idx,
+                         ModelUpdate&& update) {
+  if (update.num_rows > nb->size()) {
+    nb->resize(update.num_rows);
+    by_idx->resize(update.num_rows);
+  }
+  size_t installed = 0;
+  for (auto& [idx, row] : update.rows) {
+    if (idx < 0 || static_cast<size_t>(idx) >= nb->size()) continue;
+    std::vector<Neighbor> sorted = row;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.idx < b.idx;
+              });
+    (*by_idx)[idx] = std::move(sorted);
+    (*nb)[idx] = std::move(row);
+    ++installed;
+  }
+  obs::Count(obs::Counter::kIngestRowUpdates, installed);
+}
+
 }  // namespace
 
 ItemCFModel::ItemCFModel(std::shared_ptr<const RatingMatrix> ratings,
-                         bool centered,
+                         bool centered, const SimilarityOptions& opts,
                          std::vector<std::vector<Neighbor>> neighborhoods)
     : RecModel(std::move(ratings)),
       centered_(centered),
+      opts_(opts),
       neighborhoods_(std::move(neighborhoods)),
       by_idx_(SortRowsByIdx(neighborhoods_)) {}
 
@@ -94,8 +179,8 @@ std::unique_ptr<ItemCFModel> ItemCFModel::Build(
   o.centered = centered;
   ratings->Freeze();
   auto neighborhoods = BuildItemNeighborhoods(*ratings, o);
-  return std::unique_ptr<ItemCFModel>(
-      new ItemCFModel(std::move(ratings), centered, std::move(neighborhoods)));
+  return std::unique_ptr<ItemCFModel>(new ItemCFModel(
+      std::move(ratings), centered, o, std::move(neighborhoods)));
 }
 
 void ItemCFModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
@@ -165,11 +250,30 @@ size_t ItemCFModel::NumNeighborEntries() const {
   return NeighborhoodEntries(neighborhoods_);
 }
 
+Result<ModelUpdate> ItemCFModel::PrepareDeltaUpdate(
+    const std::vector<DeltaOp>& ops) const {
+  ModelUpdate update;
+  update.num_rows = ratings_->NumItems();
+  if (ops.empty()) return update;
+  std::vector<int32_t> rows = TouchedItemRows(*ratings_, ops);
+  update.rows = RecomputeItemNeighborhoodRows(*ratings_, opts_, rows);
+  update.stale_items.reserve(update.rows.size());
+  for (const auto& [idx, row] : update.rows) {
+    update.stale_items.push_back(ratings_->ItemIdAt(idx));
+  }
+  return update;
+}
+
+void ItemCFModel::ApplyDeltaUpdate(ModelUpdate&& update) {
+  InstallNeighborRows(&neighborhoods_, &by_idx_, std::move(update));
+}
+
 UserCFModel::UserCFModel(std::shared_ptr<const RatingMatrix> ratings,
-                         bool centered,
+                         bool centered, const SimilarityOptions& opts,
                          std::vector<std::vector<Neighbor>> neighborhoods)
     : RecModel(std::move(ratings)),
       centered_(centered),
+      opts_(opts),
       neighborhoods_(std::move(neighborhoods)),
       by_idx_(SortRowsByIdx(neighborhoods_)) {}
 
@@ -180,8 +284,8 @@ std::unique_ptr<UserCFModel> UserCFModel::Build(
   o.centered = centered;
   ratings->Freeze();
   auto neighborhoods = BuildUserNeighborhoods(*ratings, o);
-  return std::unique_ptr<UserCFModel>(
-      new UserCFModel(std::move(ratings), centered, std::move(neighborhoods)));
+  return std::unique_ptr<UserCFModel>(new UserCFModel(
+      std::move(ratings), centered, o, std::move(neighborhoods)));
 }
 
 void UserCFModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
@@ -251,6 +355,24 @@ size_t UserCFModel::ApproxBytes() const {
 
 size_t UserCFModel::NumNeighborEntries() const {
   return NeighborhoodEntries(neighborhoods_);
+}
+
+Result<ModelUpdate> UserCFModel::PrepareDeltaUpdate(
+    const std::vector<DeltaOp>& ops) const {
+  ModelUpdate update;
+  update.num_rows = ratings_->NumUsers();
+  if (ops.empty()) return update;
+  std::vector<int32_t> rows = TouchedUserRows(*ratings_, ops);
+  update.rows = RecomputeUserNeighborhoodRows(*ratings_, opts_, rows);
+  update.stale_users.reserve(update.rows.size());
+  for (const auto& [idx, row] : update.rows) {
+    update.stale_users.push_back(ratings_->UserIdAt(idx));
+  }
+  return update;
+}
+
+void UserCFModel::ApplyDeltaUpdate(ModelUpdate&& update) {
+  InstallNeighborRows(&neighborhoods_, &by_idx_, std::move(update));
 }
 
 }  // namespace recdb

@@ -48,11 +48,22 @@ class ItemCFModel : public RecModel {
   /// Total neighbor entries across all lists (model-size ablations).
   size_t NumNeighborEntries() const;
 
+  /// Incremental maintenance: recompute only the neighborhood rows whose
+  /// similarity terms a delta op can reach — the op's item, every item
+  /// sharing a rater with it (its norm changed, so every nonzero pair did),
+  /// and the op user's rated items (their dot products gained/lost the
+  /// shared dimension). Rows come back bit-identical to a full rebuild.
+  Result<ModelUpdate> PrepareDeltaUpdate(
+      const std::vector<DeltaOp>& ops) const override;
+  void ApplyDeltaUpdate(ModelUpdate&& update) override;
+
  private:
   ItemCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,
+              const SimilarityOptions& opts,
               std::vector<std::vector<Neighbor>> neighborhoods);
 
   bool centered_;
+  SimilarityOptions opts_;  // as resolved at build time (centered included)
   std::vector<std::vector<Neighbor>> neighborhoods_;  // [item_idx], sim-sorted
   std::vector<std::vector<Neighbor>> by_idx_;         // [item_idx], idx-sorted
 };
@@ -82,11 +93,18 @@ class UserCFModel : public RecModel {
   size_t ApproxBytes() const override;
   size_t NumNeighborEntries() const;
 
+  /// User-side counterpart of ItemCFModel::PrepareDeltaUpdate.
+  Result<ModelUpdate> PrepareDeltaUpdate(
+      const std::vector<DeltaOp>& ops) const override;
+  void ApplyDeltaUpdate(ModelUpdate&& update) override;
+
  private:
   UserCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,
+              const SimilarityOptions& opts,
               std::vector<std::vector<Neighbor>> neighborhoods);
 
   bool centered_;
+  SimilarityOptions opts_;  // as resolved at build time (centered included)
   std::vector<std::vector<Neighbor>> neighborhoods_;  // [user_idx], sim-sorted
   std::vector<std::vector<Neighbor>> by_idx_;         // [user_idx], idx-sorted
 };

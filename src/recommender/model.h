@@ -6,12 +6,41 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
+#include "common/status.h"
 #include "obs/metrics.h"
 #include "recommender/algorithm.h"
 #include "recommender/rating_matrix.h"
+#include "recommender/similarity.h"
 
 namespace recdb {
+
+/// Incremental model maintenance payload: the rows a model must replace to
+/// become equivalent to a full rebuild over the matrix's merged contents.
+/// Produced by PrepareDeltaUpdate (read-only, runs off the writer lock) and
+/// installed by ApplyDeltaUpdate (cheap, runs under the writer lock).
+struct ModelUpdate {
+  /// CF: recomputed neighborhood rows as (row index, fresh neighbor list).
+  std::vector<std::pair<int32_t, std::vector<Neighbor>>> rows;
+  /// CF: total row count after the update (covers newly interned entities).
+  size_t num_rows = 0;
+  /// SVD: folded-in factor rows for users/items new since the last train.
+  std::vector<std::pair<int32_t, std::vector<float>>> user_rows;
+  std::vector<std::pair<int32_t, std::vector<float>>> item_rows;
+  size_t num_users = 0;
+  size_t num_items = 0;
+  /// External ids whose cached scores the commit must invalidate: for
+  /// item-based CF every user gains/loses neighbors through these items;
+  /// for user-based CF these users' whole prediction rows changed.
+  std::vector<int64_t> stale_users;
+  std::vector<int64_t> stale_items;
+
+  bool empty() const {
+    return rows.empty() && user_rows.empty() && item_rows.empty();
+  }
+};
 
 class RecModel {
  public:
@@ -50,6 +79,21 @@ class RecModel {
 
   /// Rough model footprint in bytes (scalability ablations).
   virtual size_t ApproxBytes() const = 0;
+
+  /// Compute the row replacements needed to bring this model in sync with
+  /// the matrix's merged contents given the delta ops accumulated since it
+  /// was built. Read-only with respect to the model (safe under a shared
+  /// lock); the result commits via ApplyDeltaUpdate. The base model has no
+  /// incremental form and returns an empty update.
+  virtual Result<ModelUpdate> PrepareDeltaUpdate(
+      const std::vector<DeltaOp>& ops) const {
+    (void)ops;
+    return ModelUpdate{};
+  }
+
+  /// Install rows prepared by PrepareDeltaUpdate. Must run under the writer
+  /// lock (mutates model state readers consult).
+  virtual void ApplyDeltaUpdate(ModelUpdate&& update) { (void)update; }
 
   /// The snapshot the model was built from.
   const RatingMatrix& ratings() const { return *ratings_; }

@@ -1,6 +1,7 @@
 #include "recommender/rating_matrix.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace recdb {
 
@@ -61,19 +62,87 @@ FlatCsr BuildCsr(const std::vector<std::vector<RatingEntry>>& rows) {
 }  // namespace
 
 void RatingMatrix::Freeze() {
-  if (frozen_) return;
+  if (frozen_) {
+    // An already-frozen matrix with a pending overlay merges it; without
+    // one there is nothing to do (full rebuilds call Freeze first so they
+    // always train over flat merged state).
+    if (has_delta()) Refreeze();
+    return;
+  }
   user_csr_ = BuildCsr(by_user_);
   item_csr_ = BuildCsr(by_item_);
   frozen_ = true;
+  obs::Count(obs::Counter::kIngestCsrBuilds);
 }
 
-void RatingMatrix::Add(int64_t user_id, int64_t item_id, double rating) {
-  frozen_ = false;
+RatingMatrix::MergedCsr RatingMatrix::BuildMergedCsr() const {
+  MergedCsr merged;
+  merged.user = BuildCsr(by_user_);
+  merged.item = BuildCsr(by_item_);
+  merged.version = version_;
+  obs::Count(obs::Counter::kIngestCsrBuilds);
+  return merged;
+}
+
+bool RatingMatrix::CommitRefreeze(MergedCsr&& merged) {
+  if (merged.version != version_) return false;
+  user_csr_ = std::move(merged.user);
+  item_csr_ = std::move(merged.item);
+  frozen_ = true;
+  ClearOverlay();
+  return true;
+}
+
+void RatingMatrix::Refreeze() {
+  if (frozen_ && !has_delta()) return;
+  user_csr_ = BuildCsr(by_user_);
+  item_csr_ = BuildCsr(by_item_);
+  frozen_ = true;
+  ClearOverlay();
+  obs::Count(obs::Counter::kIngestCsrBuilds);
+}
+
+void RatingMatrix::ClearOverlay() {
+  overlay_active_ = false;
+  user_side_.clear();
+  item_side_.clear();
+  tombstones_.clear();
+  delta_ops_.clear();
+}
+
+void RatingMatrix::RefreshSideRows(int32_t user_idx, int32_t item_idx) {
+  overlay_active_ = true;
+  SideRow& ur = user_side_[user_idx];
+  const auto& uvec = by_user_[user_idx];
+  ur.idx.resize(uvec.size());
+  ur.rating.resize(uvec.size());
+  for (size_t k = 0; k < uvec.size(); ++k) {
+    ur.idx[k] = uvec[k].idx;
+    ur.rating[k] = uvec[k].rating;
+  }
+  SideRow& ir = item_side_[item_idx];
+  const auto& ivec = by_item_[item_idx];
+  ir.idx.resize(ivec.size());
+  ir.rating.resize(ivec.size());
+  for (size_t k = 0; k < ivec.size(); ++k) {
+    ir.idx[k] = ivec[k].idx;
+    ir.rating[k] = ivec[k].rating;
+  }
+}
+
+RatingChange RatingMatrix::Add(int64_t user_id, int64_t item_id,
+                               double rating) {
   int32_t u = InternUser(user_id);
   int32_t i = InternItem(item_id);
+  auto existing = GetByIndex(u, i);
+  if (existing && *existing == rating) {
+    // Same-value overwrite: a complete no-op. Critically this must not
+    // invalidate frozen state, and must not touch rating_sum_ — in IEEE
+    // arithmetic (sum - old) + new can differ from sum even when old == new,
+    // so "adjusting by zero" would silently drift GlobalMean().
+    return RatingChange::kUnchanged;
+  }
   bool new_in_user = false, new_in_item = false;
-  double old = 0;
-  if (auto existing = GetByIndex(u, i)) old = *existing;
   Upsert(&by_user_[u], i, rating, &new_in_user);
   Upsert(&by_item_[i], u, rating, &new_in_item);
   RECDB_DCHECK(new_in_user == new_in_item);
@@ -81,14 +150,23 @@ void RatingMatrix::Add(int64_t user_id, int64_t item_id, double rating) {
     ++num_ratings_;
     rating_sum_ += rating;
   } else {
-    rating_sum_ += rating - old;
+    // Overwrite with a different value: subtract old, add new.
+    rating_sum_ += rating - *existing;
   }
+  ++version_;
+  if (frozen_) {
+    delta_ops_.push_back(DeltaOp{new_in_user ? DeltaOp::Kind::kAdd
+                                             : DeltaOp::Kind::kOverwrite,
+                                 u, i});
+    tombstones_.erase(PairKey(u, i));  // a re-add revives a removed pair
+    RefreshSideRows(u, i);
+  }
+  return new_in_user ? RatingChange::kInserted : RatingChange::kOverwritten;
 }
 
 bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
-  // Un-freeze only after the rating is actually erased: a Remove of an
-  // absent pair mutates nothing, so the CSR snapshot stays valid and the
-  // models reading it must keep doing so.
+  // A Remove of an absent pair mutates nothing: the frozen state stays
+  // valid and no delta op is logged.
   auto u = UserIndex(user_id);
   auto i = ItemIndex(item_id);
   if (!u || !i) return false;
@@ -102,12 +180,17 @@ bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
   };
   auto existing = GetByIndex(*u, *i);
   if (!existing) return false;
-  frozen_ = false;
   bool a = erase_from(&by_user_[*u], *i);
   bool b = erase_from(&by_item_[*i], *u);
   RECDB_DCHECK(a && b);
   --num_ratings_;
   rating_sum_ -= *existing;
+  ++version_;
+  if (frozen_) {
+    delta_ops_.push_back(DeltaOp{DeltaOp::Kind::kRemove, *u, *i});
+    tombstones_.insert(PairKey(*u, *i));
+    RefreshSideRows(*u, *i);
+  }
   return true;
 }
 
@@ -160,6 +243,22 @@ double RatingMatrix::ItemMean(int32_t item_idx) const {
   double s = 0;
   for (const auto& e : vec) s += e.rating;
   return s / static_cast<double>(vec.size());
+}
+
+size_t RatingMatrix::CsrApproxBytes() const {
+  if (!frozen_) return 0;
+  size_t total = user_csr_.ApproxBytes() + item_csr_.ApproxBytes();
+  for (const auto& [idx, row] : user_side_) {
+    total += sizeof(int32_t) + row.idx.capacity() * sizeof(int32_t) +
+             row.rating.capacity() * sizeof(double);
+  }
+  for (const auto& [idx, row] : item_side_) {
+    total += sizeof(int32_t) + row.idx.capacity() * sizeof(int32_t) +
+             row.rating.capacity() * sizeof(double);
+  }
+  total += delta_ops_.capacity() * sizeof(DeltaOp) +
+           tombstones_.size() * sizeof(uint64_t);
+  return total;
 }
 
 }  // namespace recdb

@@ -1,17 +1,29 @@
-// RatingMatrix: the in-memory user/item ratings snapshot a model is built
+// RatingMatrix: the in-memory user/item ratings store a model is built
 // from (paper input: users U, items I, ratings R).
 //
 // External ids are arbitrary int64 (as stored in the ratings table); they are
 // mapped to dense indices. Both user-major and item-major views are kept so
 // item-item and user-user algorithms each get their natural access pattern.
+//
+// Freeze contract (PR 7): Freeze() builds a flat-CSR base for both
+// orientations. After that, Add/Remove no longer invalidate the frozen state;
+// instead they maintain a *delta overlay* — per-orientation side rows (full
+// merged copies of every touched row, in SoA form), a tombstone set for
+// removals, and an append-only op log. CsrRow access becomes a merge view:
+// rows with delta entries resolve to their side row, untouched rows to the
+// base CSR, so batch kernels see exactly what a rebuilt CSR would contain,
+// byte for byte. A background re-freeze (BuildMergedCsr + CommitRefreeze)
+// folds the overlay back into a fresh base and clears it.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace recdb {
 
@@ -45,15 +57,37 @@ struct CsrRow {
   size_t n = 0;
 };
 
+/// What Add() actually did — callers use this to keep maintenance pressure
+/// and the paper's GlobalMean bookkeeping honest.
+enum class RatingChange {
+  kInserted,     // a new (user, item) pair
+  kOverwritten,  // existing pair, different value
+  kUnchanged,    // existing pair, same value: a complete no-op
+};
+
+/// One entry of the delta op log kept while the matrix is frozen. Indices
+/// are dense (valid against the merged matrix); the log is what incremental
+/// model maintenance scopes its touched-row sets from.
+struct DeltaOp {
+  enum class Kind : uint8_t { kAdd, kOverwrite, kRemove };
+  Kind kind = Kind::kAdd;
+  int32_t user_idx = 0;
+  int32_t item_idx = 0;
+};
+
 class RatingMatrix {
  public:
   RatingMatrix() = default;
 
-  /// Add one rating. A repeated (user, item) pair overwrites the old rating.
-  void Add(int64_t user_id, int64_t item_id, double rating);
+  /// Add one rating. A repeated (user, item) pair overwrites the old rating;
+  /// overwriting with the *same* value is a complete no-op (no version bump,
+  /// no delta op, no sum adjustment — see RatingChange). While frozen, the
+  /// mutation lands in the delta overlay instead of invalidating the CSR.
+  RatingChange Add(int64_t user_id, int64_t item_id, double rating);
 
   /// Remove a rating; returns false if it was not present. Interned ids
-  /// remain (a user/item with no ratings keeps an empty vector).
+  /// remain (a user/item with no ratings keeps an empty vector). While
+  /// frozen, the removal lands in the overlay (side rows + tombstone).
   bool Remove(int64_t user_id, int64_t item_id);
 
   size_t NumUsers() const { return user_ids_.size(); }
@@ -68,6 +102,7 @@ class RatingMatrix {
   int64_t ItemIdAt(int32_t idx) const { return item_ids_[idx]; }
 
   /// A user's ratings, sorted by item index (the paper's UserVector row).
+  /// Always authoritative — includes delta entries while frozen.
   const std::vector<RatingEntry>& UserVector(int32_t user_idx) const {
     return by_user_[user_idx];
   }
@@ -93,19 +128,109 @@ class RatingMatrix {
   const std::vector<int64_t>& item_ids() const { return item_ids_; }
   const std::vector<int64_t>& user_ids() const { return user_ids_; }
 
-  /// Build the flat-CSR form of both orientations (idempotent). Model
-  /// factories call this at build time so batch kernels can assume frozen
-  /// storage; Add/Remove invalidate it (the mutable vector-of-vectors stays
-  /// authoritative for incremental updates).
+  /// Build the flat-CSR form of both orientations. First call freezes the
+  /// matrix; on an already-frozen matrix with a pending delta this merges
+  /// the overlay into a fresh base (Refreeze), and with no delta it is a
+  /// no-op. Model factories call this at build time so batch kernels can
+  /// assume flat storage.
   void Freeze();
   bool frozen() const { return frozen_; }
 
-  /// CSR row views. The guard is a real check, not a debug assertion: when
-  /// the matrix is not frozen (or the row post-dates the snapshot) the CSR
-  /// arrays are stale or empty, so the row reads as empty instead of as
-  /// out-of-bounds garbage. Callers that must see fresh entries fall back
-  /// to UserVector/ItemVector while !frozen().
+  // --- delta overlay -------------------------------------------------------
+
+  /// True when mutations have landed in the overlay since the last freeze.
+  bool has_delta() const { return !delta_ops_.empty(); }
+  /// Number of ops in the delta log since the last (re)freeze.
+  size_t delta_size() const { return delta_ops_.size(); }
+  /// The op log itself (model maintenance scopes touched rows from it).
+  const std::vector<DeltaOp>& delta_ops() const { return delta_ops_; }
+  /// True if (user_idx, item_idx) was removed since the last freeze and not
+  /// re-added — the overlay's tombstone set.
+  bool IsTombstoned(int32_t user_idx, int32_t item_idx) const {
+    return tombstones_.count(PairKey(user_idx, item_idx)) > 0;
+  }
+  size_t NumTombstones() const { return tombstones_.size(); }
+
+  /// Monotonic mutation counter: bumps on every effective Add/Remove.
+  /// A re-freeze prepared against version V commits only if the matrix is
+  /// still at V (optimistic two-phase refresh).
+  uint64_t version() const { return version_; }
+
+  /// Row counts of the frozen base (what the CSR arrays cover); the overlay
+  /// may know more users/items than the base.
+  size_t base_num_users() const {
+    return user_csr_.offsets.empty() ? 0 : user_csr_.offsets.size() - 1;
+  }
+  size_t base_num_items() const {
+    return item_csr_.offsets.empty() ? 0 : item_csr_.offsets.size() - 1;
+  }
+
+  /// A re-freeze candidate: both orientations rebuilt from the merged rows,
+  /// stamped with the matrix version it was built from. Const — safe to run
+  /// under a shared lock while readers score through the overlay.
+  struct MergedCsr {
+    FlatCsr user;
+    FlatCsr item;
+    uint64_t version = 0;
+  };
+  MergedCsr BuildMergedCsr() const;
+
+  /// Swap a prepared MergedCsr in as the new base and clear the overlay.
+  /// Returns false (and changes nothing) if the matrix version moved since
+  /// the candidate was built — the caller retries or falls back to an
+  /// exclusive Refreeze().
+  bool CommitRefreeze(MergedCsr&& merged);
+
+  /// Merge the overlay into a fresh base in one step (caller holds the
+  /// writer lock). No-op when there is no delta.
+  void Refreeze();
+
+  /// CSR row views — the merge view. Rows touched by the delta overlay
+  /// resolve to their side row (a full merged copy, byte-identical to what
+  /// a rebuilt CSR would hold); untouched rows resolve to the frozen base.
+  /// The guard is a real check: when the matrix is not frozen (or the row is
+  /// unknown to base and overlay) the row reads as empty instead of as
+  /// out-of-bounds garbage.
   CsrRow UserCsrRow(int32_t user_idx) const {
+    if (!frozen_ || user_idx < 0) return {};
+    if (overlay_active_) {
+      auto it = user_side_.find(user_idx);
+      if (it != user_side_.end()) {
+        obs::Count(obs::Counter::kIngestDeltaRowHits);
+        return {it->second.idx.data(), it->second.rating.data(),
+                it->second.idx.size()};
+      }
+      obs::Count(obs::Counter::kIngestDeltaRowMisses);
+    }
+    if (static_cast<size_t>(user_idx) + 1 >= user_csr_.offsets.size()) {
+      return {};
+    }
+    int64_t b = user_csr_.offsets[user_idx];
+    return {user_csr_.idx.data() + b, user_csr_.rating.data() + b,
+            static_cast<size_t>(user_csr_.offsets[user_idx + 1] - b)};
+  }
+  CsrRow ItemCsrRow(int32_t item_idx) const {
+    if (!frozen_ || item_idx < 0) return {};
+    if (overlay_active_) {
+      auto it = item_side_.find(item_idx);
+      if (it != item_side_.end()) {
+        obs::Count(obs::Counter::kIngestDeltaRowHits);
+        return {it->second.idx.data(), it->second.rating.data(),
+                it->second.idx.size()};
+      }
+      obs::Count(obs::Counter::kIngestDeltaRowMisses);
+    }
+    if (static_cast<size_t>(item_idx) + 1 >= item_csr_.offsets.size()) {
+      return {};
+    }
+    int64_t b = item_csr_.offsets[item_idx];
+    return {item_csr_.idx.data() + b, item_csr_.rating.data() + b,
+            static_cast<size_t>(item_csr_.offsets[item_idx + 1] - b)};
+  }
+
+  /// Base-only row views (no overlay resolution) — incremental maintenance
+  /// and tests compare base vs merged state through these.
+  CsrRow BaseUserCsrRow(int32_t user_idx) const {
     if (!frozen_ || user_idx < 0 ||
         static_cast<size_t>(user_idx) + 1 >= user_csr_.offsets.size()) {
       return {};
@@ -114,7 +239,7 @@ class RatingMatrix {
     return {user_csr_.idx.data() + b, user_csr_.rating.data() + b,
             static_cast<size_t>(user_csr_.offsets[user_idx + 1] - b)};
   }
-  CsrRow ItemCsrRow(int32_t item_idx) const {
+  CsrRow BaseItemCsrRow(int32_t item_idx) const {
     if (!frozen_ || item_idx < 0 ||
         static_cast<size_t>(item_idx) + 1 >= item_csr_.offsets.size()) {
       return {};
@@ -127,18 +252,32 @@ class RatingMatrix {
   const FlatCsr& user_csr() const { return user_csr_; }
   const FlatCsr& item_csr() const { return item_csr_; }
 
-  /// Footprint of the frozen CSR arrays (0 when not frozen) — model
-  /// ApproxBytes implementations add this so memory accounting sees the
-  /// flat storage.
-  size_t CsrApproxBytes() const {
-    return frozen_ ? user_csr_.ApproxBytes() + item_csr_.ApproxBytes() : 0;
-  }
+  /// Footprint of the frozen CSR arrays plus the delta overlay (0 when not
+  /// frozen) — model ApproxBytes implementations add this so memory
+  /// accounting sees the flat storage.
+  size_t CsrApproxBytes() const;
 
  private:
+  /// One overlay side row: a full merged copy of a touched row, SoA like
+  /// the CSR arrays so the CsrRow view is layout-identical.
+  struct SideRow {
+    std::vector<int32_t> idx;
+    std::vector<double> rating;
+  };
+
+  static uint64_t PairKey(int32_t user_idx, int32_t item_idx) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(user_idx)) << 32) |
+           static_cast<uint32_t>(item_idx);
+  }
+
   int32_t InternUser(int64_t user_id);
   int32_t InternItem(int64_t item_id);
   static void Upsert(std::vector<RatingEntry>* vec, int32_t idx,
                      double rating, bool* was_new);
+  /// Copy the merged rows of (user_idx, item_idx) into the overlay side
+  /// rows (both orientations) after a frozen-state mutation.
+  void RefreshSideRows(int32_t user_idx, int32_t item_idx);
+  void ClearOverlay();
 
   std::vector<int64_t> user_ids_;
   std::vector<int64_t> item_ids_;
@@ -151,6 +290,14 @@ class RatingMatrix {
   bool frozen_ = false;
   FlatCsr user_csr_;
   FlatCsr item_csr_;
+
+  // Delta overlay state (meaningful only while frozen_).
+  bool overlay_active_ = false;
+  std::unordered_map<int32_t, SideRow> user_side_;
+  std::unordered_map<int32_t, SideRow> item_side_;
+  std::unordered_set<uint64_t> tombstones_;
+  std::vector<DeltaOp> delta_ops_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace recdb

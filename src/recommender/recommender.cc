@@ -8,44 +8,173 @@
 
 namespace recdb {
 
-Result<double> Recommender::Build() {
-  Stopwatch watch;
-  // Snapshot the live matrix so later AddRating calls do not disturb the
-  // model's input (copy is cheap relative to model building).
-  auto snapshot = std::make_shared<RatingMatrix>(*live_);
-  std::unique_ptr<RecModel> model;
+namespace {
+
+std::unique_ptr<RecModel> BuildModel(RecAlgorithm algorithm,
+                                     std::shared_ptr<RatingMatrix> matrix,
+                                     const RecommenderConfig& config) {
+  switch (algorithm) {
+    case RecAlgorithm::kItemCosCF:
+      return ItemCFModel::Build(std::move(matrix), /*centered=*/false,
+                                config.sim_opts);
+    case RecAlgorithm::kItemPearCF:
+      return ItemCFModel::Build(std::move(matrix), /*centered=*/true,
+                                config.sim_opts);
+    case RecAlgorithm::kUserCosCF:
+      return UserCFModel::Build(std::move(matrix), /*centered=*/false,
+                                config.sim_opts);
+    case RecAlgorithm::kUserPearCF:
+      return UserCFModel::Build(std::move(matrix), /*centered=*/true,
+                                config.sim_opts);
+    case RecAlgorithm::kSVD:
+      return SvdModel::Build(std::move(matrix), config.svd_opts);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void Recommender::AddRating(int64_t user_id, int64_t item_id, double rating) {
+  const size_t delta_before = matrix_->delta_size();
+  RatingChange change = matrix_->Add(user_id, item_id, rating);
+  if (change == RatingChange::kUnchanged) return;
+  ++pending_updates_;
+  obs::Count(change == RatingChange::kInserted
+                 ? obs::Counter::kIngestDeltaAdds
+                 : obs::Counter::kIngestDeltaOverwrites);
+  const size_t landed = matrix_->delta_size() - delta_before;
+  if (landed > 0) {
+    obs::AddGauge(obs::Gauge::kIngestDeltaPending,
+                  static_cast<int64_t>(landed));
+    InvalidateForIngest(user_id, item_id);
+  }
+}
+
+void Recommender::RemoveRating(int64_t user_id, int64_t item_id) {
+  const size_t delta_before = matrix_->delta_size();
+  if (!matrix_->Remove(user_id, item_id)) return;
+  ++pending_updates_;
+  obs::Count(obs::Counter::kIngestDeltaRemoves);
+  const size_t landed = matrix_->delta_size() - delta_before;
+  if (landed > 0) {
+    obs::AddGauge(obs::Gauge::kIngestDeltaPending,
+                  static_cast<int64_t>(landed));
+    InvalidateForIngest(user_id, item_id);
+  }
+}
+
+void Recommender::InvalidateForIngest(int64_t user_id, int64_t item_id) {
+  InvalidatedPairs pairs;
   switch (config_.algorithm) {
     case RecAlgorithm::kItemCosCF:
-      model = ItemCFModel::Build(snapshot, /*centered=*/false,
-                                 config_.sim_opts);
-      break;
     case RecAlgorithm::kItemPearCF:
-      model = ItemCFModel::Build(snapshot, /*centered=*/true,
-                                 config_.sim_opts);
+      // The user's own rated vector feeds every one of their predictions
+      // (Eq. 2 gathers neighborhoods against it): all of u's cached scores
+      // are stale. Other users' predictions depend on the neighborhood
+      // table, which only moves at refresh time.
+      pairs = score_index_.EraseUserCollect(user_id);
       break;
     case RecAlgorithm::kUserCosCF:
-      model = UserCFModel::Build(snapshot, /*centered=*/false,
-                                 config_.sim_opts);
-      break;
     case RecAlgorithm::kUserPearCF:
-      model = UserCFModel::Build(snapshot, /*centered=*/true,
-                                 config_.sim_opts);
+      // Item i's rater row feeds every user's prediction *for i*; u is not
+      // its own neighbor, so u's scores for other items are untouched.
+      pairs = score_index_.EraseItem(item_id);
+      if (score_index_.Erase(user_id, item_id)) {
+        pairs.emplace_back(user_id, item_id);
+      }
       break;
     case RecAlgorithm::kSVD:
-      model = SvdModel::Build(snapshot, config_.svd_opts);
+      // Factors only move at refresh (fold-in); the rating itself merely
+      // makes (u, i) a seen pair.
+      if (score_index_.Erase(user_id, item_id)) {
+        pairs.emplace_back(user_id, item_id);
+      }
       break;
   }
+  NotifyInvalidated(std::move(pairs));
+}
+
+void Recommender::NotifyInvalidated(InvalidatedPairs&& pairs) {
+  if (pairs.empty()) return;
+  obs::Count(obs::Counter::kIngestIndexInvalidations, pairs.size());
+  if (invalidation_listener_) invalidation_listener_(pairs);
+}
+
+Result<double> Recommender::Build() {
+  Stopwatch watch;
+  // Merge any pending delta first so the model trains over flat state,
+  // then train in place: the overlay keeps later mutations from disturbing
+  // the frozen base, so the old defensive matrix copy is gone.
+  const size_t delta_cleared = matrix_->delta_size();
+  matrix_->Freeze();
+  std::unique_ptr<RecModel> model =
+      BuildModel(config_.algorithm, matrix_, config_);
   if (model == nullptr) {
     return Status::Internal("model construction failed for " + config_.name);
   }
-  snapshot_ = snapshot;
   model_ = std::move(model);
-  base_size_ = snapshot->NumRatings();
+  base_size_ = matrix_->NumRatings();
   pending_updates_ = 0;
+  if (delta_cleared > 0) {
+    obs::AddGauge(obs::Gauge::kIngestDeltaPending,
+                  -static_cast<int64_t>(delta_cleared));
+  }
   obs::Count(obs::Counter::kModelBuilds);
   obs::ObserveUs(obs::Histogram::kModelTrainUs,
                  static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
   return watch.ElapsedSeconds();
+}
+
+Result<Recommender::RefreshPlan> Recommender::PrepareRefresh() const {
+  RefreshPlan plan;
+  if (model_ == nullptr || !matrix_->has_delta()) return plan;
+  Stopwatch watch;
+  plan.csr = matrix_->BuildMergedCsr();
+  plan.ops = matrix_->delta_size();
+  auto update = model_->PrepareDeltaUpdate(matrix_->delta_ops());
+  RECDB_RETURN_NOT_OK(update.status());
+  plan.update = std::move(update).value();
+  plan.valid = true;
+  obs::ObserveUs(obs::Histogram::kIngestRefreshUs,
+                 static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return plan;
+}
+
+bool Recommender::CommitRefresh(RefreshPlan&& plan) {
+  if (!plan.valid) return false;
+  Stopwatch watch;
+  if (!matrix_->CommitRefreeze(std::move(plan.csr))) {
+    obs::Count(obs::Counter::kIngestRefreshConflicts);
+    return false;
+  }
+  InvalidatedPairs pairs;
+  for (int64_t user : plan.update.stale_users) {
+    auto erased = score_index_.EraseUserCollect(user);
+    pairs.insert(pairs.end(), erased.begin(), erased.end());
+  }
+  for (int64_t item : plan.update.stale_items) {
+    auto erased = score_index_.EraseItem(item);
+    pairs.insert(pairs.end(), erased.begin(), erased.end());
+  }
+  model_->ApplyDeltaUpdate(std::move(plan.update));
+  base_size_ = matrix_->NumRatings();
+  pending_updates_ = 0;
+  obs::AddGauge(obs::Gauge::kIngestDeltaPending,
+                -static_cast<int64_t>(plan.ops));
+  obs::Count(obs::Counter::kIngestRefreshes);
+  obs::ObserveUs(obs::Histogram::kIngestSwapUs,
+                 static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  NotifyInvalidated(std::move(pairs));
+  return true;
+}
+
+Result<bool> Recommender::Refresh() {
+  auto plan = PrepareRefresh();
+  RECDB_RETURN_NOT_OK(plan.status());
+  if (!plan.value().valid) return false;
+  // Prepare and commit run back to back on one thread (writer lock held),
+  // so the version cannot move and the commit cannot conflict.
+  return CommitRefresh(std::move(plan).value());
 }
 
 Status Recommender::MaterializeUser(int64_t user_id) {
@@ -54,7 +183,7 @@ Status Recommender::MaterializeUser(int64_t user_id) {
                                   " has no built model");
   }
   Stopwatch watch;
-  const RatingMatrix& r = *snapshot_;
+  const RatingMatrix& r = *matrix_;
   auto uopt = r.UserIndex(user_id);
   if (!uopt) return Status::NotFound("unknown user");
   const auto& rated = r.UserVector(*uopt);
@@ -100,7 +229,7 @@ Status Recommender::MaterializeAll() {
     return Status::ExecutionError("recommender " + config_.name +
                                   " has no built model");
   }
-  const RatingMatrix& r = *snapshot_;
+  const RatingMatrix& r = *matrix_;
   for (size_t u = 0; u < r.NumUsers(); ++u) {
     RECDB_RETURN_NOT_OK(
         MaterializeUser(r.UserIdAt(static_cast<int32_t>(u))));

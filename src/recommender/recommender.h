@@ -1,13 +1,23 @@
 // Recommender: a named, registered recommender (paper CREATE RECOMMENDER).
 //
-// Owns the live ratings snapshot, the built RecModel, the pre-computation
-// index (RecScoreIndex) and the maintenance policy: the model is rebuilt
-// only when new ratings reach N% of the entries used to build the current
-// model (paper Section III-A, "Maintaining a Recommender").
+// Owns one RatingMatrix (frozen base + delta overlay), the built RecModel,
+// the pre-computation index (RecScoreIndex) and the maintenance policy.
+// PR-7 lifecycle: ingest lands in the matrix's delta overlay without
+// invalidating the frozen CSR, scoring reads the merge view, and
+// maintenance is *incremental* — a two-phase refresh (PrepareRefresh off
+// the writer lock, CommitRefresh under it) merges the overlay into a fresh
+// base and patches only the model rows the delta touched. A full retrain
+// happens only at Build() time (CREATE RECOMMENDER / recovery), never in
+// response to a statement.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "index/rec_score_index.h"
 #include "recommender/cf_model.h"
@@ -22,40 +32,51 @@ struct RecommenderConfig {
   std::string item_col;
   std::string rating_col;
   RecAlgorithm algorithm = kDefaultAlgorithm;
-  /// Rebuild when pending updates / base model size >= this ratio
-  /// (the paper's N% system parameter).
+  /// Maintain when pending updates / base model size >= this ratio
+  /// (the paper's N% system parameter). Since PR 7 reaching it triggers an
+  /// incremental refresh, not a retrain.
   double rebuild_threshold = 0.10;
   SimilarityOptions sim_opts;
   SvdOptions svd_opts;
+  /// Background re-freeze trigger: refresh once the delta log reaches
+  /// max(min_refresh_ops, refresh_threshold * base ratings). Tuning knobs
+  /// only — intentionally not part of the persisted catalog record, so
+  /// database files written before PR 7 load unchanged.
+  double refresh_threshold = 0.05;
+  size_t min_refresh_ops = 32;
 };
 
 class Recommender {
  public:
+  /// (user, item) pairs whose cached scores a mutation invalidated —
+  /// handed to the invalidation listener (CacheManager) for lazy
+  /// re-materialization.
+  using InvalidatedPairs = std::vector<std::pair<int64_t, int64_t>>;
+
   explicit Recommender(RecommenderConfig config)
       : config_(std::move(config)),
-        live_(std::make_shared<RatingMatrix>()) {}
+        matrix_(std::make_shared<RatingMatrix>()) {}
 
   const RecommenderConfig& config() const { return config_; }
   const std::string& name() const { return config_.name; }
   RecAlgorithm algorithm() const { return config_.algorithm; }
 
-  /// Ingest one rating into the live matrix (does NOT rebuild the model).
-  void AddRating(int64_t user_id, int64_t item_id, double rating) {
-    live_->Add(user_id, item_id, rating);
-    ++pending_updates_;
-  }
+  /// Ingest one rating (does NOT rebuild the model). On a frozen matrix the
+  /// mutation lands in the delta overlay and stale score-index entries for
+  /// the affected predictions are evicted (scoped per algorithm family).
+  void AddRating(int64_t user_id, int64_t item_id, double rating);
 
-  /// Remove a rating from the live matrix (SQL DELETE on the ratings
-  /// table); counts toward the rebuild threshold like an insert.
-  void RemoveRating(int64_t user_id, int64_t item_id) {
-    if (live_->Remove(user_id, item_id)) ++pending_updates_;
-  }
+  /// Remove a rating (SQL DELETE on the ratings table); counts toward the
+  /// maintenance threshold like an insert.
+  void RemoveRating(int64_t user_id, int64_t item_id);
 
-  /// Recommender Initialization: snapshot the live ratings and train the
-  /// model for the configured algorithm. Returns the build wall time.
+  /// Recommender Initialization: merge any pending delta and train the
+  /// model from scratch for the configured algorithm. Returns the build
+  /// wall time. The only full-retrain entry point.
   Result<double> Build();
 
-  /// True when pending updates have reached the rebuild threshold.
+  /// True when pending updates have reached the paper's N% maintenance
+  /// threshold (or no model exists yet).
   bool NeedsRebuild() const {
     if (model_ == nullptr) return true;
     if (base_size_ == 0) return pending_updates_ > 0;
@@ -63,22 +84,87 @@ class Recommender {
            config_.rebuild_threshold * static_cast<double>(base_size_);
   }
 
-  /// Rebuild if the maintenance policy calls for it; returns whether a
-  /// rebuild happened.
+  /// True when the delta log has reached the background re-freeze trigger.
+  bool NeedsRefresh() const {
+    if (model_ == nullptr || !matrix_->has_delta()) return false;
+    double by_ratio = config_.refresh_threshold *
+                      static_cast<double>(base_size_);
+    double trigger = std::max(static_cast<double>(config_.min_refresh_ops),
+                              by_ratio);
+    return static_cast<double>(matrix_->delta_size()) >= trigger;
+  }
+
+  /// Maintain if the paper's N% policy calls for it; returns whether any
+  /// maintenance happened. With a built model this is an incremental
+  /// Refresh() (bit-identical to a retrain for CF; fold-in for SVD) —
+  /// statements never trigger a full retrain.
   Result<bool> MaintainIfNeeded() {
     if (!NeedsRebuild()) return false;
-    RECDB_RETURN_NOT_OK(Build().status());
-    return true;
+    if (model_ == nullptr) {
+      RECDB_RETURN_NOT_OK(Build().status());
+      return true;
+    }
+    return Refresh();
+  }
+
+  // --- two-phase incremental refresh ---------------------------------------
+
+  /// Everything a re-freeze needs, prepared against one matrix version:
+  /// the merged CSR candidate and the model row updates. Building it only
+  /// reads, so it can run off the writer lock while readers score through
+  /// the overlay.
+  struct RefreshPlan {
+    RatingMatrix::MergedCsr csr;
+    ModelUpdate update;
+    size_t ops = 0;
+    bool valid = false;
+  };
+
+  /// Prepare a refresh plan (shared lock is enough). valid=false when
+  /// there is nothing to do (no model or no delta).
+  Result<RefreshPlan> PrepareRefresh() const;
+
+  /// Install a prepared plan (writer lock required). Returns false without
+  /// changing anything if the matrix version moved since the plan was
+  /// prepared — the caller retries or falls back to Refresh().
+  bool CommitRefresh(RefreshPlan&& plan);
+
+  /// One-step refresh under the writer lock: prepare + commit. Returns
+  /// whether a merge happened.
+  Result<bool> Refresh();
+
+  /// Dedup guard for the background scheduler: returns true if this call
+  /// claimed the pending-refresh slot (no job was in flight).
+  bool TryMarkRefreshScheduled() {
+    bool expected = false;
+    return refresh_scheduled_.compare_exchange_strong(expected, true);
+  }
+  void ClearRefreshScheduled() { refresh_scheduled_.store(false); }
+
+  /// Recovery aid: adopt a pre-loaded (typically already frozen) matrix
+  /// instead of re-ingesting the ratings table row by row. Must be called
+  /// before Build().
+  void SeedMatrix(std::shared_ptr<RatingMatrix> matrix) {
+    matrix_ = std::move(matrix);
+  }
+
+  /// CacheManager hook: invoked with the (user, item) pairs each mutation
+  /// or refresh commit evicted from the score index.
+  void SetInvalidationListener(
+      std::function<void(const InvalidatedPairs&)> listener) {
+    invalidation_listener_ = std::move(listener);
   }
 
   /// Built model; null before the first Build().
   const RecModel* model() const { return model_.get(); }
+  RecModel* mutable_model() { return model_.get(); }
 
-  /// Ratings snapshot the current model was built from (null before Build).
-  std::shared_ptr<const RatingMatrix> snapshot() const { return snapshot_; }
-
-  /// Live matrix including not-yet-modeled ratings.
-  const RatingMatrix& live() const { return *live_; }
+  /// The matrix scoring reads (frozen base + overlay merge view). The
+  /// historical live/snapshot split collapsed into one matrix in PR 7;
+  /// both accessors remain for call sites.
+  std::shared_ptr<const RatingMatrix> snapshot() const { return matrix_; }
+  const RatingMatrix& live() const { return *matrix_; }
+  RatingMatrix* mutable_matrix() { return matrix_.get(); }
 
   size_t pending_updates() const { return pending_updates_; }
   size_t base_size() const { return base_size_; }
@@ -98,12 +184,19 @@ class Recommender {
   Status MaterializeUser(int64_t user_id);
 
  private:
+  /// Evict score-index entries staled by a mutation of (user, item),
+  /// scoped to what the algorithm family can actually change, then notify
+  /// the invalidation listener.
+  void InvalidateForIngest(int64_t user_id, int64_t item_id);
+  void NotifyInvalidated(InvalidatedPairs&& pairs);
+
   RecommenderConfig config_;
-  std::shared_ptr<RatingMatrix> live_;
-  std::shared_ptr<const RatingMatrix> snapshot_;
+  std::shared_ptr<RatingMatrix> matrix_;
   std::unique_ptr<RecModel> model_;
   size_t base_size_ = 0;
   size_t pending_updates_ = 0;
+  std::atomic<bool> refresh_scheduled_{false};
+  std::function<void(const InvalidatedPairs&)> invalidation_listener_;
   RecScoreIndex score_index_;
 };
 

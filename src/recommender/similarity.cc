@@ -12,6 +12,49 @@ namespace recdb {
 
 namespace {
 
+/// Neighbor selection for one output row: filter, sort by descending
+/// similarity, optional top-k trim by |sim|. Shared between the full
+/// build and per-row recompute so the two paths cannot drift — the delta
+/// path's bit-identity guarantee depends on this being the same code.
+template <typename DotFn, typename OverlapFn>
+std::vector<Neighbor> SelectRow(size_t p, size_t n,
+                                const std::vector<double>& norms,
+                                const SimilarityOptions& opts, DotFn dot_at,
+                                OverlapFn overlap_at) {
+  const bool need_overlap = opts.min_overlap > 1;
+  std::vector<Neighbor> row;
+  for (size_t q = 0; q < n; ++q) {
+    if (p == q) continue;
+    float d = dot_at(q);
+    if (d == 0.0f) continue;
+    if (need_overlap && overlap_at(q) < opts.min_overlap) continue;
+    double denom = norms[p] * norms[q];
+    if (denom <= 0) continue;
+    float sim = static_cast<float>(d / denom);
+    if (sim == 0.0f) continue;
+    row.push_back(Neighbor{static_cast<int32_t>(q), sim});
+  }
+  std::sort(row.begin(), row.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.sim != b.sim) return a.sim > b.sim;
+    return a.idx < b.idx;
+  });
+  if (opts.top_k > 0 && row.size() > static_cast<size_t>(opts.top_k)) {
+    // Keep the k strongest by |sim| (negative correlations carry signal
+    // for Pearson), then restore descending-sim order.
+    std::partial_sort(row.begin(), row.begin() + opts.top_k, row.end(),
+                      [](const Neighbor& a, const Neighbor& b) {
+                        return std::fabs(a.sim) > std::fabs(b.sim);
+                      });
+    row.resize(opts.top_k);
+    std::sort(row.begin(), row.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.sim != b.sim) return a.sim > b.sim;
+                return a.idx < b.idx;
+              });
+  }
+  return row;
+}
+
 /// Sparse co-occurrence accumulation.
 ///
 /// `vectors[v]` is the sparse vector of entity v (items for item-based CF,
@@ -85,46 +128,106 @@ std::vector<std::vector<Neighbor>> BuildNeighborhoods(
   // sort and top-k trim identical to the serial computation.
   std::vector<std::vector<Neighbor>> result(n);
   sched.ParallelFor(n, row_morsel, [&](size_t begin, size_t end) {
-    std::vector<Neighbor> row;
     for (size_t p = begin; p < end; ++p) {
-      row.clear();
-      for (size_t q = 0; q < n; ++q) {
-        if (p == q) continue;
-        size_t idx = p < q ? p * n + q : q * n + p;
-        float d = dot[idx];
-        if (d == 0.0f) continue;
-        if (need_overlap && overlap[idx] < opts.min_overlap) continue;
-        double denom = norms[p] * norms[q];
-        if (denom <= 0) continue;
-        float sim = static_cast<float>(d / denom);
-        if (sim == 0.0f) continue;
-        row.push_back(Neighbor{static_cast<int32_t>(q), sim});
-      }
-      std::sort(row.begin(), row.end(),
-                [](const Neighbor& a, const Neighbor& b) {
-                  if (a.sim != b.sim) return a.sim > b.sim;
-                  return a.idx < b.idx;
-                });
-      if (opts.top_k > 0 && row.size() > static_cast<size_t>(opts.top_k)) {
-        // Keep the k strongest by |sim| (negative correlations carry signal
-        // for Pearson), then restore descending-sim order.
-        std::partial_sort(
-            row.begin(), row.begin() + opts.top_k, row.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              return std::fabs(a.sim) > std::fabs(b.sim);
-            });
-        row.resize(opts.top_k);
-        std::sort(row.begin(), row.end(),
-                  [](const Neighbor& a, const Neighbor& b) {
-                    if (a.sim != b.sim) return a.sim > b.sim;
-                    return a.idx < b.idx;
-                  });
-      }
-      result[p] = row;
+      result[p] = SelectRow(
+          p, n, norms, opts,
+          [&](size_t q) { return dot[p < q ? p * n + q : q * n + p]; },
+          [&](size_t q) {
+            return overlap[p < q ? p * n + q : q * n + p];
+          });
     }
   });
   obs::ObserveUs(obs::Histogram::kModelNeighborhoodUs,
                  static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return result;
+}
+
+/// Recompute a subset of output rows over the same (dims, means) input a
+/// full BuildNeighborhoods would see. For a pair (p, q) the full build
+/// accumulates float(v_min * v_max) into the min-row cell once per shared
+/// dimension, visiting dimensions in ascending order; here we accumulate
+/// float(v_p * v_q) into a dense per-row buffer while walking p's
+/// occurrences in the same ascending-dimension order. The double multiply
+/// is commutative, so each cell sees the identical float sequence and the
+/// recomputed row is bit-identical to the full build's.
+std::vector<std::pair<int32_t, std::vector<Neighbor>>> RecomputeRows(
+    size_t num_vectors, const std::vector<std::vector<RatingEntry>>& dims,
+    const std::vector<double>& means, const SimilarityOptions& opts,
+    const std::vector<int32_t>& rows) {
+  const size_t n = num_vectors;
+  const bool need_overlap = opts.min_overlap > 1;
+  std::vector<char> wanted(n, 0);
+  std::vector<int32_t> targets;
+  targets.reserve(rows.size());
+  for (int32_t r : rows) {
+    if (r < 0 || static_cast<size_t>(r) >= n) continue;
+    if (wanted[r]) continue;
+    wanted[r] = 1;
+    targets.push_back(r);
+  }
+  std::sort(targets.begin(), targets.end());
+
+  // Same serial prologue as the full build: centered dimensions in
+  // ascending order, norms accumulated per entry in that order (norms are
+  // needed for every vector, not just targets — sim(p, q) divides by both).
+  struct Occurrence {
+    uint32_t dim;
+    uint32_t pos;
+  };
+  std::vector<double> norms(n, 0.0);
+  std::vector<std::vector<RatingEntry>> centered_dims(dims.size());
+  std::vector<std::vector<Occurrence>> occ(n);
+  for (size_t d = 0; d < dims.size(); ++d) {
+    auto& centered = centered_dims[d];
+    centered.reserve(dims[d].size());
+    for (const auto& e : dims[d]) {
+      double v = e.rating - (opts.centered ? means[e.idx] : 0.0);
+      if (wanted[e.idx]) {
+        occ[e.idx].push_back(Occurrence{
+            static_cast<uint32_t>(d), static_cast<uint32_t>(centered.size())});
+      }
+      centered.push_back(RatingEntry{e.idx, v});
+      norms[e.idx] += v * v;
+    }
+  }
+  for (auto& v : norms) v = std::sqrt(v);
+
+  std::vector<std::pair<int32_t, std::vector<Neighbor>>> result(
+      targets.size());
+  TaskScheduler& sched = TaskScheduler::Global();
+  const size_t row_morsel =
+      std::clamp<size_t>(targets.size() / (sched.num_threads() * 4), 1, 256);
+  sched.ParallelFor(targets.size(), row_morsel,
+                    [&](size_t begin, size_t end) {
+    std::vector<float> acc(n, 0.0f);
+    std::vector<int32_t> ov;
+    if (need_overlap) ov.assign(n, 0);
+    for (size_t t = begin; t < end; ++t) {
+      const size_t p = static_cast<size_t>(targets[t]);
+      for (const Occurrence& o : occ[p]) {
+        const auto& centered = centered_dims[o.dim];
+        const double vp = centered[o.pos].rating;
+        for (size_t b = 0; b < centered.size(); ++b) {
+          if (b == o.pos) continue;
+          const auto& eb = centered[b];
+          acc[eb.idx] += static_cast<float>(vp * eb.rating);
+          if (need_overlap) ov[eb.idx]++;
+        }
+      }
+      result[t] = {targets[t],
+                   SelectRow(
+                       p, n, norms, opts, [&](size_t q) { return acc[q]; },
+                       [&](size_t q) { return ov[q]; })};
+      // Reset only what this row touched before the buffer is reused.
+      for (const Occurrence& o : occ[p]) {
+        const auto& centered = centered_dims[o.dim];
+        for (size_t b = 0; b < centered.size(); ++b) {
+          acc[centered[b].idx] = 0.0f;
+          if (need_overlap) ov[centered[b].idx] = 0;
+        }
+      }
+    }
+  });
   return result;
 }
 
@@ -161,6 +264,42 @@ std::vector<std::vector<Neighbor>> BuildUserNeighborhoods(
     }
   }
   return BuildNeighborhoods(ratings.NumUsers(), dims, means, opts);
+}
+
+std::vector<std::pair<int32_t, std::vector<Neighbor>>>
+RecomputeItemNeighborhoodRows(const RatingMatrix& ratings,
+                              const SimilarityOptions& opts,
+                              const std::vector<int32_t>& rows) {
+  std::vector<std::vector<RatingEntry>> dims;
+  dims.reserve(ratings.NumUsers());
+  for (size_t u = 0; u < ratings.NumUsers(); ++u) {
+    dims.push_back(ratings.UserVector(static_cast<int32_t>(u)));
+  }
+  std::vector<double> means(ratings.NumItems(), 0.0);
+  if (opts.centered) {
+    for (size_t i = 0; i < ratings.NumItems(); ++i) {
+      means[i] = ratings.ItemMean(static_cast<int32_t>(i));
+    }
+  }
+  return RecomputeRows(ratings.NumItems(), dims, means, opts, rows);
+}
+
+std::vector<std::pair<int32_t, std::vector<Neighbor>>>
+RecomputeUserNeighborhoodRows(const RatingMatrix& ratings,
+                              const SimilarityOptions& opts,
+                              const std::vector<int32_t>& rows) {
+  std::vector<std::vector<RatingEntry>> dims;
+  dims.reserve(ratings.NumItems());
+  for (size_t i = 0; i < ratings.NumItems(); ++i) {
+    dims.push_back(ratings.ItemVector(static_cast<int32_t>(i)));
+  }
+  std::vector<double> means(ratings.NumUsers(), 0.0);
+  if (opts.centered) {
+    for (size_t u = 0; u < ratings.NumUsers(); ++u) {
+      means[u] = ratings.UserMean(static_cast<int32_t>(u));
+    }
+  }
+  return RecomputeRows(ratings.NumUsers(), dims, means, opts, rows);
 }
 
 double PairwiseCosine(const std::vector<RatingEntry>& a,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "recommender/rating_matrix.h"
@@ -38,6 +39,24 @@ std::vector<std::vector<Neighbor>> BuildItemNeighborhoods(
 /// Compute per-user similarity lists (paper User Neighborhood Table).
 std::vector<std::vector<Neighbor>> BuildUserNeighborhoods(
     const RatingMatrix& ratings, const SimilarityOptions& opts);
+
+/// Recompute a subset of item-neighborhood rows against the matrix's
+/// current (merged) contents. Each returned pair is (item row index,
+/// fresh neighbor list), bit-identical to the same row of a full
+/// BuildItemNeighborhoods over the same matrix: products are accumulated
+/// in the same ascending-dimension float order and the selection/top-k
+/// logic is shared code. Row indices may exceed the caller's current
+/// neighborhood table size (new items); out-of-range indices are ignored.
+std::vector<std::pair<int32_t, std::vector<Neighbor>>>
+RecomputeItemNeighborhoodRows(const RatingMatrix& ratings,
+                              const SimilarityOptions& opts,
+                              const std::vector<int32_t>& rows);
+
+/// User-based counterpart of RecomputeItemNeighborhoodRows.
+std::vector<std::pair<int32_t, std::vector<Neighbor>>>
+RecomputeUserNeighborhoodRows(const RatingMatrix& ratings,
+                              const SimilarityOptions& opts,
+                              const std::vector<int32_t>& rows);
 
 /// Pairwise similarity of two sparse vectors (sorted by idx), per Eq. (1).
 /// Exposed for direct testing against hand-computed fixtures.

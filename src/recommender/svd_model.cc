@@ -134,6 +134,11 @@ void SvdModel::Train(int32_t holdout_mod) {
 
 double SvdModel::PredictByIndex(int32_t u, int32_t i) const {
   const int32_t f = opts_.num_factors;
+  if (u < 0 || static_cast<size_t>(u) >= NumUserRows() || i < 0 ||
+      static_cast<size_t>(i) >= NumItemRows()) {
+    // Interned after training and not yet folded in: no factor row.
+    return 0;
+  }
   const float* pu = user_factors_.data() + static_cast<size_t>(u) * f;
   const float* qi = item_factors_.data() + static_cast<size_t>(i) * f;
   double pred = 0;
@@ -150,7 +155,9 @@ void SvdModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
                             std::span<double> out) const {
   RECDB_DCHECK(items.size() == out.size());
   auto u = ratings_->UserIndex(user_id);
-  if (!u) {
+  if (!u || static_cast<size_t>(*u) >= NumUserRows()) {
+    // Unknown user, or one interned after training whose factor row has
+    // not been folded in yet.
     std::fill(out.begin(), out.end(), 0.0);
     return;
   }
@@ -170,7 +177,8 @@ void SvdModel::DoPredictBatch(int64_t user_id, std::span<const int64_t> items,
     const size_t n = std::min(kChunk, items.size() - base);
     for (size_t c = 0; c < n; ++c) {
       auto i = ratings_->ItemIndex(items[base + c]);
-      idx[c] = i ? *i : -1;
+      // Items interned after training score 0 until folded in.
+      idx[c] = (i && static_cast<size_t>(*i) < NumItemRows()) ? *i : -1;
     }
     for (size_t c = 0; c < n; ++c) {
       if (idx[c] < 0) {
@@ -194,6 +202,102 @@ std::span<const float> SvdModel::ItemFactors(int32_t item_idx) const {
   const int32_t f = opts_.num_factors;
   return {item_factors_.data() + static_cast<size_t>(item_idx) * f,
           static_cast<size_t>(f)};
+}
+
+Result<ModelUpdate> SvdModel::PrepareDeltaUpdate(
+    const std::vector<DeltaOp>& ops) const {
+  (void)ops;  // fold-in scope is "every entity newer than the trained rows"
+  ModelUpdate update;
+  const RatingMatrix& r = *ratings_;
+  update.num_users = r.NumUsers();
+  update.num_items = r.NumItems();
+  const int32_t f = opts_.num_factors;
+  const size_t trained_users = NumUserRows();
+  const size_t trained_items = NumItemRows();
+  const float lr = static_cast<float>(opts_.learning_rate);
+  const float lambda = static_cast<float>(opts_.regularization);
+  const bool biases = opts_.use_biases;
+  const float mean = biases ? static_cast<float>(global_mean_) : 0.0f;
+
+  // Fold new users first, against trained item rows only: zero-init, then
+  // fold_in_epochs deterministic SGD passes over the user's merged ratings
+  // in ascending item order. Ratings of items that are themselves new are
+  // skipped (no trained factor row to regress against).
+  for (size_t u = trained_users; u < update.num_users; ++u) {
+    std::vector<float> pu(static_cast<size_t>(f), 0.0f);
+    for (int32_t epoch = 0; epoch < opts_.fold_in_epochs; ++epoch) {
+      for (const auto& e : r.UserVector(static_cast<int32_t>(u))) {
+        if (static_cast<size_t>(e.idx) >= trained_items) continue;
+        const float* qi = item_factors_.data() + static_cast<size_t>(e.idx) * f;
+        float pred = mean;
+        if (biases) pred += item_bias_[e.idx];  // new user's bias stays 0
+        for (int32_t k = 0; k < f; ++k) pred += pu[k] * qi[k];
+        float err = static_cast<float>(e.rating) - pred;
+        for (int32_t k = 0; k < f; ++k) {
+          pu[k] += lr * (err * qi[k] - lambda * pu[k]);
+        }
+      }
+    }
+    update.user_rows.emplace_back(static_cast<int32_t>(u), std::move(pu));
+    update.stale_users.push_back(r.UserIdAt(static_cast<int32_t>(u)));
+  }
+
+  // Then new items, against all user rows including the just-folded ones.
+  auto user_row = [&](int32_t u) -> const float* {
+    if (static_cast<size_t>(u) < trained_users) {
+      return user_factors_.data() + static_cast<size_t>(u) * f;
+    }
+    size_t off = static_cast<size_t>(u) - trained_users;
+    return off < update.user_rows.size() ? update.user_rows[off].second.data()
+                                         : nullptr;
+  };
+  for (size_t i = trained_items; i < update.num_items; ++i) {
+    std::vector<float> qi(static_cast<size_t>(f), 0.0f);
+    for (int32_t epoch = 0; epoch < opts_.fold_in_epochs; ++epoch) {
+      for (const auto& e : r.ItemVector(static_cast<int32_t>(i))) {
+        const float* pu = user_row(e.idx);
+        if (!pu) continue;
+        float pred = mean;
+        if (biases && static_cast<size_t>(e.idx) < trained_users) {
+          pred += user_bias_[e.idx];  // new item's bias stays 0
+        }
+        for (int32_t k = 0; k < f; ++k) pred += pu[k] * qi[k];
+        float err = static_cast<float>(e.rating) - pred;
+        for (int32_t k = 0; k < f; ++k) {
+          qi[k] += lr * (err * pu[k] - lambda * qi[k]);
+        }
+      }
+    }
+    update.item_rows.emplace_back(static_cast<int32_t>(i), std::move(qi));
+    update.stale_items.push_back(r.ItemIdAt(static_cast<int32_t>(i)));
+  }
+  return update;
+}
+
+void SvdModel::ApplyDeltaUpdate(ModelUpdate&& update) {
+  const size_t f = static_cast<size_t>(opts_.num_factors);
+  if (update.num_users * f > user_factors_.size()) {
+    user_factors_.resize(update.num_users * f, 0.0f);
+    user_bias_.resize(update.num_users, 0.0f);
+  }
+  if (update.num_items * f > item_factors_.size()) {
+    item_factors_.resize(update.num_items * f, 0.0f);
+    item_bias_.resize(update.num_items, 0.0f);
+  }
+  size_t folded = 0;
+  for (auto& [idx, row] : update.user_rows) {
+    if (idx < 0 || static_cast<size_t>(idx) >= NumUserRows()) continue;
+    std::copy(row.begin(), row.end(),
+              user_factors_.begin() + static_cast<size_t>(idx) * f);
+    ++folded;
+  }
+  for (auto& [idx, row] : update.item_rows) {
+    if (idx < 0 || static_cast<size_t>(idx) >= NumItemRows()) continue;
+    std::copy(row.begin(), row.end(),
+              item_factors_.begin() + static_cast<size_t>(idx) * f);
+    ++folded;
+  }
+  obs::Count(obs::Counter::kIngestSvdFoldIns, folded);
 }
 
 size_t SvdModel::ApproxBytes() const {

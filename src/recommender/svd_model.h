@@ -23,6 +23,10 @@ struct SvdOptions {
   /// Add global mean + user/item bias terms to the model (Koren-style).
   /// Default false: the paper's Eq. (3) has factors only.
   bool use_biases = false;
+  /// SGD passes used to fold in a user/item interned after training,
+  /// holding the trained side fixed (incremental maintenance; a full
+  /// retrain is never triggered by ingest). Not part of the wire format.
+  int32_t fold_in_epochs = 10;
 };
 
 class SvdModel : public RecModel {
@@ -61,6 +65,23 @@ class SvdModel : public RecModel {
   size_t ApproxBytes() const override;
 
   const SvdOptions& options() const { return opts_; }
+
+  /// Number of factor rows currently held per side (grows via fold-in).
+  size_t NumUserRows() const {
+    return user_factors_.size() / static_cast<size_t>(opts_.num_factors);
+  }
+  size_t NumItemRows() const {
+    return item_factors_.size() / static_cast<size_t>(opts_.num_factors);
+  }
+
+  /// Incremental maintenance: deterministically fold in factor rows for
+  /// users/items interned since training — zero-initialized, then
+  /// fold_in_epochs SGD passes against the frozen counterpart factors
+  /// (new users first from trained item rows, then new items against all
+  /// user rows including the just-folded ones). Trained rows never move.
+  Result<ModelUpdate> PrepareDeltaUpdate(
+      const std::vector<DeltaOp>& ops) const override;
+  void ApplyDeltaUpdate(ModelUpdate&& update) override;
 
  private:
   SvdModel(std::shared_ptr<const RatingMatrix> ratings, SvdOptions opts)

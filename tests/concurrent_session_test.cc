@@ -17,6 +17,7 @@
 
 #include "api/recdb.h"
 #include "api/session.h"
+#include "obs/metrics.h"
 #include "test_util.h"
 
 namespace recdb {
@@ -79,8 +80,8 @@ TEST(ConcurrentSessionTest, ReadersScanWhileWriterInserts) {
 
   std::thread writer([&] {
     for (int k = 0; k < kWriterInserts; ++k) {
-      // New items stream in mid-flight, so readers cross model rebuild /
-      // matrix un-freeze boundaries while scanning.
+      // New items stream into the delta overlay mid-flight, so readers
+      // score through the merge view while it grows under them.
       auto r = writer_session->Execute(
           "INSERT INTO Ratings VALUES (" + std::to_string(1 + k % 10) + ", " +
           std::to_string(100 + k) + ", " + std::to_string(1 + k % 5) + ".0)");
@@ -142,6 +143,95 @@ TEST(ConcurrentSessionTest, ReadersScanWhileWriterInserts) {
   EXPECT_EQ(recount.value().NumRows(),
             base_rows + static_cast<size_t>(kWriterInserts));
   ASSERT_TRUE(reopened->Close().ok());
+  ::unlink(path.c_str());
+  ::unlink((path + ".wal").c_str());
+}
+
+TEST(ConcurrentSessionTest, ReadersScanAcrossBackgroundRefreshSwaps) {
+  // The PR-7 race under test (TSan target): RECOMMEND readers score
+  // through the delta overlay while the background re-freeze job swaps a
+  // merged CSR in under the writer lock. A small min_refresh_ops forces
+  // many swap cycles within one writer stream.
+  std::string path = TempDbPath("recdb_bg_refresh.db");
+  obs::MetricsRegistry::Global().ResetForTest();
+  RecDBOptions options;
+  options.background_refresh = true;
+  options.min_refresh_ops = 4;
+  options.refresh_threshold = 0.0;
+  auto db_or = RecDB::Open(path, options);
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  auto db = std::move(db_or).value();
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE Ratings (uid INT, iid INT, ratingval DOUBLE)")
+          .ok());
+  std::vector<std::vector<Value>> ratings;
+  for (int u = 1; u <= 10; ++u) {
+    for (int i = 1; i <= 8; ++i) {
+      if ((u + i) % 3 == 0) continue;
+      ratings.push_back({Value::Int(u), Value::Int(i),
+                         Value::Double(1.0 + (u * 7 + i * 3) % 5)});
+    }
+  }
+  ASSERT_TRUE(db->BulkInsert("Ratings", ratings).ok());
+  ASSERT_TRUE(db->Execute("CREATE RECOMMENDER Rec ON Ratings USERS FROM uid "
+                          "ITEMS FROM iid RATINGS FROM ratingval "
+                          "USING ItemCosCF")
+                  .ok());
+
+  constexpr int kWriterInserts = 64;
+  constexpr int kReaders = 3;
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  auto writer_session = db->CreateSession();
+  std::vector<std::unique_ptr<Session>> reader_sessions;
+  for (int r = 0; r < kReaders; ++r) {
+    reader_sessions.push_back(db->CreateSession());
+  }
+
+  std::thread writer([&] {
+    for (int k = 0; k < kWriterInserts; ++k) {
+      auto r = writer_session->Execute(
+          "INSERT INTO Ratings VALUES (" + std::to_string(1 + k % 10) + ", " +
+          std::to_string(200 + k) + ", " + std::to_string(1 + k % 5) + ".0)");
+      if (!r.ok()) errors.fetch_add(1);
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Session* session = reader_sessions[r].get();
+      for (int it = 0; it < 2000; ++it) {
+        bool was_done = done.load();
+        auto rec = session->Execute(RecommendSql(1 + (r * 3 + it) % 10));
+        if (!rec.ok()) errors.fetch_add(1);
+        if (was_done) break;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  db->DrainBackgroundWork();
+
+  EXPECT_EQ(errors.load(), 0);
+  // Background refreshes actually ran while readers were scoring.
+  auto snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(
+      snap.counters[static_cast<size_t>(obs::Counter::kIngestRefreshes)], 1u);
+  // A sub-threshold tail of delta may legitimately remain; a manual
+  // refresh clears it.
+  auto refreshed = db->RefreshRecommender("Rec");
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+  auto rec = db->registry()->Get("Rec");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_FALSE(rec.value()->snapshot()->has_delta());
+  EXPECT_TRUE(NoPinsLeaked(db->buffer_pool()));
+
+  reader_sessions.clear();
+  writer_session.reset();
+  ASSERT_TRUE(db->Close().ok());
   ::unlink(path.c_str());
   ::unlink((path + ".wal").c_str());
 }

@@ -86,36 +86,44 @@ TEST(RatingMatrixTest, FreezeBuildsCsrAndMutationInvalidates) {
       EXPECT_EQ(row.rating[k], vec[k].rating);
     }
   }
-  // Freeze is idempotent; any mutation invalidates the frozen form.
+  // Freeze is idempotent; mutations while frozen land in the delta overlay
+  // instead of invalidating the frozen form (PR 7), and re-freezing merges
+  // the overlay back into a clean CSR.
   m->Freeze();
   EXPECT_TRUE(m->frozen());
   m->Add(9, 9, 2.0);
-  EXPECT_FALSE(m->frozen());
+  EXPECT_TRUE(m->frozen());
+  EXPECT_TRUE(m->has_delta());
   m->Freeze();
   EXPECT_TRUE(m->frozen());
+  EXPECT_FALSE(m->has_delta());
   m->Remove(9, 9);
-  EXPECT_FALSE(m->frozen());
+  EXPECT_TRUE(m->frozen());
+  EXPECT_TRUE(m->has_delta());
 }
 
 TEST(RatingMatrixTest, FailedRemoveKeepsMatrixFrozen) {
   // Regression: Remove used to un-freeze before checking existence, so a
   // Remove of an absent pair (which mutates nothing) invalidated the CSR
-  // snapshot that models were still reading.
+  // snapshot that models were still reading. Under the delta overlay the
+  // equivalent bug would be logging a delta op for a no-op remove.
   auto m = Figure1Ratings();
   m->Freeze();
   ASSERT_TRUE(m->frozen());
 
   EXPECT_FALSE(m->Remove(99, 1));    // unknown user
-  EXPECT_TRUE(m->frozen());
+  EXPECT_FALSE(m->has_delta());
   EXPECT_FALSE(m->Remove(1, 99));    // unknown item
-  EXPECT_TRUE(m->frozen());
+  EXPECT_FALSE(m->has_delta());
   EXPECT_FALSE(m->Remove(1, 2));     // both known, pair not rated
+  EXPECT_FALSE(m->has_delta());
   EXPECT_TRUE(m->frozen());
   EXPECT_EQ(m->NumRatings(), 7u);
 
-  // A successful Remove still invalidates.
+  // A successful Remove keeps the matrix frozen but records a delta op.
   EXPECT_TRUE(m->Remove(1, 1));
-  EXPECT_FALSE(m->frozen());
+  EXPECT_TRUE(m->frozen());
+  EXPECT_TRUE(m->has_delta());
   EXPECT_EQ(m->NumRatings(), 6u);
 }
 
@@ -137,13 +145,15 @@ TEST(RatingMatrixTest, UnfrozenCsrAccessorsReturnEmptyRows) {
   EXPECT_EQ(m.UserCsrRow(5).n, 0u);
   EXPECT_EQ(m.UserCsrRow(-1).n, 0u);
 
-  m.Add(2, 20, 4.0);  // un-freezes; row 0 must stop serving the stale CSR
-  EXPECT_EQ(m.UserCsrRow(0).n, 0u);
+  m.Add(2, 20, 4.0);  // frozen: lands in the overlay, row 0 keeps serving
+  EXPECT_TRUE(m.frozen());
+  EXPECT_EQ(m.UserCsrRow(0).n, 1u);
+  EXPECT_EQ(m.UserCsrRow(1).n, 1u);  // new user's row comes from the overlay
 }
 
 TEST(CFModelTest, PredictionsIdenticalFrozenAndUnfrozen) {
-  // Models fall back to the mutable rows while the matrix is unfrozen; the
-  // entries and accumulation order are the same, so predictions must be
+  // Scoring reads the merge view; an add-then-remove leaves the merged
+  // contents identical to the original matrix, so predictions must be
   // bit-identical, not merely close.
   auto frozen = Figure1Ratings();
   auto item_model = ItemCFModel::Build(frozen, /*centered=*/false);
@@ -158,10 +168,11 @@ TEST(CFModelTest, PredictionsIdenticalFrozenAndUnfrozen) {
     user_expected.push_back(user_model->Predict(u, i));
   }
 
-  // Un-freeze without changing contents: add then remove a fresh rating.
+  // Mutate without changing contents: add then remove a fresh rating. The
+  // matrix stays frozen and the delta overlay cancels out.
   frozen->Add(9, 9, 2.0);
   ASSERT_TRUE(frozen->Remove(9, 9));
-  ASSERT_FALSE(frozen->frozen());
+  ASSERT_TRUE(frozen->frozen());
 
   for (size_t k = 0; k < probes.size(); ++k) {
     auto [u, i] = probes[k];
@@ -535,7 +546,10 @@ TEST(RecommenderTest, MaintenanceThresholdPolicy) {
   EXPECT_EQ(rec.pending_updates(), 0u);
 }
 
-TEST(RecommenderTest, SnapshotIsolatesModelFromNewRatings) {
+TEST(RecommenderTest, SnapshotServesNewRatingsThroughOverlay) {
+  // PR 7: the historical live/snapshot split collapsed into one matrix.
+  // New ratings land in the delta overlay, so the scoring snapshot sees
+  // them immediately while the frozen CSR stays intact underneath.
   RecommenderConfig cfg;
   cfg.name = "r";
   Recommender rec(cfg);
@@ -545,7 +559,9 @@ TEST(RecommenderTest, SnapshotIsolatesModelFromNewRatings) {
   ASSERT_TRUE(rec.Build().ok());
   size_t snap_n = rec.snapshot()->NumRatings();
   rec.AddRating(3, 2, 1);
-  EXPECT_EQ(rec.snapshot()->NumRatings(), snap_n);
+  EXPECT_EQ(rec.snapshot()->NumRatings(), snap_n + 1);
+  EXPECT_TRUE(rec.snapshot()->frozen());
+  EXPECT_TRUE(rec.snapshot()->has_delta());
   EXPECT_EQ(rec.live().NumRatings(), snap_n + 1);
   EXPECT_EQ(rec.pending_updates(), 1u);
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "api/recdb.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "test_util.h"
 
@@ -332,6 +333,47 @@ TEST(RecoveryFaultTest, CheckpointedStateRecoversWithoutReplayingOldLog) {
   auto db = std::move(RecDB::Open(path)).value();
   EXPECT_EQ(CountRatings(db.get()), base_rows + 5);
   EXPECT_TRUE(db->registry()->Get("Rec").ok());
+  ASSERT_TRUE(db->Close().ok());
+}
+
+// --- recovery shares one ratings load across recommenders on a table --------
+
+TEST(RecoveryFaultTest, RecoveryLoadsSharedRatingsTableOnce) {
+  std::string path = TempDbPath("recdb_shared_load.db");
+  {
+    FaultDb f = OpenFaultDb(path);
+    ASSERT_NE(f.db, nullptr);
+    (void)RunCommittedPrefix(f.db.get(), 2);  // creates recommender "Rec"
+    // A second recommender over the *same* ratings table/columns.
+    ASSERT_TRUE(f.db->Execute("CREATE RECOMMENDER RecUser ON Ratings "
+                              "USERS FROM uid ITEMS FROM iid RATINGS FROM "
+                              "ratingval USING UserCosCF")
+                    .ok());
+    ASSERT_TRUE(f.db->Close().ok());
+  }
+
+  // Regression (PR 7 bugfix): recovery used to re-scan the ratings heap and
+  // re-freeze a CSR once per recommender; configs sharing a table template
+  // must now share one loaded matrix. One heap load == one CSR build; each
+  // recommender still trains its own model.
+  obs::MetricsRegistry::Global().ResetForTest();
+  auto db = std::move(RecDB::Open(path)).value();
+  auto snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(
+      snap.counters[static_cast<size_t>(obs::Counter::kIngestCsrBuilds)], 1u);
+  EXPECT_EQ(snap.counters[static_cast<size_t>(obs::Counter::kModelBuilds)],
+            2u);
+
+  // Both recommenders are live and trained against the recovered heap.
+  auto rec_a = db->registry()->Get("Rec");
+  auto rec_b = db->registry()->Get("RecUser");
+  ASSERT_TRUE(rec_a.ok());
+  ASSERT_TRUE(rec_b.ok());
+  EXPECT_NE(rec_a.value()->model(), nullptr);
+  EXPECT_NE(rec_b.value()->model(), nullptr);
+  EXPECT_EQ(rec_a.value()->snapshot()->NumRatings(),
+            rec_b.value()->snapshot()->NumRatings());
+  EXPECT_FALSE(RecommendationsFor(db.get(), 1).empty());
   ASSERT_TRUE(db->Close().ok());
 }
 
