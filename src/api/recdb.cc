@@ -710,6 +710,16 @@ Result<ResultSet> RecDB::ExecuteStatement(const Statement& stmt) {
       for (const auto& line : Split(rendered, '\n')) {
         if (!line.empty()) rs.rows.push_back(Tuple({Value::String(line)}));
       }
+      if (explain.analyze &&
+          (rs.stats.candidates_generated > 0 || rs.stats.blocks_skipped > 0 ||
+           rs.stats.items_pruned > 0)) {
+        rs.rows.push_back(Tuple({Value::String(StringFormat(
+            "pruning: %llu candidates generated, %llu blocks skipped, "
+            "%llu items pruned",
+            static_cast<unsigned long long>(rs.stats.candidates_generated),
+            static_cast<unsigned long long>(rs.stats.blocks_skipped),
+            static_cast<unsigned long long>(rs.stats.items_pruned)))}));
+      }
       return rs;
     }
     case StatementKind::kCreateRecommender:
@@ -887,39 +897,55 @@ Result<ResultSet> RecDB::ExecuteInsert(const InsertStatement& stmt) {
   const Schema& schema = table->schema;
   ExecSchema empty_schema;
   Tuple empty_tuple;
-  size_t inserted = 0;
+  // Land every row in the heap first, then feed the recommenders once: a
+  // multi-row INSERT becomes one versioned delta batch instead of N.
+  std::vector<Tuple> applied;
+  applied.reserve(stmt.rows.size());
+  Status st = Status::OK();
   for (const auto& row : stmt.rows) {
     if (row.size() != schema.NumColumns()) {
-      return Status::InvalidArgument(StringFormat(
+      st = Status::InvalidArgument(StringFormat(
           "INSERT row has %zu values, table %s has %zu columns", row.size(),
           table->name.c_str(), schema.NumColumns()));
+      break;
     }
-    std::vector<Value> vals;
-    vals.reserve(row.size());
-    for (size_t i = 0; i < row.size(); ++i) {
-      RECDB_ASSIGN_OR_RETURN(auto bound, BindExpr(*row[i], empty_schema));
-      RECDB_ASSIGN_OR_RETURN(Value v, bound->Eval(empty_tuple));
-      RECDB_ASSIGN_OR_RETURN(v, v.CastTo(schema.ColumnAt(i).type));
-      vals.push_back(std::move(v));
+    auto build = [&]() -> Result<Tuple> {
+      std::vector<Value> vals;
+      vals.reserve(row.size());
+      for (size_t i = 0; i < row.size(); ++i) {
+        RECDB_ASSIGN_OR_RETURN(auto bound, BindExpr(*row[i], empty_schema));
+        RECDB_ASSIGN_OR_RETURN(Value v, bound->Eval(empty_tuple));
+        RECDB_ASSIGN_OR_RETURN(v, v.CastTo(schema.ColumnAt(i).type));
+        vals.push_back(std::move(v));
+      }
+      return Tuple(std::move(vals));
+    }();
+    if (!build.ok()) {
+      st = build.status();
+      break;
     }
-    Tuple tuple(std::move(vals));
-    Status st = table->heap->Insert(tuple).status();
-    if (st.ok()) {
-      ++inserted;  // the row is in the table even if a later step fails
-      st = NotifyInsert(table->name, schema, tuple);
-    }
-    if (!st.ok()) {
-      // Partial failure: report how many rows actually reached the table so
-      // the caller knows the statement's observable effect.
-      return Status(st.code(),
-                    StringFormat("%s (INSERT aborted: %zu of %zu rows "
-                                 "applied to %s)",
-                                 st.message().c_str(), inserted,
-                                 stmt.rows.size(), table->name.c_str()));
-    }
+    st = table->heap->Insert(build.value()).status();
+    if (!st.ok()) break;
+    applied.push_back(std::move(build).value());
+  }
+  // Notify whatever reached the heap even on failure: recommender state
+  // must match the table's observable contents.
+  std::vector<RatingRowOp> ops;
+  ops.reserve(applied.size());
+  for (const Tuple& t : applied) ops.push_back({/*remove=*/false, &t});
+  Status notify = NotifyRatingOps(table->name, schema, ops);
+  if (st.ok()) st = notify;
+  if (!st.ok()) {
+    // Partial failure: report how many rows actually reached the table so
+    // the caller knows the statement's observable effect.
+    return Status(st.code(),
+                  StringFormat("%s (INSERT aborted: %zu of %zu rows "
+                               "applied to %s)",
+                               st.message().c_str(), applied.size(),
+                               stmt.rows.size(), table->name.c_str()));
   }
   ResultSet rs;
-  rs.message = StringFormat("inserted %zu rows into %s", inserted,
+  rs.message = StringFormat("inserted %zu rows into %s", applied.size(),
                             table->name.c_str());
   return rs;
 }
@@ -1140,10 +1166,13 @@ Result<ResultSet> RecDB::ExecuteDelete(const DeleteStatement& stmt) {
   RECDB_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table_name));
   RECDB_ASSIGN_OR_RETURN(auto victims,
                          CollectMatching(table, stmt.where.get()));
+  std::vector<RatingRowOp> ops;
+  ops.reserve(victims.size());
   for (const auto& [rid, tuple] : victims) {
     RECDB_RETURN_NOT_OK(table->heap->Delete(rid));
-    RECDB_RETURN_NOT_OK(NotifyDelete(table->name, table->schema, tuple));
+    ops.push_back({/*remove=*/true, &tuple});
   }
+  RECDB_RETURN_NOT_OK(NotifyRatingOps(table->name, table->schema, ops));
   ResultSet rs;
   rs.message = StringFormat("deleted %zu rows from %s", victims.size(),
                             table->name.c_str());
@@ -1167,6 +1196,8 @@ Result<ResultSet> RecDB::ExecuteUpdate(const UpdateStatement& stmt) {
   }
   RECDB_ASSIGN_OR_RETURN(auto victims,
                          CollectMatching(table, stmt.where.get()));
+  std::vector<Tuple> replacements;
+  replacements.reserve(victims.size());
   for (auto& [rid, tuple] : victims) {
     Tuple updated = tuple;
     for (const auto& [idx, expr] : assigns) {
@@ -1175,61 +1206,58 @@ Result<ResultSet> RecDB::ExecuteUpdate(const UpdateStatement& stmt) {
       updated.values()[idx] = std::move(v);
     }
     RECDB_RETURN_NOT_OK(table->heap->Update(rid, updated).status());
-    // For ratings sources, the overwrite semantics of AddRating handle both
-    // a changed rating value and changed user/item ids via delete + insert.
-    RECDB_RETURN_NOT_OK(NotifyDelete(table->name, schema, tuple));
-    RECDB_RETURN_NOT_OK(NotifyInsert(table->name, schema, updated));
+    replacements.push_back(std::move(updated));
   }
+  // For ratings sources, delete-then-insert per row (in statement order,
+  // one batch) handles both a changed rating value and changed user/item
+  // ids; AddRating's overwrite semantics cover the common same-cell case.
+  std::vector<RatingRowOp> ops;
+  ops.reserve(victims.size() * 2);
+  for (size_t k = 0; k < victims.size(); ++k) {
+    ops.push_back({/*remove=*/true, &victims[k].second});
+    ops.push_back({/*remove=*/false, &replacements[k]});
+  }
+  RECDB_RETURN_NOT_OK(NotifyRatingOps(table->name, schema, ops));
   ResultSet rs;
   rs.message = StringFormat("updated %zu rows in %s", victims.size(),
                             table->name.c_str());
   return rs;
 }
 
-Status RecDB::NotifyDelete(const std::string& table, const Schema& schema,
-                           const Tuple& tuple) {
-  for (Recommender* rec : registry_.FindAllOnTable(table)) {
-    const RecommenderConfig& cfg = rec->config();
-    auto u_idx = schema.IndexOf(cfg.user_col);
-    auto i_idx = schema.IndexOf(cfg.item_col);
-    if (!u_idx.ok() || !i_idx.ok()) continue;
-    const Value& u = tuple.At(u_idx.value());
-    const Value& i = tuple.At(i_idx.value());
-    if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64) continue;
-    rec->RemoveRating(u.AsInt(), i.AsInt());
-    auto cm = cache_managers_.find(ToLower(rec->name()));
-    if (cm != cache_managers_.end()) {
-      cm->second->RecordUpdate(i.AsInt());
-    }
-    if (options_.auto_maintain) {
-      RECDB_RETURN_NOT_OK(rec->MaintainIfNeeded().status());
-    } else if (background_refresh_.load() && rec->NeedsRefresh()) {
-      ScheduleBackgroundRefresh(rec->name());
-    }
-  }
-  return Status::OK();
-}
-
-Status RecDB::NotifyInsert(const std::string& table, const Schema& schema,
-                           const Tuple& tuple) {
+Status RecDB::NotifyRatingOps(const std::string& table, const Schema& schema,
+                              const std::vector<RatingRowOp>& ops) {
+  if (ops.empty()) return Status::OK();
   for (Recommender* rec : registry_.FindAllOnTable(table)) {
     const RecommenderConfig& cfg = rec->config();
     auto u_idx = schema.IndexOf(cfg.user_col);
     auto i_idx = schema.IndexOf(cfg.item_col);
     auto r_idx = schema.IndexOf(cfg.rating_col);
-    if (!u_idx.ok() || !i_idx.ok() || !r_idx.ok()) continue;
-    const Value& u = tuple.At(u_idx.value());
-    const Value& i = tuple.At(i_idx.value());
-    const Value& r = tuple.At(r_idx.value());
-    if (u.is_null() || i.is_null() || r.is_null()) continue;
-    if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64 ||
-        !r.is_numeric()) {
-      continue;
+    if (!u_idx.ok() || !i_idx.ok()) continue;
+    std::vector<RatingMatrix::BatchRatingOp> batch;
+    batch.reserve(ops.size());
+    for (const RatingRowOp& op : ops) {
+      const Value& u = op.tuple->At(u_idx.value());
+      const Value& i = op.tuple->At(i_idx.value());
+      if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64) continue;
+      RatingMatrix::BatchRatingOp b;
+      b.remove = op.remove;
+      b.user_id = u.AsInt();
+      b.item_id = i.AsInt();
+      if (!op.remove) {
+        if (!r_idx.ok()) continue;
+        const Value& r = op.tuple->At(r_idx.value());
+        if (u.is_null() || i.is_null() || r.is_null() || !r.is_numeric()) {
+          continue;
+        }
+        b.rating = r.AsNumeric();
+      }
+      batch.push_back(b);
     }
-    rec->AddRating(u.AsInt(), i.AsInt(), r.AsNumeric());
+    if (batch.empty()) continue;
+    rec->ApplyRatingBatch(batch);
     auto cm = cache_managers_.find(ToLower(rec->name()));
     if (cm != cache_managers_.end()) {
-      cm->second->RecordUpdate(i.AsInt());
+      for (const auto& b : batch) cm->second->RecordUpdate(b.item_id);
     }
     if (options_.auto_maintain) {
       RECDB_RETURN_NOT_OK(rec->MaintainIfNeeded().status());
@@ -1310,6 +1338,8 @@ Status RecDB::BulkInsert(const std::string& table,
     std::unique_lock<std::shared_mutex> lock(state_mu_);
     RECDB_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(table));
     const Schema& schema = info->schema;
+    std::vector<Tuple> applied;
+    applied.reserve(rows.size());
     for (const auto& row : rows) {
       if (row.size() != schema.NumColumns()) {
         return Status::InvalidArgument("bulk row width mismatch");
@@ -1322,9 +1352,12 @@ Status RecDB::BulkInsert(const std::string& table,
       }
       Tuple tuple(std::move(vals));
       RECDB_RETURN_NOT_OK(info->heap->Insert(tuple).status());
-      RECDB_RETURN_NOT_OK(NotifyInsert(info->name, schema, tuple));
+      applied.push_back(std::move(tuple));
     }
-    return Status::OK();
+    std::vector<RatingRowOp> ops;
+    ops.reserve(applied.size());
+    for (const Tuple& t : applied) ops.push_back({/*remove=*/false, &t});
+    return NotifyRatingOps(info->name, schema, ops);
   }();
   // Commit whatever was appended even on partial failure: the applied rows
   // are live in memory and must stay durable-consistent with it.
@@ -1361,6 +1394,13 @@ std::string ResultSet::ToString(size_t max_rows) const {
         "scoring: %llu predictions in %llu batches\n",
         static_cast<unsigned long long>(stats.predict_calls),
         static_cast<unsigned long long>(stats.predict_batches));
+  }
+  if (stats.candidates_generated > 0 || stats.items_pruned > 0) {
+    out += StringFormat(
+        "pruning: %llu candidates, %llu blocks skipped, %llu items pruned\n",
+        static_cast<unsigned long long>(stats.candidates_generated),
+        static_cast<unsigned long long>(stats.blocks_skipped),
+        static_cast<unsigned long long>(stats.items_pruned));
   }
   if (stats.tasks_spawned > 0) {
     out += StringFormat(

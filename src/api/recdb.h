@@ -214,14 +214,19 @@ class RecDB {
   Result<std::vector<std::pair<Rid, Tuple>>> CollectMatching(
       TableInfo* table, const Expr* where);
 
-  /// Feed one inserted ratings row to every recommender on `table` and to
-  /// their cache managers' item histograms.
-  Status NotifyInsert(const std::string& table, const Schema& schema,
-                      const Tuple& tuple);
+  /// One ratings-row mutation of a DML statement (insert or delete; an
+  /// UPDATE contributes a delete of the old row then an insert of the new).
+  struct RatingRowOp {
+    bool remove = false;
+    const Tuple* tuple = nullptr;  // borrowed; alive for the statement
+  };
 
-  /// Reflect a deleted ratings row in every recommender on `table`.
-  Status NotifyDelete(const std::string& table, const Schema& schema,
-                      const Tuple& tuple);
+  /// Feed one statement's ratings-row mutations to every recommender on
+  /// `table` as a single versioned delta batch (one version bump, one
+  /// invalidation callback, one maintenance check per recommender), and to
+  /// their cache managers' item histograms.
+  Status NotifyRatingOps(const std::string& table, const Schema& schema,
+                         const std::vector<RatingRowOp>& ops);
 
   /// Record query demand (user histogram) for a RECOMMEND query. Takes
   /// demand_mu_: concurrent shared-lock readers funnel through here.

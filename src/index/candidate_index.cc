@@ -1,0 +1,165 @@
+#include "index/candidate_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace recdb {
+
+namespace {
+
+/// Copy one CSR orientation's adjacency (offsets + column indices, ratings
+/// dropped) into the index's own arrays, so the postings stay valid however
+/// the matrix base moves afterwards.
+void LowerAdjacency(const FlatCsr& csr, std::vector<int64_t>* offsets,
+                    std::vector<int32_t>* ids) {
+  *offsets = csr.offsets;
+  *ids = csr.idx;
+  if (offsets->empty()) offsets->push_back(0);
+}
+
+}  // namespace
+
+std::shared_ptr<CandidateIndex> CandidateIndex::Build(
+    const RatingMatrix& matrix, const RecModel& model) {
+  auto index = Lower(matrix.user_csr(), matrix.item_csr(), matrix.item_ids(),
+                     matrix.version());
+  index->FinalizeBounds(model);
+  return index;
+}
+
+std::shared_ptr<CandidateIndex> CandidateIndex::Lower(
+    const FlatCsr& user_csr, const FlatCsr& item_csr,
+    const std::vector<int64_t>& item_ids, uint64_t version) {
+  Stopwatch watch;
+  auto index = std::shared_ptr<CandidateIndex>(new CandidateIndex());
+  LowerAdjacency(user_csr, &index->user_offsets_, &index->user_items_);
+  LowerAdjacency(item_csr, &index->item_offsets_, &index->item_users_);
+  index->version_ = version;
+
+  // Tie-break order of the IndexRecommend fallback: base item indices by
+  // ascending external id. item_ids may already know entities newer than
+  // the CSR rows; those are out-of-band and merged in by the executor.
+  const size_t ni = index->num_items();
+  index->order_by_id_.resize(ni);
+  std::iota(index->order_by_id_.begin(), index->order_by_id_.end(), 0);
+  std::sort(index->order_by_id_.begin(), index->order_by_id_.end(),
+            [&](int32_t a, int32_t b) { return item_ids[a] < item_ids[b]; });
+
+  index->ComputeStats();
+  obs::Count(obs::Counter::kPruneIndexBuilds);
+  obs::ObserveUs(obs::Histogram::kPruneIndexBuildUs,
+                 static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return index;
+}
+
+void CandidateIndex::ComputeStats() {
+  // Deterministic sample: every stride-th user, stride chosen so at most
+  // ~64 users are walked. Counts the exact work the CF candidate walk
+  // would do against a delta-free overlay — the estimate the cost model
+  // compares against full-catalog scoring.
+  const size_t nu = num_users();
+  stats_ = Stats{};
+  if (nu == 0) return;
+  const size_t stride = std::max<size_t>(1, nu / 64);
+  std::vector<uint32_t> item_stamp(num_items(), 0);
+  std::vector<uint32_t> user_stamp(nu, 0);
+  uint32_t epoch = 0;
+  double total_candidates = 0, total_ops = 0;
+  size_t sampled = 0;
+  for (size_t u = 0; u < nu; u += stride) {
+    ++epoch;
+    size_t candidates = 0, ops = 0;
+    const Postings rated = RatedItems(static_cast<int32_t>(u));
+    ops += rated.n;
+    for (size_t a = 0; a < rated.n; ++a) {
+      const Postings raters = Raters(rated.idx[a]);
+      ops += raters.n;
+      for (size_t b = 0; b < raters.n; ++b) {
+        const int32_t v = raters.idx[b];
+        if (user_stamp[v] == epoch) continue;
+        user_stamp[v] = epoch;
+        const Postings co = RatedItems(v);
+        ops += co.n;
+        for (size_t c = 0; c < co.n; ++c) {
+          if (item_stamp[co.idx[c]] == epoch) continue;
+          item_stamp[co.idx[c]] = epoch;
+          ++candidates;
+        }
+      }
+    }
+    total_candidates += static_cast<double>(candidates);
+    total_ops += static_cast<double>(ops);
+    ++sampled;
+  }
+  stats_.sampled_users = sampled;
+  stats_.avg_candidates = total_candidates / static_cast<double>(sampled);
+  stats_.avg_gen_ops = total_ops / static_cast<double>(sampled);
+}
+
+void CandidateIndex::FinalizeBounds(const RecModel& model) {
+  prunable_ = model.ComputePruneBounds(&bounds_);
+  if (!prunable_) return;
+  const size_t n = bounds_.item_scale.size();
+  const bool has_offset = !bounds_.item_offset.empty();
+  // Catalog-sweep families generate no candidate sets: the cost model
+  // prices their pruned loop over the full bound table instead.
+  if (!bounds_.candidate_generation) {
+    stats_.avg_candidates = static_cast<double>(n);
+    stats_.avg_gen_ops = 0;
+  }
+
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  auto key = [&](int32_t i) {
+    return bounds_.item_scale[i] + (has_offset ? bounds_.item_offset[i] : 0.0);
+  };
+  std::sort(order_.begin(), order_.end(), [&](int32_t a, int32_t b) {
+    double ka = key(a), kb = key(b);
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+
+  block_of_.assign(n, 0);
+  blocks_.clear();
+  for (size_t begin = 0; begin < n; begin += kBlockSize) {
+    Block blk;
+    blk.begin = static_cast<uint32_t>(begin);
+    blk.end = static_cast<uint32_t>(std::min(n, begin + kBlockSize));
+    for (uint32_t p = blk.begin; p < blk.end; ++p) {
+      const int32_t i = order_[p];
+      blk.max_scale = std::max(blk.max_scale, bounds_.item_scale[i]);
+      if (has_offset) {
+        blk.max_offset = std::max(blk.max_offset, bounds_.item_offset[i]);
+      }
+      block_of_[i] = static_cast<int32_t>(blocks_.size());
+    }
+    blocks_.push_back(blk);
+  }
+  // Suffix maxima: bounds are sorted by scale+offset, but scale and offset
+  // separately need not be monotone across blocks, so "no later block can
+  // win" must consult the suffix maxima, not just the next block.
+  double suf_scale = 0, suf_offset = 0;
+  for (size_t b = blocks_.size(); b-- > 0;) {
+    suf_scale = std::max(suf_scale, blocks_[b].max_scale);
+    suf_offset = std::max(suf_offset, blocks_[b].max_offset);
+    blocks_[b].suffix_scale = suf_scale;
+    blocks_[b].suffix_offset = suf_offset;
+  }
+}
+
+size_t CandidateIndex::ApproxBytes() const {
+  return sizeof(CandidateIndex) +
+         (user_offsets_.capacity() + item_offsets_.capacity()) *
+             sizeof(int64_t) +
+         (user_items_.capacity() + item_users_.capacity() +
+          order_.capacity() + order_by_id_.capacity() + block_of_.capacity()) *
+             sizeof(int32_t) +
+         (bounds_.item_scale.capacity() + bounds_.item_offset.capacity()) *
+             sizeof(double) +
+         blocks_.capacity() * sizeof(Block);
+}
+
+}  // namespace recdb

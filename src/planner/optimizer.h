@@ -51,6 +51,11 @@ class Optimizer {
   Result<PlanNodePtr> ReconsiderItemPushdown(PlanNodePtr node);
   Result<PlanNodePtr> ReconsiderJoinRecommend(PlanNodePtr node);
   Result<PlanNodePtr> ReconsiderIndexRecommend(PlanNodePtr node);
+  /// Sublinear Top-N: flip (Filter)Recommend / IndexRecommend under a
+  /// score-ordered TopN into pruned candidate-walk mode — and JoinRecommend
+  /// into candidate-bitmap mode — when ANALYZE-grounded CandidateIndex
+  /// statistics say the walk beats the exhaustive scan. Results unchanged.
+  Result<PlanNodePtr> ReconsiderPrunedTopN(PlanNodePtr node);
   /// Reorder a Filter's conjuncts by ascending estimated selectivity so the
   /// most selective (cheapest to fail) predicates run first.
   void OrderFilterConjuncts(PlanNode* node);

@@ -112,6 +112,13 @@ struct RecommendPlan : PlanNode {
   // FilterRecommend pushdowns (empty optional = unconstrained).
   std::optional<std::vector<int64_t>> user_ids;
   std::optional<std::vector<int64_t>> item_ids;
+  /// Sublinear Top-N mode (set by the optimizer's cost pass when a TopN
+  /// parent makes per-user pruning profitable): emit only each user's
+  /// top-`prune_limit` unseen items, enumerated through the CandidateIndex
+  /// postings and bound blocks instead of the full catalog. Result set is
+  /// bit-identical to the exact path under the parent TopN.
+  bool prune = false;
+  size_t prune_limit = 0;
   std::string Describe() const override;
 };
 
@@ -128,6 +135,9 @@ struct JoinRecommendPlan : PlanNode {
   bool include_rated = false;
   std::vector<int64_t> user_ids;   // querying users (non-empty)
   size_t outer_item_col = 0;       // item-id column in the outer schema
+  /// Candidate-set zero-fill (CF families): probe-window items outside a
+  /// user's candidate set are provably scored 0.0 and skip the model call.
+  bool prune = false;
   std::string Describe() const override;
 };
 
@@ -147,6 +157,9 @@ struct IndexRecommendPlan : PlanNode {
   /// Per-user emission cap (the ORDER BY score DESC LIMIT k rewrite);
   /// 0 = unlimited.
   size_t per_user_limit = 0;
+  /// Threshold-prune the model fallback on cache misses (requires
+  /// per_user_limit > 0 and no item pushdown).
+  bool prune = false;
   std::string Describe() const override;
 };
 

@@ -268,6 +268,34 @@ void ItemCFModel::ApplyDeltaUpdate(ModelUpdate&& update) {
   InstallNeighborRows(&neighborhoods_, &by_idx_, std::move(update));
 }
 
+bool ItemCFModel::ComputePruneBounds(PruneBoundTable* out) const {
+  out->item_scale.resize(neighborhoods_.size());
+  for (size_t i = 0; i < neighborhoods_.size(); ++i) {
+    out->item_scale[i] = neighborhoods_[i].empty() ? 0.0 : 1.0;
+  }
+  out->item_offset.clear();
+  // The Eq. (2) ratio is exact in the reals; double rounding can nudge it
+  // past max |r| by O(n·eps) relative, far below this padding.
+  out->slack = 1e-9;
+  out->candidate_generation = true;
+  out->rating_dependent = false;
+  // idx >= neighborhoods_ size has no neighborhood row: the kernel returns
+  // exactly 0 for it.
+  out->oob_must_score = false;
+  return true;
+}
+
+double ItemCFModel::PruneUserScale(int32_t user_idx) const {
+  // Live merge view: a delta op that raises the user's max rating raises
+  // the bound with it.
+  const CsrRow row = ratings_->UserCsrRow(user_idx);
+  double max_abs = 0;
+  for (size_t k = 0; k < row.n; ++k) {
+    max_abs = std::max(max_abs, std::fabs(row.rating[k]));
+  }
+  return max_abs;
+}
+
 UserCFModel::UserCFModel(std::shared_ptr<const RatingMatrix> ratings,
                          bool centered, const SimilarityOptions& opts,
                          std::vector<std::vector<Neighbor>> neighborhoods)
@@ -373,6 +401,36 @@ Result<ModelUpdate> UserCFModel::PrepareDeltaUpdate(
 
 void UserCFModel::ApplyDeltaUpdate(ModelUpdate&& update) {
   InstallNeighborRows(&neighborhoods_, &by_idx_, std::move(update));
+}
+
+bool UserCFModel::ComputePruneBounds(PruneBoundTable* out) const {
+  // Computed at (re)build time, when base == merged (no delta yet); the
+  // rating_dependent flag makes later delta-touched item rows re-score.
+  const size_t n = ratings_->NumItems();
+  out->item_scale.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const CsrRow row = ratings_->ItemCsrRow(static_cast<int32_t>(i));
+    double max_abs = 0;
+    for (size_t k = 0; k < row.n; ++k) {
+      max_abs = std::max(max_abs, std::fabs(row.rating[k]));
+    }
+    out->item_scale[i] = max_abs;
+  }
+  out->item_offset.clear();
+  out->slack = 1e-9;
+  out->candidate_generation = true;
+  out->rating_dependent = true;
+  // An item interned after the table was built still scores through its
+  // (delta-only) rater row: no bound exists, score it unconditionally.
+  out->oob_must_score = true;
+  return true;
+}
+
+double UserCFModel::PruneUserScale(int32_t user_idx) const {
+  if (user_idx < 0 || static_cast<size_t>(user_idx) >= neighborhoods_.size()) {
+    return 0.0;  // kernel zero-fills users interned after the build
+  }
+  return neighborhoods_[user_idx].empty() ? 0.0 : 1.0;
 }
 
 }  // namespace recdb

@@ -53,9 +53,17 @@ class ItemCFModel : public RecModel {
   /// sharing a rater with it (its norm changed, so every nonzero pair did),
   /// and the op user's rated items (their dot products gained/lost the
   /// shared dimension). Rows come back bit-identical to a full rebuild.
+  bool SupportsIncrementalUpdate() const override { return true; }
   Result<ModelUpdate> PrepareDeltaUpdate(
       const std::vector<DeltaOp>& ops) const override;
   void ApplyDeltaUpdate(ModelUpdate&& update) override;
+
+  /// Eq. (2) is a |sim|-weighted average of the user's own ratings, so
+  /// score(u, i) <= max |r_uj| over u's (merged) row, and an item with an
+  /// empty neighborhood scores exactly 0: item_scale is {0, 1}, the user
+  /// scale is the live row maximum (DESIGN.md §13).
+  bool ComputePruneBounds(PruneBoundTable* out) const override;
+  double PruneUserScale(int32_t user_idx) const override;
 
  private:
   ItemCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,
@@ -94,9 +102,18 @@ class UserCFModel : public RecModel {
   size_t NumNeighborEntries() const;
 
   /// User-side counterpart of ItemCFModel::PrepareDeltaUpdate.
+  bool SupportsIncrementalUpdate() const override { return true; }
   Result<ModelUpdate> PrepareDeltaUpdate(
       const std::vector<DeltaOp>& ops) const override;
   void ApplyDeltaUpdate(ModelUpdate&& update) override;
+
+  /// Mirror of the ItemCF bound with the sides swapped: the score is a
+  /// |sim|-weighted average of the *item's rater* ratings, so item_scale is
+  /// max |r_vi| over the item's rater row (rating-dependent: delta-touched
+  /// item rows must be re-scored) and the user scale is {0, 1} for an
+  /// empty/nonempty neighborhood.
+  bool ComputePruneBounds(PruneBoundTable* out) const override;
+  double PruneUserScale(int32_t user_idx) const override;
 
  private:
   UserCFModel(std::shared_ptr<const RatingMatrix> ratings, bool centered,

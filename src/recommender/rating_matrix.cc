@@ -110,7 +110,7 @@ void RatingMatrix::ClearOverlay() {
   delta_ops_.clear();
 }
 
-void RatingMatrix::RefreshSideRows(int32_t user_idx, int32_t item_idx) {
+void RatingMatrix::RefreshUserSideRow(int32_t user_idx) {
   overlay_active_ = true;
   SideRow& ur = user_side_[user_idx];
   const auto& uvec = by_user_[user_idx];
@@ -120,6 +120,10 @@ void RatingMatrix::RefreshSideRows(int32_t user_idx, int32_t item_idx) {
     ur.idx[k] = uvec[k].idx;
     ur.rating[k] = uvec[k].rating;
   }
+}
+
+void RatingMatrix::RefreshItemSideRow(int32_t item_idx) {
+  overlay_active_ = true;
   SideRow& ir = item_side_[item_idx];
   const auto& ivec = by_item_[item_idx];
   ir.idx.resize(ivec.size());
@@ -130,10 +134,18 @@ void RatingMatrix::RefreshSideRows(int32_t user_idx, int32_t item_idx) {
   }
 }
 
-RatingChange RatingMatrix::Add(int64_t user_id, int64_t item_id,
-                               double rating) {
+void RatingMatrix::RefreshSideRows(int32_t user_idx, int32_t item_idx) {
+  RefreshUserSideRow(user_idx);
+  RefreshItemSideRow(item_idx);
+}
+
+RatingChange RatingMatrix::DoAdd(int64_t user_id, int64_t item_id,
+                                 double rating, int32_t* out_u,
+                                 int32_t* out_i) {
   int32_t u = InternUser(user_id);
   int32_t i = InternItem(item_id);
+  *out_u = u;
+  *out_i = i;
   auto existing = GetByIndex(u, i);
   if (existing && *existing == rating) {
     // Same-value overwrite: a complete no-op. Critically this must not
@@ -153,23 +165,34 @@ RatingChange RatingMatrix::Add(int64_t user_id, int64_t item_id,
     // Overwrite with a different value: subtract old, add new.
     rating_sum_ += rating - *existing;
   }
-  ++version_;
   if (frozen_) {
     delta_ops_.push_back(DeltaOp{new_in_user ? DeltaOp::Kind::kAdd
                                              : DeltaOp::Kind::kOverwrite,
                                  u, i});
     tombstones_.erase(PairKey(u, i));  // a re-add revives a removed pair
-    RefreshSideRows(u, i);
   }
   return new_in_user ? RatingChange::kInserted : RatingChange::kOverwritten;
 }
 
-bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
+RatingChange RatingMatrix::Add(int64_t user_id, int64_t item_id,
+                               double rating) {
+  int32_t u = -1, i = -1;
+  RatingChange change = DoAdd(user_id, item_id, rating, &u, &i);
+  if (change == RatingChange::kUnchanged) return change;
+  ++version_;
+  if (frozen_) RefreshSideRows(u, i);
+  return change;
+}
+
+bool RatingMatrix::DoRemove(int64_t user_id, int64_t item_id, int32_t* out_u,
+                            int32_t* out_i) {
   // A Remove of an absent pair mutates nothing: the frozen state stays
   // valid and no delta op is logged.
   auto u = UserIndex(user_id);
   auto i = ItemIndex(item_id);
   if (!u || !i) return false;
+  *out_u = *u;
+  *out_i = *i;
   auto erase_from = [](std::vector<RatingEntry>* vec, int32_t idx) {
     auto it = std::lower_bound(
         vec->begin(), vec->end(), idx,
@@ -185,13 +208,70 @@ bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
   RECDB_DCHECK(a && b);
   --num_ratings_;
   rating_sum_ -= *existing;
-  ++version_;
   if (frozen_) {
     delta_ops_.push_back(DeltaOp{DeltaOp::Kind::kRemove, *u, *i});
     tombstones_.insert(PairKey(*u, *i));
-    RefreshSideRows(*u, *i);
   }
   return true;
+}
+
+bool RatingMatrix::Remove(int64_t user_id, int64_t item_id) {
+  int32_t u = -1, i = -1;
+  if (!DoRemove(user_id, item_id, &u, &i)) return false;
+  ++version_;
+  if (frozen_) RefreshSideRows(u, i);
+  return true;
+}
+
+RatingMatrix::BatchResult RatingMatrix::ApplyBatch(
+    const std::vector<BatchRatingOp>& ops) {
+  BatchResult res;
+  res.effective.assign(ops.size(), 0);
+  std::vector<int32_t> users, items;
+  for (size_t k = 0; k < ops.size(); ++k) {
+    const BatchRatingOp& op = ops[k];
+    int32_t u = -1, i = -1;
+    bool effective = false;
+    if (op.remove) {
+      effective = DoRemove(op.user_id, op.item_id, &u, &i);
+      if (effective) ++res.removed;
+    } else {
+      switch (DoAdd(op.user_id, op.item_id, op.rating, &u, &i)) {
+        case RatingChange::kInserted:
+          ++res.inserted;
+          effective = true;
+          break;
+        case RatingChange::kOverwritten:
+          ++res.overwritten;
+          effective = true;
+          break;
+        case RatingChange::kUnchanged:
+          break;
+      }
+    }
+    if (!effective) {
+      ++res.noops;
+      continue;
+    }
+    res.effective[k] = 1;
+    users.push_back(u);
+    items.push_back(i);
+  }
+  if (res.effective_ops() == 0) return res;
+  // One version bump and one side-row copy per touched row for the whole
+  // statement — the point of the batched path. Side rows are full merged
+  // copies, so refreshing them once against the final state is identical
+  // to refreshing after every op.
+  ++version_;
+  if (frozen_) {
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    for (int32_t u : users) RefreshUserSideRow(u);
+    for (int32_t i : items) RefreshItemSideRow(i);
+  }
+  return res;
 }
 
 std::optional<int32_t> RatingMatrix::UserIndex(int64_t user_id) const {

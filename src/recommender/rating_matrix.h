@@ -90,6 +90,34 @@ class RatingMatrix {
   /// frozen, the removal lands in the overlay (side rows + tombstone).
   bool Remove(int64_t user_id, int64_t item_id);
 
+  /// One op of a multi-row statement fed to ApplyBatch.
+  struct BatchRatingOp {
+    bool remove = false;
+    int64_t user_id = 0;
+    int64_t item_id = 0;
+    double rating = 0;
+  };
+
+  /// Outcome of ApplyBatch: per-kind effective-op counts plus a flag per
+  /// input op (1 when it changed the matrix), aligned with the input order.
+  struct BatchResult {
+    size_t inserted = 0;
+    size_t overwritten = 0;
+    size_t removed = 0;
+    size_t noops = 0;
+    std::vector<uint8_t> effective;
+
+    size_t effective_ops() const { return inserted + overwritten + removed; }
+  };
+
+  /// Apply one statement's rating mutations as a single versioned delta
+  /// batch: ops land in order (each still logs its own DeltaOp, so model
+  /// maintenance sees every mutation), but the version counter bumps once
+  /// and each touched overlay side row is re-copied once per batch instead
+  /// of once per row — the batched path a multi-row INSERT/UPDATE/DELETE
+  /// takes. Equivalent to the per-op loop in everything but work done.
+  BatchResult ApplyBatch(const std::vector<BatchRatingOp>& ops);
+
   size_t NumUsers() const { return user_ids_.size(); }
   size_t NumItems() const { return item_ids_.size(); }
   size_t NumRatings() const { return num_ratings_; }
@@ -151,10 +179,20 @@ class RatingMatrix {
   }
   size_t NumTombstones() const { return tombstones_.size(); }
 
-  /// Monotonic mutation counter: bumps on every effective Add/Remove.
-  /// A re-freeze prepared against version V commits only if the matrix is
-  /// still at V (optimistic two-phase refresh).
+  /// Monotonic mutation counter: bumps on every effective Add/Remove (once
+  /// per ApplyBatch). A re-freeze prepared against version V commits only
+  /// if the matrix is still at V (optimistic two-phase refresh).
   uint64_t version() const { return version_; }
+
+  /// True when the row has an overlay side row (was touched by delta ops
+  /// since the last freeze) — candidate generation and bound pruning use
+  /// this to route delta-touched rows through the merge view.
+  bool IsUserRowTouched(int32_t user_idx) const {
+    return overlay_active_ && user_side_.count(user_idx) > 0;
+  }
+  bool IsItemRowTouched(int32_t item_idx) const {
+    return overlay_active_ && item_side_.count(item_idx) > 0;
+  }
 
   /// Row counts of the frozen base (what the CSR arrays cover); the overlay
   /// may know more users/items than the base.
@@ -274,9 +312,18 @@ class RatingMatrix {
   int32_t InternItem(int64_t item_id);
   static void Upsert(std::vector<RatingEntry>* vec, int32_t idx,
                      double rating, bool* was_new);
+  /// Mutation cores shared by the per-row and batched paths: everything an
+  /// Add/Remove does except the version bump and the side-row refresh,
+  /// which the caller performs once (per op, or per batch).
+  RatingChange DoAdd(int64_t user_id, int64_t item_id, double rating,
+                     int32_t* out_u, int32_t* out_i);
+  bool DoRemove(int64_t user_id, int64_t item_id, int32_t* out_u,
+                int32_t* out_i);
   /// Copy the merged rows of (user_idx, item_idx) into the overlay side
   /// rows (both orientations) after a frozen-state mutation.
   void RefreshSideRows(int32_t user_idx, int32_t item_idx);
+  void RefreshUserSideRow(int32_t user_idx);
+  void RefreshItemSideRow(int32_t item_idx);
   void ClearOverlay();
 
   std::vector<int64_t> user_ids_;

@@ -63,7 +63,38 @@ void Recommender::RemoveRating(int64_t user_id, int64_t item_id) {
   }
 }
 
+void Recommender::ApplyRatingBatch(
+    const std::vector<RatingMatrix::BatchRatingOp>& ops) {
+  const size_t delta_before = matrix_->delta_size();
+  RatingMatrix::BatchResult res = matrix_->ApplyBatch(ops);
+  if (res.effective_ops() == 0) return;
+  pending_updates_ += res.effective_ops();
+  obs::Count(obs::Counter::kIngestDeltaAdds, res.inserted);
+  obs::Count(obs::Counter::kIngestDeltaOverwrites, res.overwritten);
+  obs::Count(obs::Counter::kIngestDeltaRemoves, res.removed);
+  obs::Count(obs::Counter::kIngestBatches);
+  obs::Count(obs::Counter::kIngestBatchOps, res.effective_ops());
+  const size_t landed = matrix_->delta_size() - delta_before;
+  if (landed == 0) return;
+  obs::AddGauge(obs::Gauge::kIngestDeltaPending,
+                static_cast<int64_t>(landed));
+  // One invalidation sweep and one listener callback per statement.
+  InvalidatedPairs pairs;
+  for (size_t k = 0; k < ops.size(); ++k) {
+    if (!res.effective[k]) continue;
+    CollectIngestInvalidations(ops[k].user_id, ops[k].item_id, &pairs);
+  }
+  NotifyInvalidated(std::move(pairs));
+}
+
 void Recommender::InvalidateForIngest(int64_t user_id, int64_t item_id) {
+  InvalidatedPairs pairs;
+  CollectIngestInvalidations(user_id, item_id, &pairs);
+  NotifyInvalidated(std::move(pairs));
+}
+
+void Recommender::CollectIngestInvalidations(int64_t user_id, int64_t item_id,
+                                             InvalidatedPairs* out) {
   InvalidatedPairs pairs;
   switch (config_.algorithm) {
     case RecAlgorithm::kItemCosCF:
@@ -91,7 +122,7 @@ void Recommender::InvalidateForIngest(int64_t user_id, int64_t item_id) {
       }
       break;
   }
-  NotifyInvalidated(std::move(pairs));
+  out->insert(out->end(), pairs.begin(), pairs.end());
 }
 
 void Recommender::NotifyInvalidated(InvalidatedPairs&& pairs) {
@@ -113,6 +144,7 @@ Result<double> Recommender::Build() {
     return Status::Internal("model construction failed for " + config_.name);
   }
   model_ = std::move(model);
+  candidate_index_ = CandidateIndex::Build(*matrix_, *model_);
   base_size_ = matrix_->NumRatings();
   pending_updates_ = 0;
   if (delta_cleared > 0) {
@@ -134,6 +166,10 @@ Result<Recommender::RefreshPlan> Recommender::PrepareRefresh() const {
   auto update = model_->PrepareDeltaUpdate(matrix_->delta_ops());
   RECDB_RETURN_NOT_OK(update.status());
   plan.update = std::move(update).value();
+  // Lower the candidate postings from the future base off-lock; bounds are
+  // model-dependent and get finalized at commit, after ApplyDeltaUpdate.
+  plan.candidate_index = CandidateIndex::Lower(
+      plan.csr.user, plan.csr.item, matrix_->item_ids(), plan.csr.version);
   plan.valid = true;
   obs::ObserveUs(obs::Histogram::kIngestRefreshUs,
                  static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
@@ -148,15 +184,41 @@ bool Recommender::CommitRefresh(RefreshPlan&& plan) {
     return false;
   }
   InvalidatedPairs pairs;
-  for (int64_t user : plan.update.stale_users) {
-    auto erased = score_index_.EraseUserCollect(user);
-    pairs.insert(pairs.end(), erased.begin(), erased.end());
+  if (plan.update.full_rebuild) {
+    // The model has no incremental form: retrain it from the merged (now
+    // base) matrix and drop every cached score — nothing narrower is known
+    // to be safe.
+    std::vector<int64_t> users;
+    score_index_.ForEach([&](int64_t user, int64_t, double) {
+      if (users.empty() || users.back() != user) users.push_back(user);
+    });
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
+    for (int64_t user : users) {
+      auto erased = score_index_.EraseUserCollect(user);
+      pairs.insert(pairs.end(), erased.begin(), erased.end());
+    }
+    std::unique_ptr<RecModel> rebuilt =
+        BuildModel(config_.algorithm, matrix_, config_);
+    if (rebuilt != nullptr) model_ = std::move(rebuilt);
+    obs::Count(obs::Counter::kIngestFullRebuilds);
+    obs::Count(obs::Counter::kModelBuilds);
+    candidate_index_ = CandidateIndex::Build(*matrix_, *model_);
+  } else {
+    for (int64_t user : plan.update.stale_users) {
+      auto erased = score_index_.EraseUserCollect(user);
+      pairs.insert(pairs.end(), erased.begin(), erased.end());
+    }
+    for (int64_t item : plan.update.stale_items) {
+      auto erased = score_index_.EraseItem(item);
+      pairs.insert(pairs.end(), erased.begin(), erased.end());
+    }
+    model_->ApplyDeltaUpdate(std::move(plan.update));
+    // Publish the pre-lowered postings with bounds computed against the
+    // just-patched model — the new (base, model, index) triple is coherent.
+    plan.candidate_index->FinalizeBounds(*model_);
+    candidate_index_ = std::move(plan.candidate_index);
   }
-  for (int64_t item : plan.update.stale_items) {
-    auto erased = score_index_.EraseItem(item);
-    pairs.insert(pairs.end(), erased.begin(), erased.end());
-  }
-  model_->ApplyDeltaUpdate(std::move(plan.update));
   base_size_ = matrix_->NumRatings();
   pending_updates_ = 0;
   obs::AddGauge(obs::Gauge::kIngestDeltaPending,

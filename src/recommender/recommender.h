@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "index/candidate_index.h"
 #include "index/rec_score_index.h"
 #include "recommender/cf_model.h"
 #include "recommender/svd_model.h"
@@ -70,6 +71,13 @@ class Recommender {
   /// maintenance threshold like an insert.
   void RemoveRating(int64_t user_id, int64_t item_id);
 
+  /// Batched ingest: apply one statement's rating mutations as a single
+  /// versioned delta batch (RatingMatrix::ApplyBatch), with one delta-
+  /// pending gauge adjustment and one invalidation-listener callback for
+  /// the whole statement. Per-op DeltaOps and maintenance pressure are
+  /// identical to the per-row loop.
+  void ApplyRatingBatch(const std::vector<RatingMatrix::BatchRatingOp>& ops);
+
   /// Recommender Initialization: merge any pending delta and train the
   /// model from scratch for the configured algorithm. Returns the build
   /// wall time. The only full-retrain entry point.
@@ -85,8 +93,12 @@ class Recommender {
   }
 
   /// True when the delta log has reached the background re-freeze trigger.
+  /// A model with no incremental form cannot absorb delta rows at all, so
+  /// any pending op triggers immediately — a write must never sit silently
+  /// unreflected until a threshold trips.
   bool NeedsRefresh() const {
     if (model_ == nullptr || !matrix_->has_delta()) return false;
+    if (!model_->SupportsIncrementalUpdate()) return true;
     double by_ratio = config_.refresh_threshold *
                       static_cast<double>(base_size_);
     double trigger = std::max(static_cast<double>(config_.min_refresh_ops),
@@ -116,6 +128,9 @@ class Recommender {
   struct RefreshPlan {
     RatingMatrix::MergedCsr csr;
     ModelUpdate update;
+    /// Postings lowered off-lock from `csr` (the future base); bounds are
+    /// finalized at commit time, after the model rows are patched.
+    std::shared_ptr<CandidateIndex> candidate_index;
     size_t ops = 0;
     bool valid = false;
   };
@@ -159,6 +174,24 @@ class Recommender {
   const RecModel* model() const { return model_.get(); }
   RecModel* mutable_model() { return model_.get(); }
 
+  /// Test seam: install a model that did not come from Build() (e.g. a
+  /// stub without incremental support). Resets maintenance pressure as a
+  /// real build would and rebuilds the candidate index against it.
+  void AdoptModelForTest(std::unique_ptr<RecModel> model) {
+    matrix_->Freeze();
+    model_ = std::move(model);
+    base_size_ = matrix_->NumRatings();
+    pending_updates_ = 0;
+    candidate_index_ = CandidateIndex::Build(*matrix_, *model_);
+  }
+
+  /// Sublinear Top-N support (postings + bound blocks), rebuilt with the
+  /// base at Build()/CommitRefresh; null before the first Build(). Shared
+  /// so in-flight executors keep a coherent snapshot across a re-freeze.
+  std::shared_ptr<const CandidateIndex> candidate_index() const {
+    return candidate_index_;
+  }
+
   /// The matrix scoring reads (frozen base + overlay merge view). The
   /// historical live/snapshot split collapsed into one matrix in PR 7;
   /// both accessors remain for call sites.
@@ -188,11 +221,14 @@ class Recommender {
   /// scoped to what the algorithm family can actually change, then notify
   /// the invalidation listener.
   void InvalidateForIngest(int64_t user_id, int64_t item_id);
+  void CollectIngestInvalidations(int64_t user_id, int64_t item_id,
+                                  InvalidatedPairs* out);
   void NotifyInvalidated(InvalidatedPairs&& pairs);
 
   RecommenderConfig config_;
   std::shared_ptr<RatingMatrix> matrix_;
   std::unique_ptr<RecModel> model_;
+  std::shared_ptr<const CandidateIndex> candidate_index_;
   size_t base_size_ = 0;
   size_t pending_updates_ = 0;
   std::atomic<bool> refresh_scheduled_{false};
