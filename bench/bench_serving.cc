@@ -1,0 +1,440 @@
+// Sharded scatter-gather serving harness (DESIGN.md §14, docs/SCALING.md):
+// open-loop mixed RECOMMEND/INSERT load against ShardedRecDB at a sweep of
+// shard counts, with a bit-identity checksum gate between them.
+//
+// Per shard count S the harness builds a fresh S-shard router, declares the
+// ratings table user-partitioned, streams the serving-scale dataset in via
+// StreamRatings -> BulkInsert chunks, and creates one recommender per
+// benched algorithm. Before any load runs, a fixed panel of RECOMMEND
+// queries is folded into an FNV-1a checksum over (uid, iid, canonicalized
+// score) per algorithm; every shard count must reproduce the S=1 checksums
+// bit-for-bit or the process aborts — scatter-gather is an execution
+// strategy, never an answer change (the contract docs/SCALING.md documents).
+//
+// The load phase is OPEN-loop: each client thread pre-computes a Poisson
+// arrival schedule and issues its next operation at the scheduled instant
+// whether or not the previous one finished, so reported latency includes
+// queueing delay (client-perceived latency, not closed-loop service time).
+// The mix is ~90% single-user RECOMMEND top-10 / ~10% INSERT of a new
+// user's rating (a broadcast write through the router).
+//
+// Writes BENCH_serving.json: per shard count the load/build timings,
+// checksum verdict, and open-loop p50/p95/p99 latency + throughput overall
+// and per op class, plus the process metrics snapshot (serving.* counters).
+//
+// Smoke mode (RECDB_BENCH_SMOKE=1, the `bench-smoke` ctest label) shrinks
+// the dataset and sweeps shards {1,2}; the full run sweeps {1,2,4,8} over
+// the streamed 1M-user ServingScale preset.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "serving/sharded_recdb.h"
+
+namespace recdb::bench {
+namespace {
+
+const RecAlgorithm kServeAlgos[] = {RecAlgorithm::kItemCosCF,
+                                    RecAlgorithm::kSVD};
+
+uint64_t MixBits(uint64_t h, uint64_t bits) {
+  h ^= bits;
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Fold a score into the checksum bit-for-bit, after canonicalizing -0.0
+/// (which compares equal to 0.0 but differs in bit pattern).
+uint64_t MixScore(uint64_t h, double v) {
+  v += 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixBits(h, bits);
+}
+
+struct HarnessConfig {
+  datagen::DatasetSpec spec;
+  std::vector<size_t> shard_counts;
+  size_t checksum_users = 16;   // fixed RECOMMEND panel per algorithm
+  size_t clients = 4;           // open-loop client threads
+  double client_ops_per_sec = 100.0;
+  size_t ops_per_client = 40;
+  double insert_fraction = 0.1;
+};
+
+HarnessConfig MakeConfig() {
+  HarnessConfig cfg;
+  if (SmokeMode()) {
+    cfg.spec = datagen::DatasetSpec::ServingScale();
+    cfg.spec.num_users = 600;
+    cfg.spec.num_items = 120;
+    cfg.spec.num_ratings = 6000;
+    cfg.shard_counts = {1, 2};
+    return cfg;
+  }
+  cfg.spec = datagen::DatasetSpec::ServingScale();
+  cfg.shard_counts = {1, 2, 4, 8};
+  cfg.clients = 16;
+  cfg.client_ops_per_sec = 50.0;  // 800 ops/s aggregate
+  cfg.ops_per_client = 400;
+  return cfg;
+}
+
+ResultSet MustRoute(ShardedRecDB* db, const std::string& sql) {
+  auto r = db->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench query failed: %s\nsql: %s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+std::string RecommendSql(RecAlgorithm algo, int64_t user) {
+  return StringFormat(
+      "SELECT R.uid, R.iid, R.ratingval FROM serve_ratings AS R "
+      "RECOMMEND R.iid TO R.uid ON R.ratingval USING %s "
+      "WHERE R.uid = %lld ORDER BY R.ratingval DESC LIMIT 10",
+      RecAlgorithmToString(algo), static_cast<long long>(user));
+}
+
+/// Deterministic user panel for the checksum gate — same ids at every
+/// shard count.
+std::vector<int64_t> ChecksumUsers(const HarnessConfig& cfg) {
+  Rng rng(7);
+  std::vector<int64_t> out;
+  out.reserve(cfg.checksum_users);
+  for (size_t k = 0; k < cfg.checksum_users; ++k) {
+    out.push_back(rng.UniformInt(1, cfg.spec.num_users));
+  }
+  return out;
+}
+
+uint64_t ChecksumAlgorithm(ShardedRecDB* db, RecAlgorithm algo,
+                           const std::vector<int64_t>& users) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (int64_t u : users) {
+    ResultSet rs = MustRoute(db, RecommendSql(algo, u));
+    for (size_t r = 0; r < rs.NumRows(); ++r) {
+      h = MixBits(h, static_cast<uint64_t>(rs.At(r, 0).AsInt()));
+      h = MixBits(h, static_cast<uint64_t>(rs.At(r, 1).AsInt()));
+      h = MixScore(h, rs.At(r, 2).AsNumeric());
+    }
+  }
+  return h;
+}
+
+double PercentileUs(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+struct OpenLoopResult {
+  std::vector<double> all_us;        // every op's client-perceived latency
+  std::vector<double> recommend_us;
+  std::vector<double> insert_us;
+  double elapsed_seconds = 0;
+  size_t errors = 0;
+};
+
+/// Drive the open-loop mixed workload: `cfg.clients` threads, each with a
+/// pre-computed Poisson arrival schedule at `cfg.client_ops_per_sec`.
+/// Latency is measured from the SCHEDULED arrival, so an overloaded router
+/// shows up as queueing delay rather than silently lowering the rate.
+OpenLoopResult RunOpenLoop(ShardedRecDB* db, const HarnessConfig& cfg,
+                           size_t shards) {
+  struct Op {
+    double at_seconds;
+    bool is_insert;
+    int64_t user;  // RECOMMEND target; INSERTs draw a fresh user id
+    int64_t item;
+  };
+  // Pre-compute every client's schedule so the hot loop only sleeps and
+  // issues SQL. Seeds mix in the shard count so schedules differ between
+  // sweep points without being load-order dependent.
+  std::vector<std::vector<Op>> schedules(cfg.clients);
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    Rng rng(0x5eedull * (c + 1) + shards * 131);
+    double t = 0;
+    schedules[c].reserve(cfg.ops_per_client);
+    for (size_t k = 0; k < cfg.ops_per_client; ++k) {
+      // Exponential inter-arrival -> Poisson process.
+      double u = std::max(1e-12, rng.UniformDouble(0.0, 1.0));
+      t += -std::log(u) / cfg.client_ops_per_sec;
+      Op op;
+      op.at_seconds = t;
+      op.is_insert = rng.UniformDouble(0.0, 1.0) < cfg.insert_fraction;
+      op.user = rng.UniformInt(1, cfg.spec.num_users);
+      op.item = rng.UniformInt(1, cfg.spec.num_items);
+      schedules[c].push_back(op);
+    }
+  }
+
+  std::atomic<int64_t> next_new_user{cfg.spec.num_users + 1};
+  std::atomic<size_t> errors{0};
+  std::vector<OpenLoopResult> per_client(cfg.clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.clients);
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      OpenLoopResult& out = per_client[c];
+      const RecAlgorithm algo =
+          kServeAlgos[c % (sizeof(kServeAlgos) / sizeof(kServeAlgos[0]))];
+      for (const Op& op : schedules[c]) {
+        const auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(op.at_seconds));
+        std::this_thread::sleep_until(due);
+        std::string sql;
+        if (op.is_insert) {
+          sql = StringFormat(
+              "INSERT INTO serve_ratings VALUES (%lld, %lld, 3.5)",
+              static_cast<long long>(
+                  next_new_user.fetch_add(1, std::memory_order_relaxed)),
+              static_cast<long long>(op.item));
+        } else {
+          sql = RecommendSql(algo, op.user);
+        }
+        auto r = db->Execute(sql);
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - due)
+                .count();
+        if (!r.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        out.all_us.push_back(us);
+        (op.is_insert ? out.insert_us : out.recommend_us).push_back(us);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  OpenLoopResult merged;
+  merged.elapsed_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  merged.errors = errors.load();
+  for (auto& pc : per_client) {
+    merged.all_us.insert(merged.all_us.end(), pc.all_us.begin(),
+                         pc.all_us.end());
+    merged.recommend_us.insert(merged.recommend_us.end(),
+                               pc.recommend_us.begin(), pc.recommend_us.end());
+    merged.insert_us.insert(merged.insert_us.end(), pc.insert_us.begin(),
+                            pc.insert_us.end());
+  }
+  std::sort(merged.all_us.begin(), merged.all_us.end());
+  std::sort(merged.recommend_us.begin(), merged.recommend_us.end());
+  std::sort(merged.insert_us.begin(), merged.insert_us.end());
+  return merged;
+}
+
+struct SweepRow {
+  size_t shards = 0;
+  double load_seconds = 0;
+  int64_t loaded_rows = 0;
+  std::map<RecAlgorithm, double> build_seconds;
+  std::map<RecAlgorithm, uint64_t> checksums;
+  OpenLoopResult load;
+};
+
+SweepRow RunShardCount(const HarnessConfig& cfg, size_t shards,
+                       const std::vector<int64_t>& panel) {
+  SweepRow row;
+  row.shards = shards;
+
+  ShardedRecDBOptions opts;
+  opts.num_shards = shards;
+  auto db_r = ShardedRecDB::Create(opts);
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "ShardedRecDB::Create(%zu) failed: %s\n", shards,
+                 db_r.status().ToString().c_str());
+    std::abort();
+  }
+  std::unique_ptr<ShardedRecDB> db = std::move(db_r).value();
+
+  MustRoute(db.get(),
+            "CREATE TABLE serve_ratings (uid INT, iid INT, ratingval DOUBLE)");
+  auto s = db->DeclarePartitionedTable("serve_ratings", "uid");
+  if (!s.ok()) {
+    std::fprintf(stderr, "DeclarePartitionedTable failed: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+
+  // Streamed load: StreamRatings never materializes the 1M-user factor
+  // table; chunks route straight through the partition-aware bulk path.
+  Stopwatch load_sw;
+  int64_t loaded = 0;
+  s = datagen::StreamRatings(
+      cfg.spec, 8192, [&](const std::vector<datagen::RatingRow>& chunk) {
+        std::vector<std::vector<Value>> rows;
+        rows.reserve(chunk.size());
+        for (const auto& r : chunk) {
+          rows.push_back({Value::Int(r.user), Value::Int(r.item),
+                          Value::Double(r.rating)});
+        }
+        loaded += static_cast<int64_t>(chunk.size());
+        return db->BulkInsert("serve_ratings", rows);
+      });
+  if (!s.ok()) {
+    std::fprintf(stderr, "streamed load failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  row.load_seconds = load_sw.ElapsedSeconds();
+  row.loaded_rows = loaded;
+
+  for (RecAlgorithm algo : kServeAlgos) {
+    ResultSet rs = MustRoute(
+        db.get(),
+        StringFormat("CREATE RECOMMENDER serve_%s ON serve_ratings "
+                     "USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval "
+                     "USING %s",
+                     RecAlgorithmToString(algo), RecAlgorithmToString(algo)));
+    row.build_seconds[algo] = rs.elapsed_seconds;
+  }
+
+  for (RecAlgorithm algo : kServeAlgos) {
+    row.checksums[algo] = ChecksumAlgorithm(db.get(), algo, panel);
+  }
+
+  row.load = RunOpenLoop(db.get(), cfg, shards);
+  db->DrainBackgroundWork();
+  s = db->Close();
+  if (!s.ok()) {
+    std::fprintf(stderr, "Close failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return row;
+}
+
+void WriteJson(const HarnessConfig& cfg, const std::vector<SweepRow>& rows,
+               bool checksum_ok) {
+  std::ofstream f("BENCH_serving.json");
+  f << "{\n  \"bench\": \"serving\",\n";
+  f << "  \"smoke\": " << (SmokeMode() ? "true" : "false") << ",\n";
+  f << StringFormat(
+      "  \"dataset\": {\"users\": %lld, \"items\": %lld, \"ratings\": "
+      "%lld},\n",
+      static_cast<long long>(cfg.spec.num_users),
+      static_cast<long long>(cfg.spec.num_items),
+      static_cast<long long>(cfg.spec.num_ratings));
+  f << StringFormat(
+      "  \"open_loop\": {\"clients\": %zu, \"client_ops_per_sec\": %.1f, "
+      "\"ops_per_client\": %zu, \"insert_fraction\": %.2f},\n",
+      cfg.clients, cfg.client_ops_per_sec, cfg.ops_per_client,
+      cfg.insert_fraction);
+  f << "  \"checksum_ok\": " << (checksum_ok ? "true" : "false") << ",\n";
+  f << "  \"shard_counts\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    const OpenLoopResult& load = row.load;
+    const double thr =
+        load.elapsed_seconds > 0 ? load.all_us.size() / load.elapsed_seconds
+                                 : 0;
+    f << StringFormat(
+        "    {\"shards\": %zu, \"load_seconds\": %.3f, \"loaded_rows\": "
+        "%lld,\n",
+        row.shards, row.load_seconds, static_cast<long long>(row.loaded_rows));
+    f << "     \"build_seconds\": {";
+    bool first = true;
+    for (const auto& [algo, secs] : row.build_seconds) {
+      if (!first) f << ", ";
+      first = false;
+      f << StringFormat("\"%s\": %.3f", RecAlgorithmToString(algo), secs);
+    }
+    f << "},\n     \"checksums\": {";
+    first = true;
+    for (const auto& [algo, sum] : row.checksums) {
+      if (!first) f << ", ";
+      first = false;
+      f << StringFormat("\"%s\": \"%016llx\"", RecAlgorithmToString(algo),
+                        static_cast<unsigned long long>(sum));
+    }
+    f << StringFormat(
+        "},\n     \"ops\": %zu, \"errors\": %zu, "
+        "\"throughput_ops_per_sec\": %.1f,\n",
+        load.all_us.size(), load.errors, thr);
+    f << StringFormat(
+        "     \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f,\n",
+        PercentileUs(load.all_us, 0.50), PercentileUs(load.all_us, 0.95),
+        PercentileUs(load.all_us, 0.99));
+    f << StringFormat(
+        "     \"recommend_p50_us\": %.1f, \"recommend_p99_us\": %.1f, "
+        "\"insert_p50_us\": %.1f, \"insert_p99_us\": %.1f}%s\n",
+        PercentileUs(load.recommend_us, 0.50),
+        PercentileUs(load.recommend_us, 0.99),
+        PercentileUs(load.insert_us, 0.50),
+        PercentileUs(load.insert_us, 0.99),
+        i + 1 < rows.size() ? "," : "");
+  }
+  f << "  ],\n  " << MetricsJsonSection() << "\n}\n";
+  std::fprintf(stderr, "bench_serving: wrote BENCH_serving.json\n");
+}
+
+int Run() {
+  PrintHardwareBanner();
+  const HarnessConfig cfg = MakeConfig();
+  const std::vector<int64_t> panel = ChecksumUsers(cfg);
+
+  std::vector<SweepRow> rows;
+  bool checksum_ok = true;
+  for (size_t shards : cfg.shard_counts) {
+    std::fprintf(stderr, "bench_serving: shards=%zu ...\n", shards);
+    rows.push_back(RunShardCount(cfg, shards, panel));
+    const SweepRow& row = rows.back();
+    for (const auto& [algo, sum] : row.checksums) {
+      uint64_t want = rows.front().checksums.at(algo);
+      if (sum != want) {
+        checksum_ok = false;
+        std::fprintf(stderr,
+                     "bench_serving: CHECKSUM MISMATCH %s shards=%zu "
+                     "got=%016llx want=%016llx (vs shards=%zu)\n",
+                     RecAlgorithmToString(algo), shards,
+                     static_cast<unsigned long long>(sum),
+                     static_cast<unsigned long long>(want),
+                     rows.front().shards);
+      }
+    }
+    std::fprintf(
+        stderr,
+        "bench_serving: shards=%zu ops=%zu errors=%zu p50=%.0fus p99=%.0fus\n",
+        shards, row.load.all_us.size(), row.load.errors,
+        PercentileUs(row.load.all_us, 0.50),
+        PercentileUs(row.load.all_us, 0.99));
+    if (row.load.errors > 0) {
+      std::fprintf(stderr, "bench_serving: FAIL %zu load ops errored\n",
+                   row.load.errors);
+      return 1;
+    }
+  }
+
+  WriteJson(cfg, rows, checksum_ok);
+  if (!checksum_ok) {
+    std::fprintf(stderr,
+                 "bench_serving: FAIL sharded results diverged from "
+                 "single-node — see checksums in BENCH_serving.json\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace recdb::bench
+
+// Plain main: the auto-registered `bench_serving_smoke` ctest passes a
+// --benchmark_min_time flag for google-benchmark binaries; this harness is
+// schedule-driven, so the flag (and all other args) is ignored.
+int main(int, char**) { return recdb::bench::Run(); }

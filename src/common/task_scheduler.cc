@@ -7,6 +7,22 @@
 
 namespace recdb {
 
+namespace {
+// True while this thread is inside a ParallelFor morsel (or an inline
+// fallback). A ParallelFor issued from such a context must not touch
+// submit_mu_ — the owning loop already holds it — so it degrades to a
+// serial inline run instead of deadlocking. Bit-identity is unaffected:
+// the determinism contract requires every loop body to produce the same
+// result under any morselization, including one morsel on one thread.
+thread_local bool tls_in_parallel_for = false;
+
+struct ScopedInParallelFor {
+  bool prev = tls_in_parallel_for;
+  ScopedInParallelFor() { tls_in_parallel_for = true; }
+  ~ScopedInParallelFor() { tls_in_parallel_for = prev; }
+};
+}  // namespace
+
 TaskScheduler::TaskScheduler(size_t num_threads)
     : num_threads_(std::max<size_t>(num_threads, 1)) {
   StartWorkers();
@@ -75,6 +91,7 @@ void TaskScheduler::WorkerLoop() {
 }
 
 void TaskScheduler::RunMorsels(Job* job) {
+  ScopedInParallelFor scope;
   Stopwatch watch;
   uint64_t tasks = 0;
   while (true) {
@@ -104,7 +121,30 @@ TaskRunStats TaskScheduler::ParallelFor(
     size_t n, size_t morsel, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return {};
   if (morsel == 0) morsel = 1;
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  // Nested (same thread, from inside a morsel) or contended (another loop
+  // holds the pool) ParallelFor runs inline serially instead of queueing:
+  // the sharded scatter path issues per-shard legs through the pool, and a
+  // leg's own scoring loops land here. Serial inline execution is
+  // bit-identical by the determinism contract, and never deadlocks against
+  // a lock held by whoever owns the pool right now.
+  std::unique_lock<std::mutex> submit(submit_mu_, std::defer_lock);
+  if (tls_in_parallel_for || !submit.try_lock()) {
+    ScopedInParallelFor scope;
+    Stopwatch watch;
+    fn(0, n);
+    TaskRunStats out;
+    out.tasks_spawned = 1;
+    out.worker_time_ms = watch.ElapsedSeconds() * 1e3;
+    total_tasks_.fetch_add(1, std::memory_order_relaxed);
+    total_worker_nanos_.fetch_add(
+        static_cast<uint64_t>(out.worker_time_ms * 1e6),
+        std::memory_order_relaxed);
+    obs::Count(obs::Counter::kSchedulerLoops);
+    obs::Count(obs::Counter::kSchedulerTasksSpawned, 1);
+    obs::Count(obs::Counter::kSchedulerWorkerBusyUs,
+               static_cast<uint64_t>(out.worker_time_ms * 1e3));
+    return out;
+  }
   Job job;
   job.n = n;
   job.morsel = morsel;

@@ -12,8 +12,11 @@
 //
 // The engine uses one process-wide scheduler (`TaskScheduler::Global()`),
 // sized with `SET parallelism = N` or `RecDBOptions::parallelism`. One
-// parallel loop runs at a time; nested ParallelFor calls from inside a
-// morsel would deadlock and must not be issued.
+// parallel loop owns the pool at a time; a ParallelFor issued while the
+// pool is busy — from inside a morsel (the sharded router's scatter legs
+// score through here) or from a concurrent root caller — degrades to a
+// serial inline run of the whole range, which the determinism contract
+// keeps bit-identical to the pooled execution.
 #pragma once
 
 #include <atomic>

@@ -11,6 +11,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/shard.h"
 #include "common/status.h"
 #include "obs/tracer.h"
 #include "planner/plan_node.h"
@@ -50,6 +51,20 @@ struct ExecContext {
   /// call and accumulates per-node inclusive durations into the tracer.
   /// Null (the default) keeps the hot path untimed and allocation-free.
   obs::Tracer* tracer = nullptr;
+  /// Serving-layer user partition (DESIGN.md §14), seeded from
+  /// RecDBOptions::shard_count / shard_index. When shard_count > 1 the
+  /// RECOMMEND executors restrict their candidate-user lists to the users
+  /// this engine shard owns; the emission order of the surviving users is
+  /// unchanged, so each shard's stream is an order-preserving subsequence
+  /// of the single-node stream and the router's merge can reassemble the
+  /// exact single-node output.
+  uint32_t shard_count = 1;
+  uint32_t shard_index = 0;
+
+  bool ShardFilterActive() const { return shard_count > 1; }
+  bool OwnsUser(int64_t user_id) const {
+    return shard_count <= 1 || ShardOfUser(user_id, shard_count) == shard_index;
+  }
 };
 
 class Executor {

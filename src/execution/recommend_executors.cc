@@ -400,6 +400,12 @@ Status RecommendExecutor::Init() {
   }
   const RatingMatrix& snapshot = plan_.rec->model()->ratings();
   users_ = ResolveUsers(snapshot, plan_.user_ids);
+  // Serving filter: a sharded engine only scores the users it owns. The
+  // erase preserves relative order, so the shard's emission stays a
+  // subsequence of the single-node stream (DESIGN.md §14).
+  if (ctx_->ShardFilterActive()) {
+    std::erase_if(users_, [&](int64_t u) { return !ctx_->OwnsUser(u); });
+  }
   items_ = ResolveItems(snapshot, plan_.item_ids);
   user_pos_ = 0;
   item_pos_ = 0;
@@ -606,7 +612,11 @@ Status JoinRecommendExecutor::Init() {
   valid_users_.clear();
   valid_users_.reserve(plan_.user_ids.size());
   for (int64_t id : plan_.user_ids) {
-    if (snapshot.UserIndex(id).has_value()) valid_users_.push_back(id);
+    if (!snapshot.UserIndex(id).has_value()) continue;
+    // Serving filter: on a sharded engine, non-owned users produce no join
+    // output here — their rows come from the owning shard (DESIGN.md §14).
+    if (ctx_->ShardFilterActive() && !ctx_->OwnsUser(id)) continue;
+    valid_users_.push_back(id);
   }
   // Candidate zero-fill (CF families): precompute each user's candidate
   // bitmap once; probe items outside it provably score exactly 0.0.
@@ -788,6 +798,11 @@ Status IndexRecommendExecutor::Init() {
     for (int64_t id : plan_.user_ids) {
       if (snapshot.UserIndex(id).has_value()) users_.push_back(id);
     }
+  }
+  // Serving filter (DESIGN.md §14): index-served users partition exactly
+  // like model-scored ones — only the owner materializes and serves them.
+  if (ctx_->ShardFilterActive()) {
+    std::erase_if(users_, [&](int64_t u) { return !ctx_->OwnsUser(u); });
   }
   // Hash the pushed-down item ids once (the per-candidate std::find was
   // O(|items|^2) across a user's scan) and keep a deduplicated list so a

@@ -1,0 +1,714 @@
+#include "serving/sharded_recdb.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "common/shard.h"
+#include "common/string_util.h"
+#include "common/task_scheduler.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "parser/parser.h"
+#include "recommender/recommender.h"
+#include "serving/shard_merge.h"
+
+namespace recdb {
+
+namespace {
+
+constexpr size_t kMaxRouterShards = 64;
+
+/// Evaluate a constant integer expression (literal or negated literal) —
+/// the shapes INSERT VALUES and WHERE predicates carry.
+bool LiteralInt(const Expr& e, int64_t* out) {
+  if (e.kind == ExprKind::kLiteral && e.literal.type() == TypeId::kInt64) {
+    *out = e.literal.AsInt();
+    return true;
+  }
+  if (e.kind == ExprKind::kNegate && e.left != nullptr &&
+      LiteralInt(*e.left, out)) {
+    *out = -*out;
+    return true;
+  }
+  return false;
+}
+
+bool IsUserColRef(const Expr& e, const std::string& user_col_lower) {
+  return e.kind == ExprKind::kColumnRef && ToLower(e.column) == user_col_lower;
+}
+
+/// Extract the exact user-id set a WHERE clause pins the query to, or
+/// nullopt when the predicate does not restrict the user column to known
+/// literals. Conservative in the safe direction: a conjunct that pins ids is
+/// exact (any other conjunct only narrows further), a disjunction must pin
+/// on both sides.
+std::optional<std::vector<int64_t>> ExtractUserIds(
+    const Expr* e, const std::string& user_col_lower) {
+  if (e == nullptr) return std::nullopt;
+  if (e->kind == ExprKind::kBinary) {
+    if (e->op == BinaryOp::kEq) {
+      int64_t v;
+      if (e->left != nullptr && e->right != nullptr) {
+        if (IsUserColRef(*e->left, user_col_lower) && LiteralInt(*e->right, &v))
+          return std::vector<int64_t>{v};
+        if (IsUserColRef(*e->right, user_col_lower) && LiteralInt(*e->left, &v))
+          return std::vector<int64_t>{v};
+      }
+      return std::nullopt;
+    }
+    if (e->op == BinaryOp::kAnd) {
+      auto l = ExtractUserIds(e->left.get(), user_col_lower);
+      auto r = ExtractUserIds(e->right.get(), user_col_lower);
+      if (l.has_value() && r.has_value()) {
+        std::set<int64_t> rs(r->begin(), r->end());
+        std::vector<int64_t> both;
+        for (int64_t v : *l) {
+          if (rs.count(v)) both.push_back(v);
+        }
+        return both;
+      }
+      return l.has_value() ? l : r;
+    }
+    if (e->op == BinaryOp::kOr) {
+      auto l = ExtractUserIds(e->left.get(), user_col_lower);
+      auto r = ExtractUserIds(e->right.get(), user_col_lower);
+      if (l.has_value() && r.has_value()) {
+        l->insert(l->end(), r->begin(), r->end());
+        return l;
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  if (e->kind == ExprKind::kInList && !e->negated && e->left != nullptr &&
+      IsUserColRef(*e->left, user_col_lower)) {
+    std::vector<int64_t> vals;
+    vals.reserve(e->args.size());
+    for (const auto& arg : e->args) {
+      int64_t v;
+      if (arg == nullptr || !LiteralInt(*arg, &v)) return std::nullopt;
+      vals.push_back(v);
+    }
+    return vals;
+  }
+  return std::nullopt;
+}
+
+/// Resolve a (qualifier, name) column reference against a result header:
+/// exact match, qualified match, or dot-suffix match, case-insensitive.
+size_t ResolveColumn(const std::vector<std::string>& columns,
+                     const std::string& qualifier, const std::string& name) {
+  const std::string want = ToLower(name);
+  const std::string qualified =
+      qualifier.empty() ? "" : ToLower(qualifier) + "." + want;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const std::string col = ToLower(columns[i]);
+    if (col == want || (!qualified.empty() && col == qualified)) return i;
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const std::string col = ToLower(columns[i]);
+    if (col.size() > want.size() + 1 &&
+        col.compare(col.size() - want.size() - 1, want.size() + 1,
+                    "." + want) == 0) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+void AccumulateStats(const ExecStats& in, ExecStats* out) {
+  out->tuples_scanned += in.tuples_scanned;
+  out->predictions += in.predictions;
+  out->predict_calls += in.predict_calls;
+  out->predict_batches += in.predict_batches;
+  out->index_hits += in.index_hits;
+  out->index_misses += in.index_misses;
+  out->join_probes += in.join_probes;
+  out->candidates_generated += in.candidates_generated;
+  out->blocks_skipped += in.blocks_skipped;
+  out->items_pruned += in.items_pruned;
+  out->tasks_spawned += in.tasks_spawned;
+  out->worker_time_ms += in.worker_time_ms;
+  out->io_read_failures += in.io_read_failures;
+  out->io_write_failures += in.io_write_failures;
+  out->io_retries += in.io_retries;
+  out->io_checksum_failures += in.io_checksum_failures;
+}
+
+uint64_t ElapsedUs(const Stopwatch& watch) {
+  return static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6);
+}
+
+}  // namespace
+
+ShardedRecDB::~ShardedRecDB() = default;
+
+Status ShardedRecDB::ValidateOptions(const ShardedRecDBOptions& options) {
+  if (options.num_shards < 1 || options.num_shards > kMaxRouterShards) {
+    return Status::InvalidArgument(
+        "ShardedRecDBOptions::num_shards must be in [1, " +
+        std::to_string(kMaxRouterShards) + "], got " +
+        std::to_string(options.num_shards));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedRecDB>> ShardedRecDB::Create(
+    ShardedRecDBOptions options) {
+  RECDB_RETURN_NOT_OK(ValidateOptions(options));
+  auto db = std::unique_ptr<ShardedRecDB>(new ShardedRecDB());
+  for (size_t k = 0; k < options.num_shards; ++k) {
+    RecDBOptions opts = options.shard_options;
+    opts.shard_count = options.num_shards;
+    opts.shard_index = k;
+    db->shards_.push_back(std::make_unique<RecDB>(opts));
+  }
+  obs::SetGauge(obs::Gauge::kServingShards,
+                static_cast<int64_t>(options.num_shards));
+  return db;
+}
+
+Result<std::unique_ptr<ShardedRecDB>> ShardedRecDB::Open(
+    const std::string& path, ShardedRecDBOptions options) {
+  RECDB_RETURN_NOT_OK(ValidateOptions(options));
+  auto db = std::unique_ptr<ShardedRecDB>(new ShardedRecDB());
+  for (size_t k = 0; k < options.num_shards; ++k) {
+    RecDBOptions opts = options.shard_options;
+    opts.shard_count = options.num_shards;
+    opts.shard_index = k;
+    RECDB_ASSIGN_OR_RETURN(
+        auto shard, RecDB::Open(path + ".shard" + std::to_string(k), opts));
+    db->shards_.push_back(std::move(shard));
+  }
+  obs::SetGauge(obs::Gauge::kServingShards,
+                static_cast<int64_t>(options.num_shards));
+  return db;
+}
+
+ShardedRecDB::PartitionInfo* ShardedRecDB::FindPartition(
+    const std::string& table) {
+  auto it = partitions_.find(ToLower(table));
+  return it == partitions_.end() ? nullptr : &it->second;
+}
+
+void ShardedRecDB::RecordRoutedUser(PartitionInfo* info, int64_t user_id) {
+  if (info->user_rank.find(user_id) == info->user_rank.end()) {
+    info->user_rank[user_id] = info->next_rank++;
+  }
+  const uint32_t owner =
+      ShardOfUser(user_id, static_cast<uint32_t>(shards_.size()));
+  if (owner < info->routed_rows.size()) ++info->routed_rows[owner];
+}
+
+void ShardedRecDB::PublishSkew(const PartitionInfo& info) {
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (uint64_t c : info.routed_rows) {
+    total += c;
+    max = std::max(max, c);
+  }
+  if (total == 0 || info.routed_rows.empty()) return;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(info.routed_rows.size());
+  const double skew = (static_cast<double>(max) - mean) / mean * 100.0;
+  obs::SetGauge(obs::Gauge::kServingShardSkewPct,
+                static_cast<int64_t>(skew + 0.5));
+}
+
+Result<ResultSet> ShardedRecDB::Execute(const std::string& sql) {
+  Stopwatch watch;
+  obs::Count(obs::Counter::kServingQueries);
+  RECDB_ASSIGN_OR_RETURN(auto stmts, Parser::Parse(sql));
+  if (stmts.size() != 1) {
+    return Status::InvalidArgument(
+        "ShardedRecDB executes one statement per call; got " +
+        std::to_string(stmts.size()));
+  }
+  const Statement& stmt = *stmts[0];
+
+  auto finish = [&](Result<ResultSet> r) -> Result<ResultSet> {
+    if (r.ok()) {
+      obs::ObserveUs(obs::Histogram::kServingQueryUs, ElapsedUs(watch));
+      r.value().elapsed_seconds = watch.ElapsedSeconds();
+    }
+    return r;
+  };
+
+  switch (stmt.kind) {
+    case StatementKind::kSelect: {
+      std::shared_lock<std::shared_mutex> lock(router_mu_);
+      return finish(
+          ExecuteSelect(sql, static_cast<const SelectStatement&>(stmt)));
+    }
+    case StatementKind::kExplain: {
+      // Plans are identical on every shard (same catalog, same statistics
+      // pipeline); shard 0 speaks for the fleet.
+      std::shared_lock<std::shared_mutex> lock(router_mu_);
+      obs::Count(obs::Counter::kServingSingleShardQueries);
+      return finish(shards_[0]->Execute(sql));
+    }
+    case StatementKind::kSet: {
+      const auto& set = static_cast<const SetStatement&>(stmt);
+      if (set.option == "shard_count" || set.option == "shard_index") {
+        return Status::InvalidArgument(
+            "SET " + set.option +
+            " is managed by the ShardedRecDB router (fixed at " +
+            std::to_string(shards_.size()) + " shards)");
+      }
+      std::unique_lock<std::shared_mutex> lock(router_mu_);
+      return finish(BroadcastWrite(sql, stmt));
+    }
+    case StatementKind::kCreateRecommender: {
+      const auto& create = static_cast<const CreateRecommenderStatement&>(stmt);
+      std::unique_lock<std::shared_mutex> lock(router_mu_);
+      PartitionInfo* info = FindPartition(create.ratings_table);
+      if (info != nullptr) return finish(GatherCreateRecommender(create, info));
+      // Non-partitioned ratings tables are fully replicated: every shard
+      // scans an identical heap and trains an identical model.
+      return finish(BroadcastWrite(sql, stmt));
+    }
+    default: {
+      std::unique_lock<std::shared_mutex> lock(router_mu_);
+      return finish(BroadcastWrite(sql, stmt));
+    }
+  }
+}
+
+Result<ResultSet> ShardedRecDB::ExecuteSelect(const std::string& sql,
+                                              const SelectStatement& stmt) {
+  PartitionInfo* info = nullptr;
+  for (const TableRef& ref : stmt.from) {
+    info = FindPartition(ref.table_name);
+    if (info != nullptr) break;
+  }
+  if (info == nullptr || shards_.size() == 1) {
+    // Non-partitioned data is fully replicated (and with one shard there is
+    // nothing to merge): any shard answers alone; use shard 0.
+    obs::Count(obs::Counter::kServingSingleShardQueries);
+    return shards_[0]->Execute(sql);
+  }
+  if (!stmt.group_by.empty() || stmt.having != nullptr || stmt.distinct) {
+    return Status::InvalidArgument(
+        "ShardedRecDB does not support GROUP BY / HAVING / DISTINCT over "
+        "partitioned tables; run the aggregate per shard via shard(k)");
+  }
+
+  // Owner-targeted routing: a WHERE clause that pins the recommendation
+  // users to literals only needs those users' owners.
+  std::string user_col = info->user_col;
+  if (stmt.recommend.has_value() && stmt.recommend->user_col != nullptr &&
+      stmt.recommend->user_col->kind == ExprKind::kColumnRef) {
+    user_col = stmt.recommend->user_col->column;
+  }
+  std::vector<size_t> targets;
+  auto pinned = ExtractUserIds(stmt.where.get(), ToLower(user_col));
+  if (pinned.has_value()) {
+    std::set<size_t> owners;
+    for (int64_t uid : *pinned) {
+      owners.insert(ShardOfUser(uid, static_cast<uint32_t>(shards_.size())));
+    }
+    targets.assign(owners.begin(), owners.end());
+    if (targets.empty()) {
+      // WHERE pins an empty user set (e.g. contradictory conjuncts): any
+      // single shard produces the empty result with the right header.
+      targets.push_back(0);
+    }
+  } else {
+    targets.resize(shards_.size());
+    for (size_t k = 0; k < shards_.size(); ++k) targets[k] = k;
+  }
+  return ScatterSelect(sql, stmt, info, targets);
+}
+
+Result<ResultSet> ShardedRecDB::ScatterSelect(const std::string& sql,
+                                              const SelectStatement& stmt,
+                                              PartitionInfo* info,
+                                              const std::vector<size_t>& targets) {
+  obs::Count(targets.size() > 1 ? obs::Counter::kServingScatterQueries
+                                : obs::Counter::kServingSingleShardQueries);
+  obs::Count(obs::Counter::kServingFanoutLegs, targets.size());
+
+  // Scatter: each leg re-parses and executes the statement on its shard via
+  // the shared morsel scheduler. A leg that lands while the pool is busy
+  // (or inside another morsel) runs inline — see TaskScheduler's nested /
+  // contended contract — so the fan-out can never deadlock against engine
+  // parallelism.
+  std::vector<ResultSet> legs(targets.size());
+  std::vector<Status> leg_status(targets.size(), Status::OK());
+  Stopwatch scatter_watch;
+  TaskScheduler::Global().ParallelFor(
+      targets.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          auto r = shards_[targets[i]]->Execute(sql);
+          if (r.ok()) {
+            legs[i] = std::move(r).value();
+          } else {
+            leg_status[i] = r.status();
+          }
+        }
+      });
+  obs::ObserveUs(obs::Histogram::kServingScatterUs, ElapsedUs(scatter_watch));
+  for (const Status& st : leg_status) RECDB_RETURN_NOT_OK(st);
+
+  ResultSet out;
+  out.columns = legs[0].columns;
+  for (const ResultSet& leg : legs) AccumulateStats(leg.stats, &out.stats);
+
+  MergeSpec spec;
+  spec.limit = stmt.limit;
+  if (stmt.recommend.has_value() && stmt.recommend->user_col != nullptr &&
+      stmt.recommend->user_col->kind == ExprKind::kColumnRef) {
+    const Expr& u = *stmt.recommend->user_col;
+    spec.user_col = ResolveColumn(out.columns, u.qualifier, u.column);
+  } else {
+    spec.user_col = ResolveColumn(out.columns, "", info->user_col);
+  }
+  for (const OrderByItem& item : stmt.order_by) {
+    if (item.expr == nullptr || item.expr->kind != ExprKind::kColumnRef) {
+      return Status::InvalidArgument(
+          "ShardedRecDB requires ORDER BY over named output columns for "
+          "scattered queries (got expression '" +
+          (item.expr != nullptr ? item.expr->ToString() : std::string("?")) +
+          "')");
+    }
+    const size_t idx =
+        ResolveColumn(out.columns, item.expr->qualifier, item.expr->column);
+    if (idx == SIZE_MAX) {
+      return Status::InvalidArgument(
+          "ORDER BY column '" + item.expr->column +
+          "' is not in the scattered query's output columns");
+    }
+    spec.order_by.push_back({idx, item.desc});
+  }
+
+  Stopwatch merge_watch;
+  ShardMergeExecutor merger(std::move(spec), &info->user_rank);
+  RECDB_RETURN_NOT_OK(merger.Merge(legs, &out));
+  obs::ObserveUs(obs::Histogram::kServingMergeUs, ElapsedUs(merge_watch));
+  return out;
+}
+
+Result<ResultSet> ShardedRecDB::BroadcastWrite(const std::string& sql,
+                                               const Statement& stmt) {
+  obs::Count(obs::Counter::kServingDmlBroadcasts);
+
+  // Rank bookkeeping: INSERTed partitioned rows intern their user ids in
+  // statement order — the same order every shard's replicated matrix interns
+  // them — before the broadcast touches any shard.
+  if (stmt.kind == StatementKind::kInsert) {
+    const auto& ins = static_cast<const InsertStatement&>(stmt);
+    PartitionInfo* info = FindPartition(ins.table_name);
+    if (info != nullptr) {
+      auto table = shards_[0]->catalog()->GetTable(ins.table_name);
+      if (table.ok()) {
+        auto idx = table.value()->schema.IndexOf(info->user_col);
+        if (idx.ok()) {
+          for (const auto& row : ins.rows) {
+            int64_t uid;
+            if (idx.value() < row.size() && row[idx.value()] != nullptr &&
+                LiteralInt(*row[idx.value()], &uid)) {
+              RecordRoutedUser(info, uid);
+            }
+          }
+          PublishSkew(*info);
+        }
+      }
+    }
+  }
+
+  // Broadcast in shard order. Identical SQL + identical replicated model
+  // state means every shard applies the same model mutations; heaps diverge
+  // by design (ownership filter).
+  ResultSet first;
+  std::vector<std::vector<ResultSet::RatingFeedOp>> feeds(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    auto r = shards_[k]->Execute(sql);
+    RECDB_RETURN_NOT_OK(r.status());
+    feeds[k] = std::move(r.value().rating_ops);
+    if (k == 0) first = std::move(r).value();
+  }
+
+  // Cross-feed DELETE/UPDATE mutations: only the owning shard's heap scan
+  // observed the affected rows; its exported ops bring every other shard's
+  // replicated model to the same state.
+  std::string fed_table;
+  if (stmt.kind == StatementKind::kDelete) {
+    fed_table = static_cast<const DeleteStatement&>(stmt).table_name;
+  } else if (stmt.kind == StatementKind::kUpdate) {
+    fed_table = static_cast<const UpdateStatement&>(stmt).table_name;
+  }
+  if (!fed_table.empty()) {
+    PartitionInfo* info = FindPartition(fed_table);
+    size_t user_idx = SIZE_MAX;
+    std::string canonical_table = fed_table;
+    if (info != nullptr) {
+      auto table = shards_[0]->catalog()->GetTable(fed_table);
+      if (table.ok()) {
+        canonical_table = table.value()->name;
+        auto idx = table.value()->schema.IndexOf(info->user_col);
+        if (idx.ok()) user_idx = idx.value();
+      }
+    }
+    if (info != nullptr && shards_.size() > 1) {
+      // Each shard only saw (and reported) its own victims; the router's
+      // confirmation must match what a single node would say for the whole
+      // statement. DELETE exports one remove op per victim, UPDATE a
+      // remove+insert pair.
+      size_t exported = 0;
+      for (const auto& f : feeds) exported += f.size();
+      if (stmt.kind == StatementKind::kDelete) {
+        first.message = StringFormat("deleted %zu rows from %s", exported,
+                                     canonical_table.c_str());
+      } else {
+        first.message = StringFormat("updated %zu rows in %s", exported / 2,
+                                     canonical_table.c_str());
+      }
+    }
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      if (feeds[k].empty()) continue;
+      if (info != nullptr && user_idx != SIZE_MAX) {
+        // UPDATE may introduce user ids the router has never routed; intern
+        // them so the merge can rank their rows. (New ids should arrive via
+        // INSERT — see docs/SCALING.md for the ordering caveat.)
+        for (const auto& op : feeds[k]) {
+          if (op.remove || user_idx >= op.values.size()) continue;
+          const Value& u = op.values[user_idx];
+          if (!u.is_null() && u.type() == TypeId::kInt64 &&
+              info->user_rank.find(u.AsInt()) == info->user_rank.end()) {
+            info->user_rank[u.AsInt()] = info->next_rank++;
+          }
+        }
+      }
+      for (size_t j = 0; j < shards_.size(); ++j) {
+        if (j == k) continue;
+        RECDB_RETURN_NOT_OK(shards_[j]->ApplyRatingFeed(fed_table, feeds[k]));
+      }
+    }
+  }
+  return first;
+}
+
+Result<ResultSet> ShardedRecDB::GatherCreateRecommender(
+    const CreateRecommenderStatement& stmt, PartitionInfo* info) {
+  obs::Count(obs::Counter::kServingDmlBroadcasts);
+  Stopwatch watch;
+
+  // Gather every shard's partition of (user, item, rating) and sort it into
+  // the canonical (uid, iid) order. The canonical order is shard-count-
+  // invariant, so any fleet size trains the identical model — and a
+  // single-node reference loaded in this order answers bit-identically.
+  struct GatheredRow {
+    int64_t user;
+    int64_t item;
+    double rating;
+  };
+  std::vector<GatheredRow> rows;
+  const std::string gather_sql = "SELECT " + stmt.user_col + ", " +
+                                 stmt.item_col + ", " + stmt.rating_col +
+                                 " FROM " + stmt.ratings_table;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    RECDB_ASSIGN_OR_RETURN(ResultSet part, shards_[k]->Execute(gather_sql));
+    rows.reserve(rows.size() + part.rows.size());
+    for (const Tuple& t : part.rows) {
+      const Value& u = t.At(0);
+      const Value& i = t.At(1);
+      const Value& r = t.At(2);
+      if (u.is_null() || i.is_null() || r.is_null()) continue;
+      if (u.type() != TypeId::kInt64 || i.type() != TypeId::kInt64 ||
+          !r.is_numeric()) {
+        continue;
+      }
+      rows.push_back({u.AsInt(), i.AsInt(), r.AsNumeric()});
+    }
+  }
+  // stable: duplicate (uid, iid) cells keep their within-shard heap order
+  // (all copies of a cell live on the owner), so last-wins matches a
+  // single-node load of the same sorted stream.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const GatheredRow& a, const GatheredRow& b) {
+                     if (a.user != b.user) return a.user < b.user;
+                     return a.item < b.item;
+                   });
+
+  RecommenderConfig config;
+  config.name = stmt.name;
+  config.ratings_table = stmt.ratings_table;
+  config.user_col = stmt.user_col;
+  config.item_col = stmt.item_col;
+  config.rating_col = stmt.rating_col;
+  const RecDBOptions& opts = shards_[0]->options();
+  config.rebuild_threshold = opts.rebuild_threshold;
+  config.refresh_threshold = opts.refresh_threshold;
+  config.min_refresh_ops = opts.min_refresh_ops;
+  config.sim_opts = opts.sim_opts;
+  config.svd_opts = opts.svd_opts;
+  if (stmt.algorithm.has_value()) {
+    RECDB_ASSIGN_OR_RETURN(config.algorithm,
+                           RecAlgorithmFromString(*stmt.algorithm));
+  }
+
+  Recommender* last = nullptr;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    // One frozen matrix per shard (shards must not share mutable delta
+    // state), all built from the identical canonical stream.
+    auto matrix = std::make_shared<RatingMatrix>();
+    for (const GatheredRow& row : rows) {
+      matrix->Add(row.user, row.item, row.rating);
+    }
+    matrix->Freeze();
+    RECDB_ASSIGN_OR_RETURN(
+        last, shards_[k]->CreateRecommenderWithMatrix(config,
+                                                      std::move(matrix)));
+  }
+
+  // The matrices now intern users in canonical sorted order; reset the rank
+  // map to match so the merge keeps mirroring emission order.
+  info->user_rank.clear();
+  info->next_rank = 0;
+  for (const GatheredRow& row : rows) {
+    if (info->user_rank.find(row.user) == info->user_rank.end()) {
+      info->user_rank[row.user] = info->next_rank++;
+    }
+  }
+
+  ResultSet rs;
+  rs.elapsed_seconds = watch.ElapsedSeconds();
+  rs.message = StringFormat(
+      "created recommender %s (%s) on %s: %zu ratings, built in %.3fs",
+      last->name().c_str(), RecAlgorithmToString(last->algorithm()),
+      last->config().ratings_table.c_str(), last->base_size(),
+      rs.elapsed_seconds);
+  return rs;
+}
+
+Status ShardedRecDB::ReseedTableLocked(const std::string& table,
+                                       PartitionInfo* info) {
+  // Recommenders a reopened shard re-trained during recovery saw only its
+  // own partition of the heap — drop and re-create them from the gathered
+  // canonical stream.
+  std::vector<RecommenderConfig> configs;
+  for (Recommender* rec : shards_[0]->registry()->FindAllOnTable(table)) {
+    configs.push_back(rec->config());
+  }
+  for (const RecommenderConfig& config : configs) {
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      RECDB_ASSIGN_OR_RETURN(
+          ResultSet dropped,
+          shards_[k]->Execute("DROP RECOMMENDER " + config.name));
+      (void)dropped;
+    }
+    CreateRecommenderStatement create;
+    create.name = config.name;
+    create.ratings_table = config.ratings_table;
+    create.user_col = config.user_col;
+    create.item_col = config.item_col;
+    create.rating_col = config.rating_col;
+    create.algorithm = RecAlgorithmToString(config.algorithm);
+    RECDB_RETURN_NOT_OK(GatherCreateRecommender(create, info).status());
+  }
+  if (configs.empty()) {
+    // No recommenders yet (fresh declaration): seed the rank map and skew
+    // counters from whatever rows already landed, in canonical order.
+    info->user_rank.clear();
+    info->next_rank = 0;
+    auto table_info = shards_[0]->catalog()->GetTable(table);
+    if (!table_info.ok()) return Status::OK();
+    std::vector<int64_t> users;
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      RECDB_ASSIGN_OR_RETURN(
+          ResultSet part,
+          shards_[k]->Execute("SELECT " + info->user_col + " FROM " + table));
+      for (const Tuple& t : part.rows) {
+        const Value& u = t.At(0);
+        if (!u.is_null() && u.type() == TypeId::kInt64) {
+          users.push_back(u.AsInt());
+          ++info->routed_rows[k];
+        }
+      }
+    }
+    std::sort(users.begin(), users.end());
+    for (int64_t uid : users) {
+      if (info->user_rank.find(uid) == info->user_rank.end()) {
+        info->user_rank[uid] = info->next_rank++;
+      }
+    }
+    PublishSkew(*info);
+  }
+  return Status::OK();
+}
+
+Status ShardedRecDB::DeclarePartitionedTable(const std::string& table,
+                                             const std::string& user_col) {
+  std::unique_lock<std::shared_mutex> lock(router_mu_);
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    RECDB_RETURN_NOT_OK(shards_[k]->DeclarePartitionedTable(table, user_col));
+  }
+  PartitionInfo& info = partitions_[ToLower(table)];
+  info.user_col = user_col;
+  info.user_rank.clear();
+  info.next_rank = 0;
+  info.routed_rows.assign(shards_.size(), 0);
+  return ReseedTableLocked(table, &info);
+}
+
+Status ShardedRecDB::BulkInsert(const std::string& table,
+                                const std::vector<std::vector<Value>>& rows) {
+  std::unique_lock<std::shared_mutex> lock(router_mu_);
+  obs::Count(obs::Counter::kServingDmlBroadcasts);
+  PartitionInfo* info = FindPartition(table);
+  if (info != nullptr) {
+    auto table_info = shards_[0]->catalog()->GetTable(table);
+    if (table_info.ok()) {
+      auto idx = table_info.value()->schema.IndexOf(info->user_col);
+      if (idx.ok()) {
+        for (const auto& row : rows) {
+          if (idx.value() < row.size()) {
+            const Value& u = row[idx.value()];
+            if (!u.is_null() && u.type() == TypeId::kInt64) {
+              RecordRoutedUser(info, u.AsInt());
+            }
+          }
+        }
+        PublishSkew(*info);
+      }
+    }
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    RECDB_RETURN_NOT_OK(shards_[k]->BulkInsert(table, rows));
+  }
+  return Status::OK();
+}
+
+Result<bool> ShardedRecDB::RefreshAll(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(router_mu_);
+  bool any = false;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    RECDB_ASSIGN_OR_RETURN(bool merged, shards_[k]->RefreshRecommender(name));
+    any = any || merged;
+  }
+  return any;
+}
+
+void ShardedRecDB::DrainBackgroundWork() {
+  for (auto& shard : shards_) shard->DrainBackgroundWork();
+}
+
+Status ShardedRecDB::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(router_mu_);
+  for (auto& shard : shards_) RECDB_RETURN_NOT_OK(shard->Checkpoint());
+  return Status::OK();
+}
+
+Status ShardedRecDB::Close() {
+  std::unique_lock<std::shared_mutex> lock(router_mu_);
+  Status first = Status::OK();
+  for (auto& shard : shards_) {
+    Status st = shard->Close();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+}  // namespace recdb

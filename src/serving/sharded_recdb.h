@@ -1,0 +1,141 @@
+// ShardedRecDB: hash-partitioned scatter-gather serving over N in-process
+// RecDB engine shards (DESIGN.md §14, docs/SCALING.md).
+//
+// Partitioning model — replicated model plane, partitioned serving plane:
+//   * Every shard's rating matrix and CF/SVD model are fed the FULL rating
+//     stream in identical statement order, so model state (similarities,
+//     factors, global interning) is bit-identical on every shard. Models are
+//     interning-order-sensitive, so replication is what keeps a K-shard
+//     deployment's scores equal to single-node's.
+//   * Heap rows of declared partitioned tables, their WAL records, the
+//     RecScoreIndex contents, and cache demand land only on the shard that
+//     owns the row's user (ShardOfUser hash) — the per-user state that
+//     dominates memory and maintenance cost scales out 1/K per shard.
+//
+// Query path: RECOMMEND SELECTs over partitioned tables fan out on the
+// global TaskScheduler to the owning shards (all shards, or the owners of
+// the user ids pinned by the WHERE clause); each shard emits the
+// order-preserving subsequence of the single-node result for its users, and
+// ShardMergeExecutor reassembles the exact single-node output. DML broadcasts
+// to every shard in shard order: each shard persists only its owned rows but
+// feeds its models every row; DELETE/UPDATE mutations observed by the owning
+// shard's heap scan are cross-fed to the other shards' models afterwards.
+//
+// The router executes ONE statement per Execute() call (no scripts) and
+// owns the shard_count/shard_index knobs — `SET shard_count` through the
+// router is rejected.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/recdb.h"
+#include "common/status.h"
+
+namespace recdb {
+
+struct ShardedRecDBOptions {
+  /// Engine shards behind the router, in [1, 64].
+  size_t num_shards = 2;
+  /// Template for every shard's options; shard_count/shard_index are
+  /// overwritten per shard by the router.
+  RecDBOptions shard_options;
+};
+
+class ShardedRecDB {
+ public:
+  ~ShardedRecDB();
+
+  ShardedRecDB(const ShardedRecDB&) = delete;
+  ShardedRecDB& operator=(const ShardedRecDB&) = delete;
+
+  /// In-memory router over `options.num_shards` fresh engine shards.
+  static Result<std::unique_ptr<ShardedRecDB>> Create(
+      ShardedRecDBOptions options = {});
+
+  /// File-backed router: shard k lives at `path + ".shard<k>"` with its own
+  /// WAL. Reopening recovers every shard independently; call
+  /// DeclarePartitionedTable again for each partitioned table afterwards —
+  /// it re-seeds the recovered recommenders from a gathered canonical
+  /// matrix (each recovered heap holds only its partition, so the models a
+  /// shard re-trained locally during recovery are discarded).
+  static Result<std::unique_ptr<ShardedRecDB>> Open(
+      const std::string& path, ShardedRecDBOptions options = {});
+
+  /// Execute one SQL statement through the router. SELECT/EXPLAIN run under
+  /// a shared router lock; everything else is exclusive.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// Partition-aware bulk load: owned rows land in their owning shard's
+  /// heap, every row feeds every shard's models, and the router's user-rank
+  /// map records global first-seen order.
+  Status BulkInsert(const std::string& table,
+                    const std::vector<std::vector<Value>>& rows);
+
+  /// Declare `table` user-partitioned on `user_col` on every shard, and (on
+  /// a reopened router) rebuild the user-rank map and re-seed existing
+  /// recommenders on the table from a gathered canonical matrix.
+  Status DeclarePartitionedTable(const std::string& table,
+                                 const std::string& user_col);
+
+  /// Refresh one recommender on every shard (merge pending deltas).
+  /// Returns true when any shard merged.
+  Result<bool> RefreshAll(const std::string& name);
+
+  /// Block until every shard's background-refresh lane is idle.
+  void DrainBackgroundWork();
+
+  Status Checkpoint();
+  Status Close();
+
+  size_t num_shards() const { return shards_.size(); }
+  RecDB* shard(size_t k) { return shards_[k].get(); }
+
+ private:
+  /// Per partitioned table: the declared user column and the global
+  /// first-seen rank of every routed user id — the router-side mirror of
+  /// the replicated matrices' interning order, used by the merge to restore
+  /// single-node emission order and by the skew gauge.
+  struct PartitionInfo {
+    std::string user_col;
+    std::unordered_map<int64_t, uint64_t> user_rank;
+    uint64_t next_rank = 0;
+    std::vector<uint64_t> routed_rows;  // per shard, for serving.shard_skew_pct
+  };
+
+  ShardedRecDB() = default;
+
+  static Status ValidateOptions(const ShardedRecDBOptions& options);
+
+  /// Statement dispatch; caller classified and holds the right lock.
+  Result<ResultSet> ExecuteSelect(const std::string& sql,
+                                  const SelectStatement& stmt);
+  Result<ResultSet> ScatterSelect(const std::string& sql,
+                                  const SelectStatement& stmt,
+                                  PartitionInfo* info,
+                                  const std::vector<size_t>& targets);
+  Result<ResultSet> BroadcastWrite(const std::string& sql,
+                                   const Statement& stmt);
+  Result<ResultSet> GatherCreateRecommender(
+      const CreateRecommenderStatement& stmt, PartitionInfo* info);
+
+  /// Re-seed every recommender on `table` (and rebuild `info`'s rank map)
+  /// from a gathered, (uid,iid)-sorted canonical matrix. Caller holds the
+  /// exclusive router lock.
+  Status ReseedTableLocked(const std::string& table, PartitionInfo* info);
+
+  PartitionInfo* FindPartition(const std::string& table);
+  /// Record one routed rating row for rank/skew bookkeeping.
+  void RecordRoutedUser(PartitionInfo* info, int64_t user_id);
+  void PublishSkew(const PartitionInfo& info);
+
+  mutable std::shared_mutex router_mu_;
+  std::vector<std::unique_ptr<RecDB>> shards_;
+  std::unordered_map<std::string, PartitionInfo> partitions_;  // lower(table)
+};
+
+}  // namespace recdb

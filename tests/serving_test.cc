@@ -1,0 +1,397 @@
+// Sharded scatter-gather serving (DESIGN.md §14): the load-bearing invariant
+// is BIT-IDENTITY — a K-shard ShardedRecDB answers every RECOMMEND query
+// with exactly the rows, in exactly the order, with exactly the double bits,
+// of a single-node RecDB holding the same data — across all five algorithms,
+// shard counts {1, 2, 8}, live delta overlays, and post-refresh state.
+//
+// The single-node reference is loaded in (uid, iid)-sorted canonical order,
+// matching the router's gather-create matrix order (the order is
+// shard-count-invariant, which is what makes the comparison meaningful).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/recdb.h"
+#include "common/shard.h"
+#include "serving/sharded_recdb.h"
+
+namespace recdb {
+namespace {
+
+const char* kAlgorithms[] = {"ItemCosCF", "ItemPearCF", "UserCosCF",
+                             "UserPearCF", "SVD"};
+
+struct Rating {
+  int64_t user;
+  int64_t item;
+  double value;
+};
+
+// Deterministic workload: 24 users x 12 items, ~55% density, values a fixed
+// function of (u, i). Arrival order is user-major but NOT sorted by item, so
+// routing and canonical-sort paths are both exercised.
+std::vector<Rating> BaseRatings() {
+  std::vector<Rating> out;
+  for (int64_t u = 1; u <= 24; ++u) {
+    for (int64_t i = 12; i >= 1; --i) {
+      if ((u * 7 + i * 3) % 9 < 5) {
+        out.push_back({u, i, 1.0 + static_cast<double>((u * 3 + i * 5) % 8) * 0.5});
+      }
+    }
+  }
+  return out;
+}
+
+// Delta traffic layered on top after the recommenders exist: overwrites,
+// new items for existing users, and two brand-new users (25, 26).
+std::vector<Rating> DeltaRatings() {
+  return {
+      {3, 4, 5.0},  {7, 11, 1.5}, {25, 2, 4.0}, {25, 7, 2.5},
+      {12, 1, 3.5}, {26, 5, 4.5}, {26, 9, 1.0}, {18, 12, 2.0},
+  };
+}
+
+std::vector<Rating> SortedCanonical(std::vector<Rating> rows) {
+  std::stable_sort(rows.begin(), rows.end(), [](const Rating& a, const Rating& b) {
+    if (a.user != b.user) return a.user < b.user;
+    return a.item < b.item;
+  });
+  return rows;
+}
+
+std::string InsertSql(const std::string& table, const std::vector<Rating>& rows) {
+  std::string sql = "INSERT INTO " + table + " VALUES ";
+  for (size_t k = 0; k < rows.size(); ++k) {
+    if (k > 0) sql += ", ";
+    char buf[64];
+    snprintf(buf, sizeof(buf), "(%lld, %lld, %.1f)",
+             static_cast<long long>(rows[k].user),
+             static_cast<long long>(rows[k].item), rows[k].value);
+    sql += buf;
+  }
+  return sql;
+}
+
+// Reference single-node engine: canonical-order load + one recommender per
+// algorithm, mirroring the router's gather-create.
+std::unique_ptr<RecDB> MakeReference() {
+  auto db = std::make_unique<RecDB>();
+  EXPECT_TRUE(
+      db->Execute("CREATE TABLE ratings (uid INT, iid INT, ratingval DOUBLE)")
+          .ok());
+  EXPECT_TRUE(
+      db->Execute(InsertSql("ratings", SortedCanonical(BaseRatings()))).ok());
+  for (const char* algo : kAlgorithms) {
+    auto r = db->Execute(std::string("CREATE RECOMMENDER ref_") + algo +
+                         " ON ratings USERS FROM uid ITEMS FROM iid "
+                         "RATINGS FROM ratingval USING " +
+                         algo);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+  }
+  return db;
+}
+
+std::unique_ptr<ShardedRecDB> MakeSharded(size_t num_shards) {
+  ShardedRecDBOptions opts;
+  opts.num_shards = num_shards;
+  auto db = ShardedRecDB::Create(opts);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  EXPECT_TRUE(db.value()
+                  ->Execute(
+                      "CREATE TABLE ratings (uid INT, iid INT, ratingval DOUBLE)")
+                  .ok());
+  EXPECT_TRUE(db.value()->DeclarePartitionedTable("ratings", "uid").ok());
+  // Arrival-order load through the router (rank map + ownership routing).
+  EXPECT_TRUE(db.value()->Execute(InsertSql("ratings", BaseRatings())).ok());
+  for (const char* algo : kAlgorithms) {
+    auto r = db.value()->Execute(std::string("CREATE RECOMMENDER sh_") + algo +
+                                 " ON ratings USERS FROM uid ITEMS FROM iid "
+                                 "RATINGS FROM ratingval USING " +
+                                 algo);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+  }
+  return std::move(db).value();
+}
+
+std::string RecommendSql(const char* algo, const std::string& suffix) {
+  return std::string(
+             "SELECT R.uid, R.iid, R.ratingval FROM ratings AS R "
+             "RECOMMEND R.iid TO R.uid ON R.ratingval USING ") +
+         algo + (suffix.empty() ? "" : " " + suffix);
+}
+
+// Bitwise row equality: doubles must match to the bit, not the epsilon.
+void ExpectRowsBitIdentical(const ResultSet& got, const ResultSet& want,
+                            const std::string& label) {
+  ASSERT_EQ(got.rows.size(), want.rows.size()) << label;
+  for (size_t r = 0; r < want.rows.size(); ++r) {
+    ASSERT_EQ(got.rows[r].NumValues(), want.rows[r].NumValues()) << label;
+    for (size_t c = 0; c < want.rows[r].NumValues(); ++c) {
+      const Value& g = got.rows[r].At(c);
+      const Value& w = want.rows[r].At(c);
+      ASSERT_EQ(g.type(), w.type()) << label << " row " << r << " col " << c;
+      if (g.type() == TypeId::kDouble) {
+        const double gd = g.AsNumeric();
+        const double wd = w.AsNumeric();
+        uint64_t gb, wb;
+        std::memcpy(&gb, &gd, sizeof(gb));
+        std::memcpy(&wb, &wd, sizeof(wb));
+        ASSERT_EQ(gb, wb) << label << " row " << r << " col " << c
+                          << ": " << gd << " vs " << wd;
+      } else {
+        ASSERT_EQ(g.Compare(w), 0) << label << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+void CompareAllQueries(ShardedRecDB* sharded, RecDB* reference,
+                       const std::string& phase) {
+  const std::string suffixes[] = {
+      "",                                         // full emission stream
+      "ORDER BY R.ratingval DESC LIMIT 10",       // global Top-N
+      "WHERE R.uid = 7",                          // owner-targeted
+      "WHERE R.uid IN (3, 25) ORDER BY R.ratingval DESC LIMIT 6",
+  };
+  for (const char* algo : kAlgorithms) {
+    for (const std::string& suffix : suffixes) {
+      auto got = sharded->Execute(RecommendSql(algo, suffix));
+      auto want = reference->Execute(RecommendSql(algo, suffix));
+      ASSERT_TRUE(got.ok()) << phase << "/" << algo << ": "
+                            << got.status().message();
+      ASSERT_TRUE(want.ok()) << phase << "/" << algo << ": "
+                             << want.status().message();
+      ExpectRowsBitIdentical(got.value(), want.value(),
+                             phase + "/" + algo + "/[" + suffix + "]");
+    }
+  }
+}
+
+// ------------------------------------------------------- options validation
+
+TEST(ServingOptions, ConstructorRejectsOutOfRangeShards) {
+  RecDBOptions opts;
+  opts.shard_count = 0;
+  RecDB bad(opts);
+  auto r = bad.Execute("SELECT 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("shard_count"), std::string::npos);
+
+  RecDBOptions stranded;
+  stranded.shard_count = 2;
+  stranded.shard_index = 5;
+  RecDB bad2(stranded);
+  EXPECT_FALSE(bad2.Execute("SELECT 1").ok());
+
+  EXPECT_FALSE(RecDB::Open("/nonexistent/never", opts).ok());
+}
+
+TEST(ServingOptions, SetValidatesShardKnobs) {
+  RecDB db;
+  // Out of range: rejected with the offending value, not clamped.
+  auto r = db.Execute("SET shard_count = 0");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("[1, 1024]"), std::string::npos);
+  EXPECT_FALSE(db.Execute("SET shard_count = 100000").ok());
+  EXPECT_FALSE(db.Execute("SET shard_index = 1").ok());  // count still 1
+
+  ASSERT_TRUE(db.Execute("SET shard_count = 4").ok());
+  ASSERT_TRUE(db.Execute("SET shard_index = 3").ok());
+  EXPECT_FALSE(db.Execute("SET shard_index = 4").ok());
+  // Shrinking the shard space below the live index is rejected too.
+  auto shrink = db.Execute("SET shard_count = 2");
+  EXPECT_FALSE(shrink.ok());
+  EXPECT_NE(shrink.status().message().find("shard_index"), std::string::npos);
+  // After the rejections the engine still works.
+  EXPECT_TRUE(db.Execute("SET shard_count = 8").ok());
+}
+
+TEST(ServingOptions, RouterOwnsShardKnobs) {
+  ShardedRecDBOptions zero;
+  zero.num_shards = 0;
+  EXPECT_FALSE(ShardedRecDB::Create(zero).ok());
+  ShardedRecDBOptions huge;
+  huge.num_shards = 65;
+  EXPECT_FALSE(ShardedRecDB::Create(huge).ok());
+  auto db = MakeSharded(2);
+  auto r = db->Execute("SET shard_count = 4");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("router"), std::string::npos);
+  EXPECT_FALSE(db->Execute("SELECT 1; SELECT 2").ok());  // one stmt per call
+}
+
+// ------------------------------------------------------------ bit identity
+
+class ServingBitIdentity : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ServingBitIdentity, AllAlgorithmsAllPhases) {
+  const size_t shards = GetParam();
+  auto reference = MakeReference();
+  auto sharded = MakeSharded(shards);
+
+  CompareAllQueries(sharded.get(), reference.get(), "base");
+
+  // Live delta overlay: identical statements in identical order feed the
+  // reference and every shard's replicated model.
+  const std::string delta = InsertSql("ratings", DeltaRatings());
+  ASSERT_TRUE(reference->Execute(delta).ok());
+  ASSERT_TRUE(sharded->Execute(delta).ok());
+  CompareAllQueries(sharded.get(), reference.get(), "overlay");
+
+  // Post-refresh (deltas merged into a fresh frozen base everywhere).
+  for (const char* algo : kAlgorithms) {
+    ASSERT_TRUE(reference->RefreshRecommender(std::string("ref_") + algo).ok());
+    ASSERT_TRUE(sharded->RefreshAll(std::string("sh_") + algo).ok());
+  }
+  CompareAllQueries(sharded.get(), reference.get(), "refreshed");
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ServingBitIdentity,
+                         ::testing::Values(1, 2, 8));
+
+// ------------------------------------------------------------- DML routing
+
+TEST(ServingDml, RowsLandOnOwningShardOnly) {
+  auto db = MakeSharded(4);
+  size_t total = 0;
+  for (size_t k = 0; k < db->num_shards(); ++k) {
+    auto rows = db->shard(k)->Execute("SELECT uid FROM ratings");
+    ASSERT_TRUE(rows.ok());
+    for (const auto& row : rows.value().rows) {
+      EXPECT_EQ(ShardOfUser(row.At(0).AsInt(), 4), k)
+          << "row for user " << row.At(0).AsInt() << " stored on shard " << k;
+    }
+    total += rows.value().rows.size();
+  }
+  EXPECT_EQ(total, BaseRatings().size());
+
+  // Every shard's model saw the FULL stream even though its heap is partial.
+  for (size_t k = 0; k < db->num_shards(); ++k) {
+    auto rec = db->shard(k)->GetRecommender("sh_ItemCosCF");
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.value()->base_size(), BaseRatings().size());
+  }
+}
+
+TEST(ServingDml, DeleteAndUpdateCrossFeedModels) {
+  auto reference = MakeReference();
+  auto db = MakeSharded(4);
+
+  const char* mutations[] = {
+      "DELETE FROM ratings WHERE uid = 7",
+      "UPDATE ratings SET ratingval = 4.5 WHERE uid = 3 AND iid = 4",
+      "DELETE FROM ratings WHERE iid = 12",  // victims span many shards
+  };
+  for (const char* sql : mutations) {
+    auto want = reference->Execute(sql);
+    auto got = db->Execute(sql);
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got.value().message, want.value().message) << sql;
+    CompareAllQueries(db.get(), reference.get(), std::string("after: ") + sql);
+  }
+
+  // After a refresh cycle the merged bases must still agree.
+  for (const char* algo : kAlgorithms) {
+    ASSERT_TRUE(reference->RefreshRecommender(std::string("ref_") + algo).ok());
+    ASSERT_TRUE(db->RefreshAll(std::string("sh_") + algo).ok());
+  }
+  CompareAllQueries(db.get(), reference.get(), "post-dml refresh");
+}
+
+// --------------------------------------------------------------- reopening
+
+TEST(ServingReopen, ShardFilesRecoverAndReseed) {
+  const std::string path = ::testing::TempDir() + "serving_reopen_db";
+  for (size_t k = 0; k < 2; ++k) {
+    std::remove((path + ".shard" + std::to_string(k)).c_str());
+    std::remove((path + ".shard" + std::to_string(k) + ".wal").c_str());
+  }
+  ShardedRecDBOptions opts;
+  opts.num_shards = 2;
+  {
+    auto db = ShardedRecDB::Open(path, opts);
+    ASSERT_TRUE(db.ok()) << db.status().message();
+    ASSERT_TRUE(db.value()
+                    ->Execute(
+                        "CREATE TABLE ratings (uid INT, iid INT, ratingval DOUBLE)")
+                    .ok());
+    ASSERT_TRUE(db.value()->DeclarePartitionedTable("ratings", "uid").ok());
+    ASSERT_TRUE(db.value()->Execute(InsertSql("ratings", BaseRatings())).ok());
+    ASSERT_TRUE(db.value()
+                    ->Execute("CREATE RECOMMENDER sh_ItemCosCF ON ratings "
+                              "USERS FROM uid ITEMS FROM iid RATINGS FROM "
+                              "ratingval USING ItemCosCF")
+                    .ok());
+    ASSERT_TRUE(db.value()->Close().ok());
+  }
+  auto db = ShardedRecDB::Open(path, opts);
+  ASSERT_TRUE(db.ok()) << db.status().message();
+  // Re-declaring re-seeds the recovered recommenders from the gathered
+  // canonical matrix (each shard's recovered heap holds only its partition).
+  ASSERT_TRUE(db.value()->DeclarePartitionedTable("ratings", "uid").ok());
+
+  auto reference = std::make_unique<RecDB>();
+  ASSERT_TRUE(reference
+                  ->Execute("CREATE TABLE ratings (uid INT, iid INT, "
+                            "ratingval DOUBLE)")
+                  .ok());
+  ASSERT_TRUE(
+      reference->Execute(InsertSql("ratings", SortedCanonical(BaseRatings())))
+          .ok());
+  ASSERT_TRUE(reference
+                  ->Execute("CREATE RECOMMENDER ref_ItemCosCF ON ratings "
+                            "USERS FROM uid ITEMS FROM iid RATINGS FROM "
+                            "ratingval USING ItemCosCF")
+                  .ok());
+  auto got = db.value()->Execute(RecommendSql("ItemCosCF", ""));
+  auto want = reference->Execute(RecommendSql("ItemCosCF", ""));
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  ASSERT_TRUE(want.ok());
+  ExpectRowsBitIdentical(got.value(), want.value(), "reopen");
+  ASSERT_TRUE(db.value()->Close().ok());
+}
+
+// ------------------------------------------------------- concurrent clients
+
+// TSan target (CI runs this binary under -R "serving_concurrent"): mixed
+// open-loop clients hammer the router — scattered RECOMMENDs under the
+// shared lock race broadcast INSERTs under the exclusive lock — while the
+// scatter legs contend for the global morsel scheduler.
+TEST(ServingConcurrent, ConcurrentClients) {
+  auto db = MakeSharded(4);
+  ASSERT_TRUE(db->Execute("SET parallelism = 4").ok());
+  std::atomic<int> errors{0};
+  std::atomic<int64_t> next_user{1000};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < 25; ++q) {
+        if (t < 4) {
+          const char* algo = kAlgorithms[(t + q) % 5];
+          auto r = db->Execute(
+              RecommendSql(algo, "ORDER BY R.ratingval DESC LIMIT 5"));
+          if (!r.ok()) ++errors;
+        } else {
+          const int64_t u = next_user.fetch_add(1);
+          std::vector<Rating> row = {{u, (u % 12) + 1, 3.0}};
+          auto r = db->Execute(InsertSql("ratings", row));
+          if (!r.ok()) ++errors;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(db->Execute("SET parallelism = 1").ok());
+}
+
+}  // namespace
+}  // namespace recdb
